@@ -1,0 +1,175 @@
+//! Microbenchmarks of the hot paths: belief sampling, chunk selection,
+//! within-chunk ordering, interval stabbing, storage reads, the optimal
+//! solver, and the tracker.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsample_core::belief::{BeliefPrior, ChunkStats};
+use exsample_core::exsample::{ExSample, ExSampleConfig};
+use exsample_core::policy::SamplingPolicy;
+use exsample_core::within::StratifiedWithin;
+use exsample_core::Chunking;
+use exsample_detect::{Detector, OracleDiscriminator, Discriminator, SimulatedDetector};
+use exsample_optimal::{optimal_weights, ChunkProbs, SolveOpts};
+use exsample_stats::dist::{Continuous, Gamma};
+use exsample_stats::{Rng64, UniformNoReplacement};
+use exsample_store::{Container, ContainerWriter};
+use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, IntervalIndex, SkewSpec};
+use std::sync::Arc;
+
+fn bench_gamma_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gamma_sample");
+    let mut rng = Rng64::new(1);
+    for shape in [0.1f64, 1.0, 5.0] {
+        let d = Gamma::new(shape, 1.0);
+        g.bench_with_input(BenchmarkId::from_parameter(shape), &d, |b, d| {
+            b.iter(|| black_box(d.sample(&mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_thompson_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exsample_next_frame");
+    for m in [64usize, 1024] {
+        let mut policy = ExSample::new(Chunking::even(16_000_000, m), ExSampleConfig::default());
+        let mut rng = Rng64::new(2);
+        g.bench_with_input(BenchmarkId::new("chunks", m), &m, |b, _| {
+            b.iter(|| {
+                let f = policy.next_frame(&mut rng).expect("frames remain");
+                policy.feedback(f, exsample_core::Feedback::NONE);
+                black_box(f)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_belief_draw(c: &mut Criterion) {
+    let prior = BeliefPrior::default();
+    let stats = ChunkStats { n1: 7.0, n: 421 };
+    let mut rng = Rng64::new(3);
+    c.bench_function("belief/thompson_draw", |b| {
+        b.iter(|| black_box(prior.thompson_draw(&stats, &mut rng)))
+    });
+    c.bench_function("belief/bayes_ucb", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(prior.bayes_ucb(&stats, t))
+        })
+    });
+}
+
+fn bench_within_samplers(c: &mut Criterion) {
+    c.bench_function("within/stratified_draw", |b| {
+        let mut rng = Rng64::new(4);
+        let mut s = StratifiedWithin::new(0..1u64 << 40);
+        b.iter(|| black_box(s.draw(&mut rng)))
+    });
+    c.bench_function("within/sparse_fisher_yates", |b| {
+        let mut rng = Rng64::new(5);
+        let mut s = UniformNoReplacement::new(1u64 << 40);
+        b.iter(|| black_box(s.next(&mut rng)))
+    });
+}
+
+fn bench_interval_stab(c: &mut Criterion) {
+    let gt = DatasetSpec::single_class(
+        1_000_000,
+        ClassSpec::new("car", 5_000, 300.0, SkewSpec::Uniform),
+    )
+    .generate(6);
+    let idx = IntervalIndex::build(
+        1_000_000,
+        gt.instances().iter().map(|i| (i.id.0, i.start, i.end())),
+    );
+    let mut rng = Rng64::new(7);
+    c.bench_function("interval_index/stab", |b| {
+        b.iter(|| {
+            let f = rng.u64_below(1_000_000);
+            let mut n = 0u32;
+            idx.stab(f, |_| n += 1);
+            black_box(n)
+        })
+    });
+}
+
+fn bench_container_reads(c: &mut Criterion) {
+    let mut w = ContainerWriter::new(20);
+    for i in 0..20_000u64 {
+        w.push_frame(&i.to_le_bytes());
+    }
+    let bytes = w.finish();
+    let mut g = c.benchmark_group("container");
+    g.bench_function("random_read", |b| {
+        let mut container = Container::open(bytes.clone()).unwrap();
+        let mut rng = Rng64::new(8);
+        b.iter(|| {
+            let f = rng.u64_below(20_000);
+            black_box(container.read_frame(f).unwrap())
+        })
+    });
+    g.bench_function("sequential_read", |b| {
+        let mut container = Container::open(bytes.clone()).unwrap();
+        let mut f = 0u64;
+        b.iter(|| {
+            let r = container.read_frame(f).unwrap();
+            f = (f + 1) % 20_000;
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+fn bench_detector_and_tracker(c: &mut Criterion) {
+    let gt = Arc::new(
+        DatasetSpec::single_class(
+            200_000,
+            ClassSpec::new("car", 500, 300.0, SkewSpec::Uniform),
+        )
+        .generate(9),
+    );
+    c.bench_function("detector/simulated_detect", |b| {
+        let mut det = SimulatedDetector::perfect(gt.clone(), ClassId(0));
+        let mut rng = Rng64::new(10);
+        b.iter(|| {
+            let f = rng.u64_below(200_000);
+            black_box(det.detect(f))
+        })
+    });
+    c.bench_function("discrim/oracle_observe", |b| {
+        let mut det = SimulatedDetector::perfect(gt.clone(), ClassId(0));
+        let mut disc = OracleDiscriminator::new();
+        let mut rng = Rng64::new(11);
+        b.iter(|| {
+            let f = rng.u64_below(200_000);
+            let dets = det.detect(f);
+            black_box(disc.observe(f, &dets))
+        })
+    });
+}
+
+fn bench_optimal_solver(c: &mut Criterion) {
+    let gt = DatasetSpec::single_class(
+        1_000_000,
+        ClassSpec::new("car", 2_000, 700.0, SkewSpec::CentralNormal { frac95: 1.0 / 32.0 }),
+    )
+    .generate(12);
+    let probs = ChunkProbs::build(&gt, ClassId(0), &Chunking::even(1_000_000, 128));
+    c.bench_function("optimal/solve_eq_iv1", |b| {
+        b.iter(|| black_box(optimal_weights(&probs, 10_000, SolveOpts::default())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gamma_sampling,
+    bench_thompson_step,
+    bench_belief_draw,
+    bench_within_samplers,
+    bench_interval_stab,
+    bench_container_reads,
+    bench_detector_and_tracker,
+    bench_optimal_solver,
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! One Criterion bench per paper table/figure, at reduced scale (the
+//! full-scale regenerators are the `--bin` targets of this crate). These
+//! track the end-to-end cost of each experiment pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use exsample_experiments::{ablate, coverage, fig2, fig3, fig4, fig5, table1};
+use exsample_videosim::SkewSpec;
+use std::sync::Arc;
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = fig2::Fig2Config {
+        instances: 300,
+        runs: 100,
+        checkpoints: vec![100, 5_000],
+        n1_tolerance: 3,
+        seed: 1,
+    };
+    c.bench_function("paper/fig2_estimator_validation", |b| {
+        b.iter(|| black_box(fig2::run(&cfg)))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = fig3::Fig3Config {
+        frames: 100_000,
+        instances: 200,
+        chunks: 16,
+        runs: 3,
+        max_samples: 5_000,
+        targets: vec![10, 100],
+        durations: vec![40.0],
+        skews: vec![("1/32".into(), SkewSpec::CentralNormal { frac95: 1.0 / 32.0 })],
+        seed: 2,
+    };
+    c.bench_function("paper/fig3_grid_cell", |b| {
+        b.iter(|| black_box(fig3::run_cell(&cfg, 0, 0)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = fig4::Fig4Config {
+        frames: 100_000,
+        instances: 200,
+        mean_duration: 40.0,
+        skew: SkewSpec::CentralNormal { frac95: 1.0 / 32.0 },
+        chunk_counts: vec![4, 16],
+        runs: 3,
+        max_samples: 5_000,
+        seed: 3,
+    };
+    c.bench_function("paper/fig4_chunk_sweep", |b| b.iter(|| black_box(fig4::run(&cfg))));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let ds = exsample_experiments::presets::dataset("BDD MOT").unwrap();
+    let gt = Arc::new(ds.dataset_spec().generate(4));
+    let ci = ds.class_index("car").unwrap();
+    let cfg = table1::EvalConfig { runs: 2, max_samples: 20_000, seed: 5 };
+    c.bench_function("paper/table1_single_query", |b| {
+        b.iter(|| black_box(table1::evaluate_query(&gt, &ds, ci, &cfg)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // Panel construction / summary over synthetic evals (the measurement
+    // itself is the table1 bench).
+    let evals: Vec<table1::QueryEval> = (0..43)
+        .map(|i| table1::QueryEval {
+            dataset: format!("d{}", i % 6),
+            class: format!("c{i}"),
+            count: 100,
+            proxy_scan_s: 1000.0,
+            targets: [10, 50, 90],
+            exsample_s: [Some(10.0 + i as f64), Some(50.0), Some(90.0)],
+            random_s: [Some(20.0 + i as f64), Some(80.0), Some(120.0)],
+        })
+        .collect();
+    c.bench_function("paper/fig5_panels_and_summary", |b| {
+        b.iter(|| {
+            let p = fig5::panels(&evals);
+            black_box(fig5::summary(&p))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    use exsample_core::Chunking;
+    use exsample_optimal::{chunk_instance_counts, skew_metric};
+    use exsample_videosim::{ClassId, ClassSpec, DatasetSpec};
+    let gt = DatasetSpec::single_class(
+        1_000_000,
+        ClassSpec::new("bicycle", 2_000, 300.0, SkewSpec::HotSpots {
+            spots: 2,
+            mass: 0.85,
+            width_frac: 0.01,
+        }),
+    )
+    .generate(6);
+    let chunking = Chunking::even(1_000_000, 60);
+    c.bench_function("paper/fig6_skew_metric", |b| {
+        b.iter(|| {
+            let counts = chunk_instance_counts(&gt, ClassId(0), &chunking);
+            black_box(skew_metric(&counts))
+        })
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    use exsample_videosim::{ClassId, ClassSpec, DatasetSpec};
+    let gt = DatasetSpec::single_class(
+        100_000,
+        ClassSpec::new("car", 300, 120.0, SkewSpec::Uniform),
+    )
+    .generate(7);
+    let cfg = coverage::CoverageConfig { runs: 3, samples: 4_000, checkpoints: 6, seed: 8 };
+    c.bench_function("paper/coverage_check", |b| {
+        b.iter(|| black_box(coverage::class_coverage(&gt, ClassId(0), &cfg)))
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    use exsample_core::exsample::ExSampleConfig;
+    let w = ablate::AblationWorkload {
+        gt: Arc::new(
+            exsample_videosim::DatasetSpec::single_class(
+                100_000,
+                exsample_videosim::ClassSpec::new(
+                    "object",
+                    200,
+                    40.0,
+                    SkewSpec::CentralNormal { frac95: 1.0 / 16.0 },
+                ),
+            )
+            .generate(9),
+        ),
+        chunking: exsample_core::Chunking::even(100_000, 16),
+        target: 100,
+        runs: 3,
+        max_samples: 10_000,
+        seed: 10,
+    };
+    c.bench_function("paper/ablation_measure", |b| {
+        b.iter(|| black_box(w.measure(ExSampleConfig::default())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_table1, bench_fig5,
+              bench_fig6, bench_coverage, bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Design ablations (DESIGN.md): prior pseudo-counts, chunk selector,
+//! within-chunk order, and batched Thompson sampling.
+
+use exsample_bench::results_dir;
+use exsample_experiments::{ablate, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("ablate: shared skewed workload ({scale:?}) …");
+    let t0 = std::time::Instant::now();
+    let w = ablate::AblationWorkload::at_scale(scale);
+
+    println!("\n# Ablation: prior pseudo-counts (α0, β0)\n");
+    let prior = ablate::prior_table(&w);
+    println!("{}", prior.to_markdown());
+    prior.write_csv(results_dir().join("ablate_prior.csv")).expect("write CSV");
+
+    println!("\n# Ablation: chunk selector\n");
+    let sel = ablate::selector_table(&w);
+    println!("{}", sel.to_markdown());
+    sel.write_csv(results_dir().join("ablate_selector.csv")).expect("write CSV");
+
+    println!("\n# Ablation: within-chunk order\n");
+    let within = ablate::within_table(&w);
+    println!("{}", within.to_markdown());
+    within.write_csv(results_dir().join("ablate_within.csv")).expect("write CSV");
+
+    println!("\n# Ablation: batched Thompson sampling\n");
+    let batch = ablate::batch_table(&w);
+    println!("{}", batch.to_markdown());
+    batch.write_csv(results_dir().join("ablate_batch.csv")).expect("write CSV");
+
+    println!("\n# Ablation: §VII fusion (scored within-chunk order)\n");
+    let fusion = ablate::fusion_table(&w, 0.9);
+    println!("{}", fusion.to_markdown());
+    fusion.write_csv(results_dir().join("ablate_fusion.csv")).expect("write CSV");
+
+    println!(
+        "Reading: performance is insensitive to the prior and to Thompson\n\
+         vs Bayes-UCB (paper §III-C); greedy can stall on early luck;\n\
+         random+ inside chunks helps modestly; batching trades a small\n\
+         sample efficiency loss for GPU throughput; fusing proxy scores\n\
+         into the within-chunk order cuts samples further but re-imports\n\
+         the scoring scan the paper's future work wants to avoid."
+    );
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

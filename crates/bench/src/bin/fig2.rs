@@ -1,0 +1,29 @@
+//! Regenerates Figure 2: the Gamma belief vs the true distribution of
+//! `R(n+1)` conditioned on observed `(n, N1)` pairs.
+
+use exsample_bench::results_dir;
+use exsample_experiments::{fig2, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let config = fig2::Fig2Config::at_scale(scale);
+    eprintln!(
+        "fig2: {} instances, {} runs, checkpoints {:?} ({scale:?})",
+        config.instances, config.runs, config.checkpoints
+    );
+    let t0 = std::time::Instant::now();
+    let cells = fig2::run(&config);
+    let table = fig2::to_table(&cells);
+    println!("\n# Figure 2 — estimates, real values and the Gamma belief\n");
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: at mid-range n the belief mean tracks the actual mean and\n\
+         the one-sided Gamma matches the histogram; at small n the belief is\n\
+         deliberately wider (over-dispersed); at N1=0 the alpha0 prior keeps\n\
+         Thompson sampling alive."
+    );
+    let out = results_dir().join("fig2.csv");
+    table.write_csv(&out).expect("write CSV");
+    eprintln!("wrote {} ({:.1}s)", out.display(), t0.elapsed().as_secs_f64());
+}

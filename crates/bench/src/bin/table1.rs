@@ -1,0 +1,56 @@
+//! Regenerates Table I: per dataset/class, the proxy model's mandatory
+//! full-scan time vs the time ExSample needs to reach 10/50/90% of all
+//! distinct instances.
+
+use exsample_bench::results_dir;
+use exsample_experiments::report::{fmt_hms, Table};
+use exsample_experiments::{table1, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("table1: evaluating 43 queries over 6 datasets ({scale:?}) …");
+    let t0 = std::time::Instant::now();
+    let evals = table1::evaluate_all(scale);
+    println!("\n# Table I — proxy scanning vs ExSample sampling\n");
+    println!("{}", table1::to_table(&evals).to_markdown());
+    let violations = table1::violations(&evals);
+    println!(
+        "Queries reaching 90% recall before the proxy scan finishes: {}/{}",
+        evals.len() - violations.len(),
+        evals.len()
+    );
+    for v in &violations {
+        println!(
+            "  violation: {}/{} t90={} scan={}",
+            v.dataset,
+            v.class,
+            v.exsample_s[2].map(fmt_hms).unwrap_or_else(|| "unreached".into()),
+            fmt_hms(v.proxy_scan_s)
+        );
+    }
+
+    // Full evaluation dump (also consumed as the Figure 5 input).
+    let mut dump = Table::new(&[
+        "dataset", "class", "count", "proxy_scan_s",
+        "ex_t10_s", "ex_t50_s", "ex_t90_s", "rnd_t10_s", "rnd_t50_s", "rnd_t90_s",
+    ]);
+    let f = |x: &Option<f64>| x.map(|v| format!("{v:.1}")).unwrap_or_else(|| "".into());
+    for e in &evals {
+        dump.row(vec![
+            e.dataset.clone(),
+            e.class.clone(),
+            e.count.to_string(),
+            format!("{:.1}", e.proxy_scan_s),
+            f(&e.exsample_s[0]),
+            f(&e.exsample_s[1]),
+            f(&e.exsample_s[2]),
+            f(&e.random_s[0]),
+            f(&e.random_s[1]),
+            f(&e.random_s[2]),
+        ]);
+    }
+    let out = results_dir().join("table1_evals.csv");
+    dump.write_csv(&out).expect("write CSV");
+    eprintln!("wrote {} ({:.1}s)", out.display(), t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: per-step cost of the ExSample sampler as a function of the
+//! chunk count, exercising the grouped max-Gamma scoring path.
+//!
+//! ```text
+//! cargo run --release -p exsample-core --example steptime
+//! ```
+
+use exsample_core::{exsample::*, policy::SamplingPolicy, Chunking, Feedback};
+use exsample_stats::Rng64;
+
+fn main() {
+    for m in [60usize, 128, 1024, 1600] {
+        let mut p = ExSample::new(Chunking::even(16_000_000, m), ExSampleConfig::default());
+        let mut rng = Rng64::new(1);
+        let t = std::time::Instant::now();
+        let steps = 50_000;
+        for _ in 0..steps {
+            let f = p.next_frame(&mut rng).expect("frames remain");
+            p.feedback(f, Feedback::NONE);
+        }
+        println!(
+            "M={m}: {:.2} us/step",
+            t.elapsed().as_secs_f64() * 1e6 / steps as f64
+        );
+    }
+}

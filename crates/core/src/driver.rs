@@ -1,0 +1,316 @@
+//! The search driver — Algorithm 1's outer loop, policy-agnostic.
+//!
+//! `run_search` repeatedly asks a [`SamplingPolicy`] for a frame, hands it
+//! to an oracle (detector + discriminator bundle), feeds the outcome back,
+//! and records a [`SearchTrace`]: the `(samples, found, seconds)` curve
+//! that every figure and table of the evaluation is computed from.
+
+use crate::policy::{Feedback, SamplingPolicy};
+use crate::FrameIdx;
+use exsample_stats::Rng64;
+
+/// Linear cost model for a search: optional upfront seconds (e.g. a proxy
+/// model's full scoring scan) plus constant seconds per processed frame
+/// (detector + random-access decode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchCost {
+    /// Charged before the first sample (BlazeIt-style scoring scans).
+    pub upfront_s: f64,
+    /// Charged per processed frame (the paper measures ≈ 1/20 s: detector
+    /// bound).
+    pub per_sample_s: f64,
+}
+
+impl SearchCost {
+    /// Cost with no upfront component.
+    pub fn per_sample(per_sample_s: f64) -> Self {
+        SearchCost { upfront_s: 0.0, per_sample_s }
+    }
+
+    /// Seconds elapsed after `samples` frames.
+    pub fn seconds(&self, samples: u64) -> f64 {
+        self.upfront_s + samples as f64 * self.per_sample_s
+    }
+}
+
+/// When to stop a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StopCond {
+    /// Stop once this many distinct results were found (the query's
+    /// `LIMIT` clause).
+    pub max_results: Option<u64>,
+    /// Stop after this many processed frames.
+    pub max_samples: Option<u64>,
+    /// Stop once the cost model says this much time has elapsed.
+    pub max_seconds: Option<f64>,
+}
+
+impl StopCond {
+    /// Stop at a result limit.
+    pub fn results(limit: u64) -> Self {
+        StopCond { max_results: Some(limit), ..Default::default() }
+    }
+
+    /// Stop at a sample budget.
+    pub fn samples(budget: u64) -> Self {
+        StopCond { max_samples: Some(budget), ..Default::default() }
+    }
+
+    /// Stop at a time budget.
+    pub fn seconds(budget: f64) -> Self {
+        StopCond { max_seconds: Some(budget), ..Default::default() }
+    }
+
+    /// Combine with a sample budget.
+    pub fn or_samples(mut self, budget: u64) -> Self {
+        self.max_samples = Some(budget);
+        self
+    }
+
+    fn done(&self, found: u64, samples: u64, seconds: f64) -> bool {
+        self.max_results.is_some_and(|r| found >= r)
+            || self.max_samples.is_some_and(|s| samples >= s)
+            || self.max_seconds.is_some_and(|t| seconds >= t)
+    }
+}
+
+/// One point on the discovery curve, recorded whenever `found` increases
+/// (plus one final point at termination).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Frames processed so far.
+    pub samples: u64,
+    /// Distinct results found so far.
+    pub found: u64,
+    /// Modelled elapsed seconds.
+    pub seconds: f64,
+}
+
+/// The recorded outcome of one search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchTrace {
+    points: Vec<TracePoint>,
+    samples: u64,
+    found: u64,
+    seconds: f64,
+    exhausted: bool,
+}
+
+impl SearchTrace {
+    /// Discovery-curve points (monotone in samples and found).
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Total frames processed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total distinct results found.
+    pub fn found(&self) -> u64 {
+        self.found
+    }
+
+    /// Total modelled seconds (including any upfront cost).
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// True if the policy ran out of frames before the stop condition hit.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Samples needed to reach `target` results, if reached.
+    pub fn samples_to_results(&self, target: u64) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.found >= target)
+            .map(|p| p.samples)
+    }
+
+    /// Seconds needed to reach `target` results, if reached.
+    pub fn seconds_to_results(&self, target: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.found >= target)
+            .map(|p| p.seconds)
+    }
+
+    /// Results found within the first `samples` frames.
+    pub fn found_at_samples(&self, samples: u64) -> u64 {
+        self.points
+            .iter()
+            .take_while(|p| p.samples <= samples)
+            .map(|p| p.found)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Run a search to completion under a stop condition.
+///
+/// The `oracle` maps a frame index to the discriminator outcome for that
+/// frame ([`Feedback`]); it is also where callers count what was actually
+/// found (the driver trusts `fb.new_results`).
+pub fn run_search<O>(
+    policy: &mut dyn SamplingPolicy,
+    oracle: &mut O,
+    cost: &SearchCost,
+    stop: &StopCond,
+    rng: &mut Rng64,
+) -> SearchTrace
+where
+    O: FnMut(FrameIdx) -> Feedback,
+{
+    let mut trace = SearchTrace {
+        points: Vec::new(),
+        samples: 0,
+        found: 0,
+        seconds: cost.seconds(0),
+        exhausted: false,
+    };
+    if stop.done(0, 0, trace.seconds) {
+        trace.points.push(TracePoint { samples: 0, found: 0, seconds: trace.seconds });
+        return trace;
+    }
+    loop {
+        let Some(frame) = policy.next_frame(rng) else {
+            trace.exhausted = true;
+            break;
+        };
+        let fb = oracle(frame);
+        policy.feedback(frame, fb);
+        trace.samples += 1;
+        trace.seconds = cost.seconds(trace.samples);
+        if fb.new_results > 0 {
+            trace.found += fb.new_results as u64;
+            trace.points.push(TracePoint {
+                samples: trace.samples,
+                found: trace.found,
+                seconds: trace.seconds,
+            });
+        }
+        if stop.done(trace.found, trace.samples, trace.seconds) {
+            break;
+        }
+    }
+    trace.points.push(TracePoint {
+        samples: trace.samples,
+        found: trace.found,
+        seconds: trace.seconds,
+    });
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunking::Chunking;
+    use crate::exsample::{ExSample, ExSampleConfig};
+
+    fn policy() -> ExSample {
+        ExSample::new(Chunking::even(1000, 10), ExSampleConfig::default())
+    }
+
+    #[test]
+    fn stops_at_result_limit() {
+        let mut p = policy();
+        let mut rng = Rng64::new(80);
+        let mut oracle = |f: u64| {
+            if f.is_multiple_of(10) {
+                Feedback::new(1, 0)
+            } else {
+                Feedback::NONE
+            }
+        };
+        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(0.05), &StopCond::results(5), &mut rng);
+        assert_eq!(t.found(), 5);
+        assert!(!t.exhausted());
+        assert_eq!(t.seconds(), t.samples() as f64 * 0.05);
+        assert_eq!(t.samples_to_results(5), Some(t.samples()));
+    }
+
+    #[test]
+    fn stops_at_sample_budget() {
+        let mut p = policy();
+        let mut rng = Rng64::new(81);
+        let mut oracle = |_f: u64| Feedback::NONE;
+        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(1.0), &StopCond::samples(17), &mut rng);
+        assert_eq!(t.samples(), 17);
+        assert_eq!(t.found(), 0);
+    }
+
+    #[test]
+    fn stops_at_time_budget_with_upfront_cost() {
+        // Upfront cost alone exceeds the budget: zero samples taken. This
+        // is exactly the proxy-scan pathology of Table I.
+        let mut p = policy();
+        let mut rng = Rng64::new(82);
+        let mut oracle = |_f: u64| Feedback::new(1, 0);
+        let cost = SearchCost { upfront_s: 100.0, per_sample_s: 0.05 };
+        let t = run_search(&mut p, &mut oracle, &cost, &StopCond::seconds(50.0), &mut rng);
+        assert_eq!(t.samples(), 0);
+        assert_eq!(t.found(), 0);
+        assert_eq!(t.seconds(), 100.0);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut p = ExSample::new(Chunking::even(50, 5), ExSampleConfig::default());
+        let mut rng = Rng64::new(83);
+        let mut oracle = |_f: u64| Feedback::NONE;
+        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(1.0), &StopCond::results(1), &mut rng);
+        assert!(t.exhausted());
+        assert_eq!(t.samples(), 50);
+    }
+
+    #[test]
+    fn trace_points_are_monotone() {
+        let mut p = policy();
+        let mut rng = Rng64::new(84);
+        let mut oracle = |f: u64| {
+            if f.is_multiple_of(7) {
+                Feedback::new(1, 0)
+            } else {
+                Feedback::NONE
+            }
+        };
+        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(0.01), &StopCond::results(30), &mut rng);
+        for w in t.points().windows(2) {
+            assert!(w[0].samples <= w[1].samples);
+            assert!(w[0].found <= w[1].found);
+            assert!(w[0].seconds <= w[1].seconds);
+        }
+        assert_eq!(t.points().last().unwrap().found, t.found());
+    }
+
+    #[test]
+    fn found_at_samples_interpolates() {
+        let mut p = policy();
+        let mut rng = Rng64::new(85);
+        let mut oracle = |f: u64| {
+            if f.is_multiple_of(3) {
+                Feedback::new(1, 0)
+            } else {
+                Feedback::NONE
+            }
+        };
+        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(0.01), &StopCond::samples(100), &mut rng);
+        assert_eq!(t.found_at_samples(t.samples()), t.found());
+        assert!(t.found_at_samples(10) <= t.found());
+        assert_eq!(t.found_at_samples(0), 0);
+    }
+
+    #[test]
+    fn multiple_results_per_frame_counted() {
+        let mut p = policy();
+        let mut rng = Rng64::new(86);
+        let mut oracle = |_f: u64| Feedback::new(3, 0);
+        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(1.0), &StopCond::results(7), &mut rng);
+        // 3 per frame: reaches >= 7 after 3 frames (9 found).
+        assert_eq!(t.samples(), 3);
+        assert_eq!(t.found(), 9);
+    }
+}

@@ -1,0 +1,561 @@
+//! The ExSample policy: Thompson sampling over per-chunk Good–Turing
+//! beliefs (paper Algorithm 1).
+//!
+//! # Scaling to thousands of chunks
+//!
+//! A naive Thompson step draws one Gamma sample per chunk — 1600 draws per
+//! processed frame on BDD-MOT-style per-clip chunkings, which dominates
+//! the sampler's own cost. This implementation exploits that chunks with
+//! identical statistics `(N1, n)` have *i.i.d.* beliefs: they are grouped,
+//! and for a group of size `k` the maximum of `k` i.i.d. draws is sampled
+//! directly as `F⁻¹(U^(1/k))` with a single Gamma-quantile evaluation; the
+//! winning chunk is then chosen uniformly within its group (exact by
+//! exchangeability). Early in a search all `M` chunks share the state
+//! `(0, 0)`, so a step costs one quantile instead of `M` draws; the cost
+//! grows only with the number of *distinct* chunk states.
+
+use crate::belief::{BeliefPrior, ChunkStats, Selector};
+use crate::chunking::Chunking;
+use crate::policy::{Feedback, SamplingPolicy};
+use crate::within::{WithinKind, WithinSampler};
+use crate::FrameIdx;
+use exsample_stats::dist::Continuous;
+use exsample_stats::{FxHashMap, Rng64};
+
+/// Tunable parameters of [`ExSample`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExSampleConfig {
+    /// Gamma prior pseudo-counts (α0, β0). Paper default `(0.1, 1)`.
+    pub prior: BeliefPrior,
+    /// Chunk-selection rule. Paper default Thompson sampling.
+    pub selector: Selector,
+    /// Within-chunk frame order. Paper default random+ (stratified).
+    pub within: WithinKind,
+}
+
+impl Default for ExSampleConfig {
+    fn default() -> Self {
+        ExSampleConfig {
+            prior: BeliefPrior::default(),
+            selector: Selector::Thompson,
+            within: WithinKind::Stratified,
+        }
+    }
+}
+
+/// Sentinel group id for chunks that have been retired (exhausted).
+const RETIRED: u32 = u32::MAX;
+
+/// Chunks grouped by identical `(N1, n)` statistics.
+///
+/// Maintained incrementally: a feedback event moves exactly one chunk
+/// between groups; exhaustion removes it. Group membership uses
+/// swap-remove with back-pointers, so every operation is O(1).
+#[derive(Debug, Clone)]
+struct ChunkGroups {
+    /// State key -> group id.
+    map: FxHashMap<(u64, u64), u32>,
+    /// Group id -> member chunk ids (unordered).
+    members: Vec<Vec<u32>>,
+    /// Group id -> state key (for map cleanup).
+    keys: Vec<(u64, u64)>,
+    /// Chunk id -> (group id, index within the group), or RETIRED.
+    slot: Vec<(u32, u32)>,
+    /// Recycled group ids.
+    free: Vec<u32>,
+    /// Number of non-retired chunks.
+    active: usize,
+}
+
+impl ChunkGroups {
+    fn state_key(s: &ChunkStats) -> (u64, u64) {
+        (s.n1.to_bits(), s.n)
+    }
+
+    fn new(m: usize) -> Self {
+        let mut g = ChunkGroups {
+            map: FxHashMap::default(),
+            members: vec![(0..m as u32).collect()],
+            keys: vec![Self::state_key(&ChunkStats::default())],
+            slot: (0..m as u32).map(|i| (0u32, i)).collect(),
+            free: Vec::new(),
+            active: m,
+        };
+        g.map.insert(g.keys[0], 0);
+        g
+    }
+
+    /// Detach a chunk from its current group (does not change `active`).
+    fn detach(&mut self, chunk: u32) {
+        let (gid, idx) = self.slot[chunk as usize];
+        debug_assert_ne!(gid, RETIRED, "chunk already retired");
+        let members = &mut self.members[gid as usize];
+        members.swap_remove(idx as usize);
+        if let Some(&moved) = members.get(idx as usize) {
+            self.slot[moved as usize].1 = idx;
+        }
+        if members.is_empty() {
+            self.map.remove(&self.keys[gid as usize]);
+            self.free.push(gid);
+        }
+    }
+
+    /// Attach a chunk to the group for `key`, creating it if necessary.
+    fn attach(&mut self, chunk: u32, key: (u64, u64)) {
+        let gid = match self.map.get(&key) {
+            Some(&gid) => gid,
+            None => {
+                let gid = match self.free.pop() {
+                    Some(gid) => {
+                        self.keys[gid as usize] = key;
+                        gid
+                    }
+                    None => {
+                        self.members.push(Vec::new());
+                        self.keys.push(key);
+                        (self.members.len() - 1) as u32
+                    }
+                };
+                self.map.insert(key, gid);
+                gid
+            }
+        };
+        let members = &mut self.members[gid as usize];
+        members.push(chunk);
+        self.slot[chunk as usize] = (gid, (members.len() - 1) as u32);
+    }
+
+    /// Move a chunk to the group matching its new statistics. No-op for
+    /// retired chunks.
+    fn update(&mut self, chunk: u32, stats: &ChunkStats) {
+        if self.slot[chunk as usize].0 == RETIRED {
+            return;
+        }
+        let key = Self::state_key(stats);
+        if self.keys[self.slot[chunk as usize].0 as usize] == key {
+            return;
+        }
+        self.detach(chunk);
+        self.attach(chunk, key);
+    }
+
+    /// Permanently remove an exhausted chunk.
+    fn retire(&mut self, chunk: u32) {
+        if self.slot[chunk as usize].0 == RETIRED {
+            return;
+        }
+        self.detach(chunk);
+        self.slot[chunk as usize] = (RETIRED, 0);
+        self.active -= 1;
+    }
+}
+
+/// The adaptive chunk-based sampler.
+///
+/// Maintains `(N1_j, n_j)` per chunk; each [`SamplingPolicy::next_frame`]
+/// call scores every non-exhausted chunk group, picks the argmax, and
+/// draws a frame from that chunk's without-replacement random+ stream.
+/// [`SamplingPolicy::feedback`] routes `(|d0|, |d1|)` to the sampled
+/// chunk's statistics.
+#[derive(Debug, Clone)]
+pub struct ExSample {
+    chunking: Chunking,
+    config: ExSampleConfig,
+    stats: Vec<ChunkStats>,
+    within: Vec<WithinSampler>,
+    groups: ChunkGroups,
+    /// Total frames handed out (the global step counter `n`).
+    steps: u64,
+}
+
+/// Group size above which the Thompson max is drawn via a single quantile
+/// evaluation instead of individual samples. A Gamma quantile costs about
+/// as much as ~30 Marsaglia–Tsang draws, so this is the break-even with
+/// margin.
+const GROUP_MAX_THRESHOLD: usize = 24;
+
+impl ExSample {
+    /// Create a sampler over the given chunking.
+    pub fn new(chunking: Chunking, config: ExSampleConfig) -> Self {
+        let m = chunking.num_chunks();
+        let within = (0..m)
+            .map(|j| WithinSampler::new(config.within, chunking.range(j)))
+            .collect();
+        Self::from_parts(chunking, config, within)
+    }
+
+    /// Create a sampler with custom within-chunk streams — used by the
+    /// §VII *fusion* variant ([`ExSample::fused`]) and available for
+    /// experimentation with other orders.
+    ///
+    /// # Panics
+    /// Panics if the number of samplers differs from the chunk count.
+    pub fn from_parts(
+        chunking: Chunking,
+        config: ExSampleConfig,
+        within: Vec<WithinSampler>,
+    ) -> Self {
+        let m = chunking.num_chunks();
+        assert_eq!(within.len(), m, "one within-chunk sampler per chunk");
+        ExSample {
+            chunking,
+            config,
+            stats: vec![ChunkStats::default(); m],
+            within,
+            groups: ChunkGroups::new(m),
+            steps: 0,
+        }
+    }
+
+    /// The §VII fusion variant: adaptive (Thompson) chunk selection with
+    /// *score-descending* order inside each chunk. `scores` is a global
+    /// per-frame score table (e.g. from a proxy model); callers decide how
+    /// to account for the cost of producing it.
+    pub fn fused(
+        chunking: Chunking,
+        config: ExSampleConfig,
+        scores: &std::sync::Arc<Vec<f32>>,
+    ) -> Self {
+        let within = (0..chunking.num_chunks())
+            .map(|j| {
+                WithinSampler::Scored(crate::within::ScoredWithin::new(
+                    scores,
+                    chunking.range(j),
+                ))
+            })
+            .collect();
+        Self::from_parts(chunking, config, within)
+    }
+
+    /// The chunk partition this sampler operates on.
+    pub fn chunking(&self) -> &Chunking {
+        &self.chunking
+    }
+
+    /// Per-chunk statistics (index = chunk id).
+    pub fn chunk_stats(&self) -> &[ChunkStats] {
+        &self.stats
+    }
+
+    /// Total frames handed out so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of chunks that still have frames left.
+    pub fn active_chunks(&self) -> usize {
+        self.groups.active
+    }
+
+    /// The de-facto sampling weights `n_j / n` ExSample has realized so
+    /// far — comparable against the optimal offline weights of Eq. IV.1.
+    pub fn realized_weights(&self) -> Vec<f64> {
+        let n: u64 = self.stats.iter().map(|s| s.n).sum();
+        if n == 0 {
+            vec![1.0 / self.stats.len() as f64; self.stats.len()]
+        } else {
+            self.stats.iter().map(|s| s.n as f64 / n as f64).collect()
+        }
+    }
+
+    /// Score all chunk groups and return the winning chunk id.
+    fn pick_chunk(&mut self, rng: &mut Rng64) -> Option<u32> {
+        if self.groups.active == 0 {
+            return None;
+        }
+        let prior = &self.config.prior;
+        let selector = self.config.selector;
+        let mut best_score = f64::NEG_INFINITY;
+        // Winner: either a concrete chunk (small Thompson groups track
+        // their argmax) or "uniform member of group g" (quantile path and
+        // deterministic selectors).
+        let mut best: Option<(u32, bool)> = None; // (gid-or-chunk, is_chunk)
+        for (gid, members) in self.groups.members.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let key = self.groups.keys[gid];
+            let stats = ChunkStats { n1: f64::from_bits(key.0), n: key.1 };
+            let k = members.len();
+            match selector {
+                Selector::Thompson => {
+                    if k >= GROUP_MAX_THRESHOLD {
+                        // Max of k iid draws via one quantile evaluation.
+                        let u = rng.f64_open().powf(1.0 / k as f64).min(1.0 - 1e-12);
+                        let s = prior.belief(&stats).inv_cdf(u);
+                        if s > best_score {
+                            best_score = s;
+                            best = Some((gid as u32, false));
+                        }
+                    } else {
+                        for &chunk in members {
+                            let s = prior.thompson_draw(&stats, rng);
+                            if s > best_score {
+                                best_score = s;
+                                best = Some((chunk, true));
+                            }
+                        }
+                    }
+                }
+                Selector::BayesUcb | Selector::Greedy => {
+                    // Deterministic within a group: score once.
+                    let s = selector.score(prior, &stats, self.steps, rng);
+                    if s > best_score {
+                        best_score = s;
+                        best = Some((gid as u32, false));
+                    }
+                }
+            }
+        }
+        best.map(|(id, is_chunk)| {
+            if is_chunk {
+                id
+            } else {
+                *rng.choose(&self.groups.members[id as usize])
+            }
+        })
+    }
+}
+
+impl SamplingPolicy for ExSample {
+    fn next_frame(&mut self, rng: &mut Rng64) -> Option<FrameIdx> {
+        loop {
+            let j = self.pick_chunk(rng)?;
+            match self.within[j as usize].draw(rng) {
+                Some(frame) => {
+                    self.steps += 1;
+                    // Retire eagerly once the last frame is handed out so
+                    // future picks never select an empty chunk.
+                    if self.within[j as usize].remaining() == 0 {
+                        self.groups.retire(j);
+                    }
+                    return Some(frame);
+                }
+                None => self.groups.retire(j),
+            }
+        }
+    }
+
+    fn feedback(&mut self, frame: FrameIdx, fb: Feedback) {
+        let j = self.chunking.chunk_of(frame);
+        self.stats[j].update(fb.new_results, fb.matched_once);
+        self.groups.update(j as u32, &self.stats[j]);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "exsample(M={},{},{})",
+            self.chunking.num_chunks(),
+            self.config.selector.name(),
+            self.config.within.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::Selector;
+
+    fn run_policy(policy: &mut ExSample, oracle: impl Fn(u64) -> Feedback, n: usize, seed: u64) {
+        let mut rng = Rng64::new(seed);
+        for _ in 0..n {
+            let Some(f) = policy.next_frame(&mut rng) else { break };
+            policy.feedback(f, oracle(f));
+        }
+    }
+
+    #[test]
+    fn fused_variant_prioritizes_high_scores_within_chunks() {
+        // Scores increase with the frame id inside each chunk; the fused
+        // sampler must emit each chunk's frames in descending order.
+        let scores = std::sync::Arc::new((0..100).map(|i| (i % 25) as f32).collect::<Vec<_>>());
+        let mut p = ExSample::fused(
+            Chunking::even(100, 4),
+            ExSampleConfig::default(),
+            &scores,
+        );
+        let mut rng = Rng64::new(69);
+        let mut last_in_chunk = [f32::INFINITY; 4];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(f) = p.next_frame(&mut rng) {
+            assert!(seen.insert(f));
+            let chunk = (f / 25) as usize;
+            let score = scores[f as usize];
+            assert!(
+                score <= last_in_chunk[chunk],
+                "chunk {chunk} emitted score {score} after {}",
+                last_in_chunk[chunk]
+            );
+            last_in_chunk[chunk] = score;
+            p.feedback(f, Feedback::NONE);
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn never_repeats_and_exhausts() {
+        let mut p = ExSample::new(Chunking::even(500, 5), ExSampleConfig::default());
+        let mut rng = Rng64::new(70);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(f) = p.next_frame(&mut rng) {
+            assert!(f < 500);
+            assert!(seen.insert(f), "repeated frame {f}");
+            p.feedback(f, Feedback::NONE);
+        }
+        assert_eq!(seen.len(), 500);
+        assert_eq!(p.next_frame(&mut rng), None);
+        assert_eq!(p.active_chunks(), 0);
+    }
+
+    #[test]
+    fn concentrates_sampling_on_rewarding_chunk() {
+        // Frames 0..100 are chunk 0 and pay off every time; the other nine
+        // chunks never do. After a burn-in, chunk 0 must dominate.
+        let mut p = ExSample::new(Chunking::even(1000, 10), ExSampleConfig::default());
+        run_policy(
+            &mut p,
+            |f| {
+                if f < 100 {
+                    Feedback::new(1, 0)
+                } else {
+                    Feedback::NONE
+                }
+            },
+            80, // chunk 0 has 100 frames; stop before exhausting it
+            71,
+        );
+        let n0 = p.chunk_stats()[0].n;
+        let rest: u64 = p.chunk_stats()[1..].iter().map(|s| s.n).sum();
+        assert!(n0 > rest, "n0={n0} rest={rest}");
+        let w = p.realized_weights();
+        assert!(w[0] > 0.5, "weights={w:?}");
+    }
+
+    #[test]
+    fn uniform_when_no_reward_anywhere() {
+        let mut p = ExSample::new(Chunking::even(4000, 4), ExSampleConfig::default());
+        run_policy(&mut p, |_| Feedback::NONE, 2000, 72);
+        for s in p.chunk_stats() {
+            // Each chunk ~500 of 2000 samples; allow generous slack.
+            assert!((300..700).contains(&s.n), "stats={:?}", p.chunk_stats());
+        }
+    }
+
+    #[test]
+    fn grouped_path_matches_individual_path_statistically() {
+        // Many identical chunks (quantile path) vs few (draw path): with no
+        // rewards both must allocate uniformly.
+        let mut p = ExSample::new(Chunking::even(6400, 64), ExSampleConfig::default());
+        run_policy(&mut p, |_| Feedback::NONE, 3200, 73);
+        let counts: Vec<u64> = p.chunk_stats().iter().map(|s| s.n).collect();
+        let mean = 3200.0 / 64.0;
+        for (j, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > mean * 0.3 && (c as f64) < mean * 2.5,
+                "chunk {j}: {c} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_routes_to_correct_chunk() {
+        let mut p = ExSample::new(Chunking::even(100, 4), ExSampleConfig::default());
+        p.feedback(10, Feedback::new(2, 0)); // chunk 0
+        p.feedback(30, Feedback::new(1, 1)); // chunk 1
+        p.feedback(99, Feedback::new(0, 1)); // chunk 3
+        assert_eq!(p.chunk_stats()[0].n1, 2.0);
+        assert_eq!(p.chunk_stats()[0].n, 1);
+        assert_eq!(p.chunk_stats()[1].n1, 0.0);
+        assert_eq!(p.chunk_stats()[2], ChunkStats::default());
+        assert_eq!(p.chunk_stats()[3].n, 1);
+    }
+
+    #[test]
+    fn batch_mode_draws_distinct_frames() {
+        let mut p = ExSample::new(Chunking::even(1000, 10), ExSampleConfig::default());
+        let mut rng = Rng64::new(73);
+        let mut out = Vec::new();
+        p.next_batch(64, &mut rng, &mut out);
+        assert_eq!(out.len(), 64);
+        let set: std::collections::HashSet<u64> = out.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn all_selectors_and_withins_work() {
+        for selector in [Selector::Thompson, Selector::BayesUcb, Selector::Greedy] {
+            for within in [WithinKind::Stratified, WithinKind::Random] {
+                let cfg = ExSampleConfig { prior: BeliefPrior::default(), selector, within };
+                let mut p = ExSample::new(Chunking::even(200, 4), cfg);
+                let mut rng = Rng64::new(74);
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..200 {
+                    let f = p.next_frame(&mut rng).expect("not exhausted yet");
+                    assert!(seen.insert(f));
+                    p.feedback(f, Feedback::NONE);
+                }
+                assert_eq!(p.next_frame(&mut rng), None, "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_is_just_within_sampler() {
+        let mut p = ExSample::new(Chunking::single(64), ExSampleConfig::default());
+        let mut rng = Rng64::new(75);
+        let mut n = 0;
+        while p.next_frame(&mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 64);
+    }
+
+    #[test]
+    fn name_reflects_config() {
+        let p = ExSample::new(Chunking::even(10, 2), ExSampleConfig::default());
+        assert_eq!(p.name(), "exsample(M=2,thompson,random+)");
+    }
+
+    #[test]
+    fn steps_counts_draws() {
+        let mut p = ExSample::new(Chunking::even(100, 2), ExSampleConfig::default());
+        let mut rng = Rng64::new(76);
+        for _ in 0..10 {
+            p.next_frame(&mut rng);
+        }
+        assert_eq!(p.steps(), 10);
+    }
+
+    #[test]
+    fn many_identical_chunks_still_explore_all() {
+        // With 100 chunks in one group, every chunk must eventually be
+        // sampled (the uniform-member selection must not starve anyone).
+        let mut p = ExSample::new(Chunking::even(10_000, 100), ExSampleConfig::default());
+        run_policy(&mut p, |_| Feedback::NONE, 2_000, 77);
+        let unsampled = p.chunk_stats().iter().filter(|s| s.n == 0).count();
+        assert_eq!(unsampled, 0, "{unsampled} chunks never sampled");
+    }
+
+    #[test]
+    fn feedback_after_retirement_is_safe() {
+        // Exhaust a tiny chunk, then feed back its last frame's outcome.
+        let mut p = ExSample::new(Chunking::from_bounds(vec![0, 2, 100]), ExSampleConfig::default());
+        let mut rng = Rng64::new(78);
+        let mut last_small = None;
+        for _ in 0..50 {
+            let f = p.next_frame(&mut rng).unwrap();
+            if f < 2 {
+                last_small = Some(f);
+            }
+            p.feedback(f, Feedback::NONE);
+        }
+        // Chunk 0 (2 frames) long exhausted; feedback again must not panic
+        // or corrupt groups.
+        if let Some(f) = last_small {
+            p.feedback(f, Feedback::new(1, 0));
+        }
+        while p.next_frame(&mut rng).is_some() {}
+        assert_eq!(p.active_chunks(), 0);
+    }
+}

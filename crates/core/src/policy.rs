@@ -1,0 +1,112 @@
+//! The sampling-policy abstraction shared by ExSample and all baselines.
+
+use crate::FrameIdx;
+use exsample_stats::Rng64;
+
+/// What a processed frame told us, from the discriminator's perspective
+/// (Algorithm 1, line 10): `d0` and `d1` set sizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Feedback {
+    /// `|d0|`: detections that matched no previous result — new distinct
+    /// objects.
+    pub new_results: u32,
+    /// `|d1|`: detections whose object had been seen exactly once before
+    /// (i.e. results leaving the `N1` pool).
+    pub matched_once: u32,
+}
+
+impl Feedback {
+    /// A frame that yielded nothing.
+    pub const NONE: Feedback = Feedback { new_results: 0, matched_once: 0 };
+
+    /// Convenience constructor.
+    pub fn new(new_results: u32, matched_once: u32) -> Self {
+        Feedback { new_results, matched_once }
+    }
+}
+
+/// A strategy for choosing which frame to process next.
+///
+/// Implementations must never return the same frame twice (sampling is
+/// without replacement) and must return `None` once the repository is
+/// exhausted.
+pub trait SamplingPolicy {
+    /// Choose the next frame to process.
+    fn next_frame(&mut self, rng: &mut Rng64) -> Option<FrameIdx>;
+
+    /// Report the outcome of processing `frame` back to the policy.
+    /// Adaptive policies update their per-chunk statistics here; static
+    /// policies ignore it.
+    fn feedback(&mut self, frame: FrameIdx, fb: Feedback);
+
+    /// Choose a batch of up to `batch` frames *before* seeing any of their
+    /// outcomes — the paper's batched-inference mode (§III-F). The default
+    /// draws sequentially without intermediate feedback, which matches the
+    /// paper's description of drawing `B` Thompson samples per chunk.
+    fn next_batch(&mut self, batch: usize, rng: &mut Rng64, out: &mut Vec<FrameIdx>) {
+        out.clear();
+        for _ in 0..batch {
+            match self.next_frame(rng) {
+                Some(f) => out.push(f),
+                None => break,
+            }
+        }
+    }
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic stub policy for exercising the default batch impl.
+    struct Counter {
+        next: u64,
+        limit: u64,
+        feedbacks: u32,
+    }
+
+    impl SamplingPolicy for Counter {
+        fn next_frame(&mut self, _rng: &mut Rng64) -> Option<FrameIdx> {
+            if self.next >= self.limit {
+                None
+            } else {
+                self.next += 1;
+                Some(self.next - 1)
+            }
+        }
+        fn feedback(&mut self, _frame: FrameIdx, fb: Feedback) {
+            self.feedbacks += fb.new_results;
+        }
+        fn name(&self) -> String {
+            "counter".into()
+        }
+    }
+
+    #[test]
+    fn default_batch_draws_sequentially() {
+        let mut p = Counter { next: 0, limit: 10, feedbacks: 0 };
+        let mut rng = Rng64::new(1);
+        let mut out = Vec::new();
+        p.next_batch(4, &mut rng, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        p.next_batch(100, &mut rng, &mut out);
+        assert_eq!(out, (4..10).collect::<Vec<_>>());
+        p.next_batch(3, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn feedback_reaches_policy() {
+        let mut p = Counter { next: 0, limit: 10, feedbacks: 0 };
+        p.feedback(0, Feedback::new(3, 1));
+        assert_eq!(p.feedbacks, 3);
+    }
+
+    #[test]
+    fn feedback_none_constant() {
+        assert_eq!(Feedback::NONE, Feedback::new(0, 0));
+    }
+}

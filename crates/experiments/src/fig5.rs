@@ -1,0 +1,143 @@
+//! Figure 5: per-query time-savings ratios (ExSample vs random) at recall
+//! .1 / .5 / .9, plus the abstract's headline geometric mean.
+
+use crate::report::{fmt_ratio, Table};
+use crate::table1::QueryEval;
+use exsample_stats::moments::geometric_mean;
+
+/// One panel (recall level) of Figure 5: queries sorted by descending
+/// savings.
+#[derive(Debug, Clone)]
+pub struct Fig5Panel {
+    /// Recall level (.1, .5, .9).
+    pub recall: f64,
+    /// `(dataset, class, savings)` sorted descending; queries missing a
+    /// measurement are omitted.
+    pub bars: Vec<(String, String, f64)>,
+}
+
+/// Build the three panels from the Table I evaluation results.
+pub fn panels(evals: &[QueryEval]) -> Vec<Fig5Panel> {
+    crate::table1::RECALLS
+        .iter()
+        .enumerate()
+        .map(|(i, &recall)| {
+            let mut bars: Vec<(String, String, f64)> = evals
+                .iter()
+                .filter_map(|e| {
+                    e.savings(i)
+                        .map(|s| (e.dataset.clone(), e.class.clone(), s))
+                })
+                .collect();
+            bars.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite savings"));
+            Fig5Panel { recall, bars }
+        })
+        .collect()
+}
+
+/// Summary statistics across all bars of all panels (the numbers quoted in
+/// §V-C: geometric mean ≈1.9×, max ≈6×, min ≈0.75×).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Summary {
+    /// Geometric mean of all savings ratios.
+    pub geo_mean: f64,
+    /// Largest savings ratio.
+    pub max: f64,
+    /// Smallest savings ratio.
+    pub min: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Number of measured bars.
+    pub bars: usize,
+}
+
+/// Compute the cross-panel summary.
+pub fn summary(panels: &[Fig5Panel]) -> Option<Fig5Summary> {
+    let all: Vec<f64> = panels
+        .iter()
+        .flat_map(|p| p.bars.iter().map(|b| b.2))
+        .collect();
+    if all.is_empty() {
+        return None;
+    }
+    Some(Fig5Summary {
+        geo_mean: geometric_mean(&all),
+        max: all.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        min: all.iter().cloned().fold(f64::INFINITY, f64::min),
+        p90: exsample_stats::quantile(&all, 0.9),
+        p10: exsample_stats::quantile(&all, 0.1),
+        bars: all.len(),
+    })
+}
+
+/// Render one panel as a table (the figure's bars, as rows).
+pub fn panel_table(panel: &Fig5Panel) -> Table {
+    let mut t = Table::new(&["dataset", "class", "savings"]);
+    for (ds, cls, s) in &panel.bars {
+        t.row(vec![ds.clone(), cls.clone(), fmt_ratio(*s)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(ds: &str, cls: &str, ex: [Option<f64>; 3], rnd: [Option<f64>; 3]) -> QueryEval {
+        QueryEval {
+            dataset: ds.into(),
+            class: cls.into(),
+            count: 100,
+            proxy_scan_s: 1000.0,
+            targets: [10, 50, 90],
+            exsample_s: ex,
+            random_s: rnd,
+        }
+    }
+
+    #[test]
+    fn panels_sorted_descending() {
+        let evals = vec![
+            eval("a", "x", [Some(10.0); 3], [Some(20.0); 3]), // 2x
+            eval("a", "y", [Some(10.0); 3], [Some(60.0); 3]), // 6x
+            eval("b", "z", [Some(10.0); 3], [Some(7.5); 3]),  // 0.75x
+        ];
+        let p = panels(&evals);
+        assert_eq!(p.len(), 3);
+        let bars = &p[0].bars;
+        assert_eq!(bars.len(), 3);
+        assert!((bars[0].2 - 6.0).abs() < 1e-12);
+        assert!((bars[2].2 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let evals = vec![
+            eval("a", "x", [Some(10.0); 3], [Some(20.0); 3]),
+            eval("a", "y", [Some(10.0); 3], [Some(45.0); 3]),
+        ];
+        let s = summary(&panels(&evals)).unwrap();
+        assert_eq!(s.bars, 6);
+        assert!((s.max - 4.5).abs() < 1e-12);
+        assert!((s.min - 2.0).abs() < 1e-12);
+        assert!((s.geo_mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmeasured_queries_are_omitted() {
+        let evals = vec![eval("a", "x", [None; 3], [Some(5.0); 3])];
+        let p = panels(&evals);
+        assert!(p.iter().all(|panel| panel.bars.is_empty()));
+        assert!(summary(&p).is_none());
+    }
+
+    #[test]
+    fn panel_table_renders() {
+        let evals = vec![eval("a", "x", [Some(2.0); 3], [Some(5.0); 3])];
+        let t = panel_table(&panels(&evals)[0]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_markdown().contains("2.50x"));
+    }
+}

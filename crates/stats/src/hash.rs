@@ -1,0 +1,122 @@
+//! Fast non-cryptographic hashing for integer-keyed maps.
+//!
+//! The samplers keep hot `HashSet<u64>`/`HashMap<u64, _>` collections of
+//! already-visited frame ids; SipHash dominates their profile. This is the
+//! Fx multiply-xor hash used by rustc (see the perf-book "Hashing"
+//! chapter), implemented here instead of adding a dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Firefox/rustc "Fx" hasher: word-at-a-time multiply-xor.
+///
+/// Low quality but extremely fast; appropriate for integer keys that are
+/// already well distributed (frame indices, instance ids).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn set_membership() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn hash_is_deterministic_but_spreads() {
+        use std::hash::Hash;
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            x.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(123), h(123));
+        // Consecutive keys must land in distinct buckets of a small table.
+        let buckets: std::collections::HashSet<u64> = (0..64).map(|i| h(i) % 64).collect();
+        assert!(buckets.len() > 32, "poor spread: {}", buckets.len());
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("traffic light".into(), 1);
+        m.insert("bicycle".into(), 2);
+        assert_eq!(m["traffic light"], 1);
+        assert_eq!(m["bicycle"], 2);
+    }
+}

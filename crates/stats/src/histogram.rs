@@ -1,0 +1,210 @@
+//! Fixed-bin histograms.
+//!
+//! The Figure 2 experiment bins hundreds of millions of `R(n+1)` samples
+//! per `(n, N1)` cell and compares the resulting empirical densities with
+//! the `Gamma(N1+α0, n+β0)` belief density.
+
+/// A histogram with uniformly spaced bins over `[lo, hi)`.
+///
+/// Out-of-range observations are counted in saturating end bins
+/// (`underflow` / `overflow`) so no data is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// New histogram with `bins` uniform bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "Histogram: bad range {lo}..{hi}");
+        assert!(bins > 0, "Histogram: need at least one bin");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((f * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Merge another histogram with identical binning.
+    ///
+    /// # Panics
+    /// Panics if the bin layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "Histogram::merge: lo differs");
+        assert_eq!(self.hi, other.hi, "Histogram::merge: hi differs");
+        assert_eq!(self.counts.len(), other.counts.len(), "Histogram::merge: bins differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Probability *density* estimate for bin `i`
+    /// (`count / (total · bin_width)`), comparable against a pdf.
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / (self.total as f64 * self.bin_width())
+        }
+    }
+
+    /// Empirical mean from binned data (bin centres weighted by counts;
+    /// ignores under/overflow).
+    pub fn approx_mean(&self) -> f64 {
+        let inside: u64 = self.counts.iter().sum();
+        if inside == 0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * self.bin_center(i))
+            .sum();
+        s / inside as f64
+    }
+
+    /// Approximate quantile from binned data (ignores under/overflow).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0,1]`.
+    pub fn approx_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let inside: u64 = self.counts.iter().sum();
+        if inside == 0 {
+            return self.lo;
+        }
+        let target = q * inside as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target {
+                // Linear interpolation within the bin.
+                let frac = if c == 0 { 0.5 } else { (target - acc) / c as f64 };
+                return self.lo + (i as f64 + frac) * self.bin_width();
+            }
+            acc = next;
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.999);
+        h.add(5.5);
+        h.add(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.5);
+        h.add(1.0); // hi is exclusive
+        h.add(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn density_integrates_to_inside_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        for i in 0..1000 {
+            h.add(i as f64 / 1000.0);
+        }
+        let integral: f64 = (0..h.bins()).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.add(0.1);
+        b.add(0.9);
+        b.add(-1.0);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn approx_mean_and_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.add(i as f64 + 0.5);
+        }
+        assert!((h.approx_mean() - 50.0).abs() < 1.0);
+        let med = h.approx_quantile(0.5);
+        assert!((med - 50.0).abs() < 2.0, "med={med}");
+    }
+}

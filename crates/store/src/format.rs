@@ -1,0 +1,455 @@
+//! The container format: writer, index, and random-access reader.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [ header  ] magic "XSVC" | version u16 | gop_size u32 | frame_count u64
+//! [ payload ] GOP 0 bytes | GOP 1 bytes | ...
+//! [ index   ] per GOP: offset u64 | len u32 | crc32 u32 | first_frame u64
+//! [ trailer ] index_offset u64 | gop_count u32 | magic "XSVI"
+//! ```
+//!
+//! Within a GOP each frame is `len u32 | bytes`. Only the first frame of a
+//! GOP is a keyframe: decoding frame `f` walks from the keyframe to `f`,
+//! which is exactly the cost structure of inter-coded video.
+
+use crate::cost::DecodeStats;
+use crate::crc::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"XSVC";
+const INDEX_MAGIC: &[u8; 4] = b"XSVI";
+const VERSION: u16 = 1;
+const HEADER_LEN: usize = 4 + 2 + 4 + 8;
+const TRAILER_LEN: usize = 8 + 4 + 4;
+const INDEX_ENTRY_LEN: usize = 8 + 4 + 4 + 8;
+
+/// Errors produced while opening or reading a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The byte stream is not a container or is truncated.
+    Malformed(&'static str),
+    /// The container version is not supported.
+    UnsupportedVersion(u16),
+    /// A GOP payload failed its checksum.
+    CorruptGop {
+        /// Index of the corrupted GOP.
+        gop: u32,
+    },
+    /// Requested frame does not exist.
+    FrameOutOfRange {
+        /// Requested frame index.
+        frame: u64,
+        /// Total frames available.
+        total: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Malformed(what) => write!(f, "malformed container: {what}"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            StoreError::CorruptGop { gop } => write!(f, "GOP {gop} failed checksum"),
+            StoreError::FrameOutOfRange { frame, total } => {
+                write!(f, "frame {frame} out of range (total {total})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Streaming writer: push frame payloads, obtain the finished container.
+#[derive(Debug)]
+pub struct ContainerWriter {
+    gop_size: u32,
+    payload: BytesMut,
+    current_gop: BytesMut,
+    frames_in_gop: u32,
+    frame_count: u64,
+    index: Vec<GopEntry>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GopEntry {
+    offset: u64,
+    len: u32,
+    crc: u32,
+    first_frame: u64,
+}
+
+impl ContainerWriter {
+    /// New writer producing keyframes every `gop_size` frames (the paper
+    /// re-encodes with `gop_size = 20`).
+    ///
+    /// # Panics
+    /// Panics if `gop_size == 0`.
+    pub fn new(gop_size: u32) -> Self {
+        assert!(gop_size > 0, "gop_size must be positive");
+        ContainerWriter {
+            gop_size,
+            payload: BytesMut::new(),
+            current_gop: BytesMut::new(),
+            frames_in_gop: 0,
+            frame_count: 0,
+            index: Vec::new(),
+        }
+    }
+
+    /// Append one frame payload.
+    pub fn push_frame(&mut self, data: &[u8]) {
+        self.current_gop.put_u32_le(data.len() as u32);
+        self.current_gop.put_slice(data);
+        self.frames_in_gop += 1;
+        self.frame_count += 1;
+        if self.frames_in_gop == self.gop_size {
+            self.flush_gop();
+        }
+    }
+
+    fn flush_gop(&mut self) {
+        if self.frames_in_gop == 0 {
+            return;
+        }
+        let first_frame = self.frame_count - self.frames_in_gop as u64;
+        let gop = std::mem::take(&mut self.current_gop);
+        self.index.push(GopEntry {
+            offset: self.payload.len() as u64,
+            len: gop.len() as u32,
+            crc: crc32(&gop),
+            first_frame,
+        });
+        self.payload.extend_from_slice(&gop);
+        self.frames_in_gop = 0;
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Finish the container and return its bytes.
+    pub fn finish(mut self) -> Bytes {
+        self.flush_gop();
+        let mut out = BytesMut::with_capacity(
+            HEADER_LEN + self.payload.len() + self.index.len() * INDEX_ENTRY_LEN + TRAILER_LEN,
+        );
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u32_le(self.gop_size);
+        out.put_u64_le(self.frame_count);
+        out.extend_from_slice(&self.payload);
+        let index_offset = out.len() as u64;
+        for e in &self.index {
+            out.put_u64_le(e.offset);
+            out.put_u32_le(e.len);
+            out.put_u32_le(e.crc);
+            out.put_u64_le(e.first_frame);
+        }
+        out.put_u64_le(index_offset);
+        out.put_u32_le(self.index.len() as u32);
+        out.put_slice(INDEX_MAGIC);
+        out.freeze()
+    }
+}
+
+/// Random-access reader over a finished container.
+///
+/// Reads validate GOP checksums on first touch and account decode work in
+/// a [`DecodeStats`] tally. The most recently decoded GOP stays cached, so
+/// sequential access decodes each frame exactly once.
+#[derive(Debug)]
+pub struct Container {
+    data: Bytes,
+    gop_size: u32,
+    frame_count: u64,
+    index: Vec<GopEntry>,
+    /// (gop index, decoded frame payloads) of the last touched GOP.
+    cache: Option<(u32, Vec<Bytes>)>,
+    stats: DecodeStats,
+}
+
+impl Container {
+    /// Parse a container from bytes (payload is validated lazily, the
+    /// header/index eagerly).
+    pub fn open(data: Bytes) -> Result<Self, StoreError> {
+        if data.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(StoreError::Malformed("too short"));
+        }
+        let mut hdr = &data[..HEADER_LEN];
+        let mut magic = [0u8; 4];
+        hdr.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(StoreError::Malformed("bad magic"));
+        }
+        let version = hdr.get_u16_le();
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let gop_size = hdr.get_u32_le();
+        if gop_size == 0 {
+            return Err(StoreError::Malformed("zero gop size"));
+        }
+        let frame_count = hdr.get_u64_le();
+
+        let mut trailer = &data[data.len() - TRAILER_LEN..];
+        let index_offset = trailer.get_u64_le() as usize;
+        let gop_count = trailer.get_u32_le() as usize;
+        let mut imagic = [0u8; 4];
+        trailer.copy_to_slice(&mut imagic);
+        if &imagic != INDEX_MAGIC {
+            return Err(StoreError::Malformed("bad index magic"));
+        }
+        let index_end = index_offset
+            .checked_add(gop_count * INDEX_ENTRY_LEN)
+            .ok_or(StoreError::Malformed("index overflow"))?;
+        if index_end + TRAILER_LEN != data.len() || index_offset < HEADER_LEN {
+            return Err(StoreError::Malformed("index bounds"));
+        }
+        let mut cursor = &data[index_offset..index_end];
+        let mut index = Vec::with_capacity(gop_count);
+        for _ in 0..gop_count {
+            let e = GopEntry {
+                offset: cursor.get_u64_le(),
+                len: cursor.get_u32_le(),
+                crc: cursor.get_u32_le(),
+                first_frame: cursor.get_u64_le(),
+            };
+            let end = HEADER_LEN as u64 + e.offset + e.len as u64;
+            if end as usize > index_offset {
+                return Err(StoreError::Malformed("gop bounds"));
+            }
+            index.push(e);
+        }
+        Ok(Container { data, gop_size, frame_count, index, cache: None, stats: DecodeStats::new() })
+    }
+
+    /// Frames stored.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Configured GOP size.
+    pub fn gop_size(&self) -> u32 {
+        self.gop_size
+    }
+
+    /// Number of GOPs.
+    pub fn gop_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Accumulated decode statistics.
+    pub fn stats(&self) -> &DecodeStats {
+        &self.stats
+    }
+
+    /// Reset the decode tally (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = DecodeStats::new();
+    }
+
+    /// Read one frame, paying keyframe-walk decode costs.
+    pub fn read_frame(&mut self, frame: u64) -> Result<Bytes, StoreError> {
+        if frame >= self.frame_count {
+            return Err(StoreError::FrameOutOfRange { frame, total: self.frame_count });
+        }
+        let gop = (frame / self.gop_size as u64) as u32;
+        let within = (frame % self.gop_size as u64) as usize;
+        let cached = matches!(&self.cache, Some((g, _)) if *g == gop);
+        if !cached {
+            self.decode_gop_prefix(gop, within)?;
+        }
+        let (_, frames) = self.cache.as_ref().expect("cache populated above");
+        // A re-read of a later frame from a partially decoded GOP may need
+        // to extend the decode walk.
+        if within >= frames.len() {
+            self.extend_gop_decode(gop, within)?;
+        }
+        let (_, frames) = self.cache.as_ref().expect("cache populated above");
+        self.stats.frames_returned += 1;
+        Ok(frames[within].clone())
+    }
+
+    /// Fetch GOP payload, verify checksum, decode frames `0..=upto`.
+    fn decode_gop_prefix(&mut self, gop: u32, upto: usize) -> Result<(), StoreError> {
+        let e = self.index[gop as usize];
+        self.stats.seeks += 1;
+        self.stats.gops_fetched += 1;
+        self.stats.bytes_fetched += e.len as u64;
+        let start = HEADER_LEN + e.offset as usize;
+        let payload = self.data.slice(start..start + e.len as usize);
+        if crc32(&payload) != e.crc {
+            return Err(StoreError::CorruptGop { gop });
+        }
+        self.cache = Some((gop, Vec::new()));
+        self.extend_gop_decode_inner(gop, upto, payload)
+    }
+
+    fn extend_gop_decode(&mut self, gop: u32, upto: usize) -> Result<(), StoreError> {
+        let e = self.index[gop as usize];
+        let start = HEADER_LEN + e.offset as usize;
+        let payload = self.data.slice(start..start + e.len as usize);
+        self.extend_gop_decode_inner(gop, upto, payload)
+    }
+
+    fn extend_gop_decode_inner(
+        &mut self,
+        gop: u32,
+        upto: usize,
+        payload: Bytes,
+    ) -> Result<(), StoreError> {
+        let (g, frames) = self.cache.as_mut().expect("cache set by caller");
+        debug_assert_eq!(*g, gop);
+        // Re-walk the varint-length frame records from where we stopped.
+        let mut off = frames
+            .iter()
+            .map(|f| 4 + f.len())
+            .sum::<usize>();
+        while frames.len() <= upto {
+            if off + 4 > payload.len() {
+                return Err(StoreError::Malformed("truncated gop"));
+            }
+            let len = u32::from_le_bytes(
+                payload[off..off + 4].try_into().expect("4 bytes"),
+            ) as usize;
+            off += 4;
+            if off + len > payload.len() {
+                return Err(StoreError::Malformed("truncated frame"));
+            }
+            frames.push(payload.slice(off..off + len));
+            off += len;
+            self.stats.frames_decoded += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_payload(i: u64) -> Vec<u8> {
+        // Variable-length, content derived from the index.
+        let len = 10 + (i % 23) as usize;
+        (0..len).map(|j| ((i as usize * 31 + j) % 251) as u8).collect()
+    }
+
+    fn build(frames: u64, gop: u32) -> Container {
+        let mut w = ContainerWriter::new(gop);
+        for i in 0..frames {
+            w.push_frame(&frame_payload(i));
+        }
+        Container::open(w.finish()).expect("valid container")
+    }
+
+    #[test]
+    fn round_trip_all_frames() {
+        let mut c = build(103, 20);
+        assert_eq!(c.frame_count(), 103);
+        assert_eq!(c.gop_count(), 6); // 5 full GOPs + partial
+        for i in 0..103 {
+            assert_eq!(c.read_frame(i).unwrap().as_ref(), frame_payload(i).as_slice());
+        }
+    }
+
+    #[test]
+    fn out_of_range_read() {
+        let mut c = build(10, 4);
+        assert_eq!(
+            c.read_frame(10),
+            Err(StoreError::FrameOutOfRange { frame: 10, total: 10 })
+        );
+    }
+
+    #[test]
+    fn empty_container() {
+        let c = Container::open(ContainerWriter::new(8).finish()).unwrap();
+        assert_eq!(c.frame_count(), 0);
+        assert_eq!(c.gop_count(), 0);
+    }
+
+    #[test]
+    fn sequential_read_decodes_each_frame_once() {
+        let mut c = build(100, 20);
+        for i in 0..100 {
+            c.read_frame(i).unwrap();
+        }
+        assert_eq!(c.stats().frames_decoded, 100);
+        assert_eq!(c.stats().frames_returned, 100);
+        assert_eq!(c.stats().seeks, 5); // one per GOP
+        assert!((c.stats().decode_amplification() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_read_pays_keyframe_walk() {
+        let mut c = build(100, 20);
+        // Last frame of GOP 2 requires decoding 20 frames.
+        c.read_frame(59).unwrap();
+        assert_eq!(c.stats().frames_decoded, 20);
+        assert_eq!(c.stats().frames_returned, 1);
+        assert_eq!(c.stats().seeks, 1);
+    }
+
+    #[test]
+    fn rereading_cached_gop_is_free() {
+        let mut c = build(100, 20);
+        c.read_frame(45).unwrap();
+        let decoded = c.stats().frames_decoded;
+        c.read_frame(41).unwrap(); // earlier in same GOP: already decoded
+        assert_eq!(c.stats().frames_decoded, decoded);
+        c.read_frame(47).unwrap(); // later: extends the walk, no new seek
+        assert_eq!(c.stats().frames_decoded, decoded + 2);
+        assert_eq!(c.stats().seeks, 1);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut w = ContainerWriter::new(4);
+        for i in 0..8 {
+            w.push_frame(&frame_payload(i));
+        }
+        let bytes = w.finish();
+        let mut raw = bytes.to_vec();
+        raw[HEADER_LEN + 2] ^= 0xFF; // flip a payload byte in GOP 0
+        let mut c = Container::open(Bytes::from(raw)).unwrap();
+        assert_eq!(c.read_frame(0), Err(StoreError::CorruptGop { gop: 0 }));
+        // Other GOPs unaffected.
+        assert!(c.read_frame(6).is_ok());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        assert!(Container::open(Bytes::from_static(b"not a container")).is_err());
+        let mut valid = build(4, 2);
+        let _ = valid.read_frame(0);
+        let mut truncated = ContainerWriter::new(2);
+        truncated.push_frame(b"abc");
+        let bytes = truncated.finish().to_vec();
+        assert!(Container::open(Bytes::from(bytes[..bytes.len() - 3].to_vec())).is_err());
+    }
+
+    #[test]
+    fn gop_size_one_means_all_keyframes() {
+        let mut c = build(30, 1);
+        for i in [29u64, 3, 17, 0] {
+            c.read_frame(i).unwrap();
+        }
+        // Every read decodes exactly one frame.
+        assert_eq!(c.stats().frames_decoded, 4);
+        assert_eq!(c.stats().seeks, 4);
+    }
+
+    #[test]
+    fn zero_length_frames_round_trip() {
+        let mut w = ContainerWriter::new(3);
+        w.push_frame(b"");
+        w.push_frame(b"x");
+        w.push_frame(b"");
+        let mut c = Container::open(w.finish()).unwrap();
+        assert_eq!(c.read_frame(0).unwrap().len(), 0);
+        assert_eq!(c.read_frame(1).unwrap().as_ref(), b"x");
+        assert_eq!(c.read_frame(2).unwrap().len(), 0);
+    }
+}

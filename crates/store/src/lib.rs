@@ -1,0 +1,29 @@
+//! GOP-packed video container with random-access decode cost accounting.
+//!
+//! The paper (§V-A) achieves fast random-access frame decoding by
+//! re-encoding video "to insert keyframes every 20 frames" and reading it
+//! through the Hwang library. This crate models that storage layer
+//! faithfully at the container level:
+//!
+//! * frames are stored in **groups of pictures (GOPs)**; only the first
+//!   frame of a GOP is independently decodable,
+//! * reading frame `f` requires seeking to its GOP and decoding every
+//!   frame from the keyframe up to `f` — the cost asymmetry that makes the
+//!   GOP size a real knob (tiny GOPs inflate storage, huge GOPs inflate
+//!   random reads),
+//! * an explicit frame/GOP index enables O(1) lookup, and each GOP is
+//!   checksummed (CRC-32) so corruption is detected on read.
+//!
+//! Every read is tallied into [`DecodeStats`], which a [`CostModel`]
+//! converts into seconds; the evaluation harness uses this to charge the
+//! "io+decode" costs the paper reports (scoring at ~100 fps is io+decode
+//! bound, detection at ~20 fps is GPU bound).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod crc;
+pub mod format;
+
+pub use cost::{CostModel, DecodeStats};
+pub use format::{Container, ContainerWriter, StoreError};

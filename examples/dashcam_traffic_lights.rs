@@ -1,0 +1,79 @@
+//! The paper's motivating query: "find 100 traffic lights in dashcam
+//! video" — run on the dashcam preset with the *full* noisy pipeline:
+//! imperfect detector (misses, false positives, jitter) and the SORT-style
+//! IoU tracking discriminator instead of ground-truth identities.
+//!
+//! ```text
+//! cargo run --release --example dashcam_traffic_lights
+//! ```
+
+use exsample::core::{
+    driver::{run_search, SearchCost, StopCond},
+    exsample::{ExSample, ExSampleConfig},
+    policy::SamplingPolicy,
+};
+use exsample::baselines::{RandomPolicy, SequentialPolicy};
+use exsample::detect::{NoiseModel, QueryOracle, SimulatedDetector, TrackerDiscriminator};
+use exsample::experiments::presets::{dataset, DETECT_FPS};
+use exsample::stats::Rng64;
+use exsample::videosim::ClassId;
+use std::sync::Arc;
+
+fn main() {
+    let ds = dataset("dashcam").expect("preset");
+    println!("generating the dashcam preset ({} frames) …", ds.frames);
+    let gt = Arc::new(ds.dataset_spec().generate(2024));
+    let class_idx = ds.class_index("traffic light").expect("class");
+    let class = ClassId(class_idx as u16);
+    println!(
+        "dataset: {} frames in {} twenty-minute chunks; {} distinct traffic lights",
+        gt.frames,
+        ds.chunking().num_chunks(),
+        gt.class_count(class)
+    );
+
+    let limit = 100u64;
+    let cost = SearchCost::per_sample(1.0 / DETECT_FPS);
+    // The tracker may split tracks / chase false positives, so cap samples.
+    let stop = StopCond::results(limit).or_samples(400_000);
+
+    let report = |label: &str, mut policy: Box<dyn SamplingPolicy>, seed: u64| {
+        let mut rng = Rng64::new(seed);
+        let mut oracle = QueryOracle::new(
+            SimulatedDetector::new(gt.clone(), class, NoiseModel::realistic(), seed),
+            TrackerDiscriminator::new(gt.clone(), seed ^ 1),
+        );
+        let trace = {
+            let mut f = |frame| oracle.process(frame);
+            run_search(policy.as_mut(), &mut f, &cost, &stop, &mut rng)
+        };
+        println!(
+            "{label:<22} {:>7} frames  {:>8.1}s   {:>4} results reported \
+             ({} true distinct, {} tracker duplicates, {} from false positives)",
+            trace.samples(),
+            trace.seconds(),
+            trace.found(),
+            oracle.true_found(),
+            oracle.duplicate_results(),
+            oracle.spurious_results(),
+        );
+    };
+
+    println!("\nquery: find {limit} distinct traffic lights (noisy detector + IoU tracker)\n");
+    report(
+        "exsample(M=29)",
+        Box::new(ExSample::new(ds.chunking(), ExSampleConfig::default())),
+        11,
+    );
+    report("random", Box::new(RandomPolicy::new(gt.frames)), 11);
+    report(
+        "sequential(1/30)",
+        Box::new(SequentialPolicy::new(gt.frames, 30)),
+        11,
+    );
+    println!(
+        "\nNote: 'results reported' is what the system believes it found;\n\
+         the true/duplicate/spurious split uses evaluation-side ground truth\n\
+         the way the paper's recall measurements do."
+    );
+}

@@ -1,0 +1,58 @@
+//! The storage substrate: GOP-packed containers and why the paper
+//! re-encodes video with dense keyframes (§V-A "to achieve fast, random
+//! access frame-decoding rates … re-encode our video data to insert
+//! keyframes every 20 frames").
+//!
+//! ```text
+//! cargo run --release --example storage_codec
+//! ```
+
+use exsample::stats::Rng64;
+use exsample::store::{Container, ContainerWriter, CostModel};
+
+fn main() {
+    let frames = 30_000u64;
+    let reads = 2_000u64;
+    let cost = CostModel::default();
+    println!(
+        "container with {frames} frames; {reads} uniformly random reads; cost model: {:.0} fps decode, {:.1} ms seek\n",
+        1.0 / cost.frame_decode_s,
+        cost.seek_s * 1e3
+    );
+    println!(
+        "{:>9} {:>12} {:>14} {:>16} {:>12}",
+        "gop", "bytes", "reads decoded", "amplification", "modelled s"
+    );
+
+    for gop in [1u32, 5, 20, 100, 500] {
+        let mut w = ContainerWriter::new(gop);
+        for i in 0..frames {
+            // ~1.2 kB synthetic payload per frame.
+            let payload = vec![(i % 251) as u8; 1200];
+            w.push_frame(&payload);
+        }
+        let bytes = w.finish();
+        let size = bytes.len();
+        let mut container = Container::open(bytes).expect("valid container");
+        let mut rng = Rng64::new(9);
+        for _ in 0..reads {
+            let f = rng.u64_below(frames);
+            container.read_frame(f).expect("in range");
+        }
+        let stats = *container.stats();
+        println!(
+            "{gop:>9} {size:>12} {:>14} {:>16.1} {:>12.1}",
+            stats.frames_decoded,
+            stats.decode_amplification(),
+            cost.seconds(&stats)
+        );
+    }
+
+    println!(
+        "\nReading: large GOPs shrink the file but random reads decode\n\
+         ~GOP/2 frames each; tiny GOPs decode one frame per read but bloat\n\
+         storage. The paper's choice (GOP 20) keeps random access within\n\
+         ~10x of sequential cost — which is what makes sampling-based\n\
+         search competitive at all."
+    );
+}

@@ -1,0 +1,68 @@
+//! # ExSample — adaptive sampling for distinct-object search over video
+//!
+//! A from-scratch Rust reproduction of *"ExSample: Efficient Searches on
+//! Video Repositories through Adaptive Sampling"* (Moll et al., ICDE
+//! 2022). This facade crate re-exports the full workspace:
+//!
+//! * [`core`] — the paper's contribution: chunked Thompson sampling over
+//!   Good–Turing beliefs, Bayes-UCB and greedy variants, the random+
+//!   stratified order, and the Algorithm 1 driver.
+//! * [`stats`] — RNG, Gamma/LogNormal/Poisson/Geometric machinery, special
+//!   functions, descriptive statistics.
+//! * [`videosim`] — the synthetic video-repository substrate (ground
+//!   truth, trajectories, skewed placement, clips and chunkings).
+//! * [`store`] — a GOP-packed container modelling random-access decode
+//!   costs (the Hwang/Scanner role in the paper's stack).
+//! * [`detect`] — simulated object detector with a noise model, the
+//!   SORT-style IoU tracking discriminator, and the BlazeIt-style proxy
+//!   scorer.
+//! * [`baselines`] — random, random+, sequential, and proxy-ordered
+//!   policies.
+//! * [`optimal`] — the Eq. IV.1 optimal static chunk-weight solver and
+//!   skew diagnostics.
+//! * [`experiments`] — runners that regenerate every table and figure of
+//!   the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use exsample::core::{
+//!     driver::{run_search, SearchCost, StopCond},
+//!     exsample::{ExSample, ExSampleConfig},
+//!     Chunking, Feedback,
+//! };
+//! use exsample::detect::{OracleDiscriminator, QueryOracle, SimulatedDetector};
+//! use exsample::stats::Rng64;
+//! use exsample::videosim::{ClassId, ClassSpec, DatasetSpec, SkewSpec};
+//! use std::sync::Arc;
+//!
+//! // A 100k-frame repository where 200 "traffic lights" cluster in a
+//! // small part of the timeline.
+//! let spec = DatasetSpec::single_class(
+//!     100_000,
+//!     ClassSpec::new("traffic light", 200, 80.0, SkewSpec::CentralNormal { frac95: 0.1 }),
+//! );
+//! let gt = Arc::new(spec.generate(1));
+//!
+//! // "find 20 traffic lights": ExSample over 16 chunks.
+//! let mut policy = ExSample::new(Chunking::even(gt.frames, 16), ExSampleConfig::default());
+//! let mut oracle = QueryOracle::new(
+//!     SimulatedDetector::perfect(gt.clone(), ClassId(0)),
+//!     OracleDiscriminator::new(),
+//! );
+//! let mut rng = Rng64::new(7);
+//! let trace = {
+//!     let mut f = |frame| oracle.process(frame);
+//!     run_search(&mut policy, &mut f, &SearchCost::per_sample(0.05), &StopCond::results(20), &mut rng)
+//! };
+//! assert!(trace.found() >= 20);
+//! ```
+
+pub use exsample_baselines as baselines;
+pub use exsample_core as core;
+pub use exsample_detect as detect;
+pub use exsample_experiments as experiments;
+pub use exsample_optimal as optimal;
+pub use exsample_stats as stats;
+pub use exsample_store as store;
+pub use exsample_videosim as videosim;

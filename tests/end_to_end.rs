@@ -1,0 +1,197 @@
+//! End-to-end integration tests across crates: full query pipelines from
+//! synthetic repositories through policies, detectors and discriminators.
+
+use exsample::baselines::{RandomPlusPolicy, RandomPolicy, SequentialPolicy};
+use exsample::core::{
+    driver::{run_search, SearchCost, StopCond},
+    exsample::{ExSample, ExSampleConfig},
+    policy::SamplingPolicy,
+    Chunking,
+};
+use exsample::detect::{
+    NoiseModel, OracleDiscriminator, QueryOracle, SimulatedDetector, TrackerDiscriminator,
+};
+use exsample::stats::Rng64;
+use exsample::videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
+use std::sync::Arc;
+
+fn skewed_truth(frames: u64, count: usize, dur: f64, seed: u64) -> Arc<GroundTruth> {
+    Arc::new(
+        DatasetSpec::single_class(
+            frames,
+            ClassSpec::new("object", count, dur, SkewSpec::CentralNormal { frac95: 1.0 / 32.0 }),
+        )
+        .generate(seed),
+    )
+}
+
+fn run_policy(
+    gt: &Arc<GroundTruth>,
+    policy: &mut dyn SamplingPolicy,
+    stop: StopCond,
+    seed: u64,
+) -> (exsample::core::driver::SearchTrace, u64) {
+    let mut rng = Rng64::new(seed);
+    let mut oracle = QueryOracle::new(
+        SimulatedDetector::perfect(gt.clone(), ClassId(0)),
+        OracleDiscriminator::new(),
+    );
+    let trace = {
+        let mut f = |frame| oracle.process(frame);
+        run_search(policy, &mut f, &SearchCost::per_sample(0.05), &stop, &mut rng)
+    };
+    let true_found = oracle.true_found();
+    (trace, true_found)
+}
+
+#[test]
+fn every_policy_eventually_finds_everything() {
+    let gt = skewed_truth(20_000, 50, 100.0, 1);
+    let policies: Vec<Box<dyn SamplingPolicy>> = vec![
+        Box::new(ExSample::new(Chunking::even(20_000, 8), ExSampleConfig::default())),
+        Box::new(RandomPolicy::new(20_000)),
+        Box::new(RandomPlusPolicy::new(20_000)),
+        Box::new(SequentialPolicy::new(20_000, 13)),
+    ];
+    for mut p in policies {
+        let name = p.name();
+        let (trace, true_found) = run_policy(&gt, p.as_mut(), StopCond::results(50), 2);
+        assert_eq!(trace.found(), 50, "{name}");
+        assert_eq!(true_found, 50, "{name}");
+        assert!(!trace.exhausted(), "{name} should stop at the limit");
+    }
+}
+
+#[test]
+fn exhausting_the_repository_finds_every_instance_exactly_once() {
+    let gt = skewed_truth(5_000, 40, 60.0, 3);
+    let mut p = ExSample::new(Chunking::even(5_000, 4), ExSampleConfig::default());
+    let (trace, true_found) = run_policy(&gt, &mut p, StopCond::results(10_000), 4);
+    assert!(trace.exhausted());
+    assert_eq!(trace.samples(), 5_000, "every frame visited exactly once");
+    assert_eq!(true_found, 40);
+    assert_eq!(trace.found(), 40, "oracle discriminator never double-counts");
+}
+
+#[test]
+fn exsample_beats_random_on_skewed_data_and_matches_on_uniform() {
+    // Skewed: clear win expected (generous margins, seeded).
+    let skewed = skewed_truth(200_000, 400, 80.0, 5);
+    let target = 200u64;
+    let stop = StopCond::results(target).or_samples(150_000);
+    let mut ex_samples = Vec::new();
+    let mut rnd_samples = Vec::new();
+    for seed in 0..5 {
+        let mut ex = ExSample::new(Chunking::even(200_000, 32), ExSampleConfig::default());
+        ex_samples.push(run_policy(&skewed, &mut ex, stop, 10 + seed).0.samples());
+        let mut rnd = RandomPolicy::new(200_000);
+        rnd_samples.push(run_policy(&skewed, &mut rnd, stop, 10 + seed).0.samples());
+    }
+    ex_samples.sort_unstable();
+    rnd_samples.sort_unstable();
+    let (ex_med, rnd_med) = (ex_samples[2], rnd_samples[2]);
+    assert!(
+        (ex_med as f64) < rnd_med as f64 / 1.3,
+        "expected a clear win on skewed data: exsample {ex_med} vs random {rnd_med}"
+    );
+
+    // Uniform: paper's worst case is ~parity ("ExSample does not perform
+    // worse than random sampling").
+    let uniform = Arc::new(
+        DatasetSpec::single_class(
+            200_000,
+            ClassSpec::new("object", 400, 80.0, SkewSpec::Uniform),
+        )
+        .generate(6),
+    );
+    let mut ex_u = Vec::new();
+    let mut rnd_u = Vec::new();
+    for seed in 0..5 {
+        let mut ex = ExSample::new(Chunking::even(200_000, 32), ExSampleConfig::default());
+        ex_u.push(run_policy(&uniform, &mut ex, stop, 20 + seed).0.samples());
+        let mut rnd = RandomPolicy::new(200_000);
+        rnd_u.push(run_policy(&uniform, &mut rnd, stop, 20 + seed).0.samples());
+    }
+    ex_u.sort_unstable();
+    rnd_u.sort_unstable();
+    let ratio = ex_u[2] as f64 / rnd_u[2] as f64;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "uniform data should be near parity, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn single_chunk_exsample_statistically_matches_random_plus() {
+    // §IV-C: with one chunk, ExSample degenerates to its within-chunk
+    // sampler (random+).
+    let gt = skewed_truth(50_000, 100, 60.0, 7);
+    let stop = StopCond::results(60).or_samples(40_000);
+    let mut ex_meds = Vec::new();
+    let mut rp_meds = Vec::new();
+    for seed in 0..7 {
+        let mut ex = ExSample::new(Chunking::single(50_000), ExSampleConfig::default());
+        ex_meds.push(run_policy(&gt, &mut ex, stop, 30 + seed).0.samples());
+        let mut rp = RandomPlusPolicy::new(50_000);
+        rp_meds.push(run_policy(&gt, &mut rp, stop, 30 + seed).0.samples());
+    }
+    ex_meds.sort_unstable();
+    rp_meds.sort_unstable();
+    let ratio = ex_meds[3] as f64 / rp_meds[3] as f64;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn noisy_pipeline_still_reaches_recall() {
+    // Full pipeline with realistic noise and the IoU tracker: the search
+    // must still reach 80% true recall, with bounded inflation.
+    let gt = skewed_truth(100_000, 100, 150.0, 8);
+    let mut policy = ExSample::new(Chunking::even(100_000, 16), ExSampleConfig::default());
+    let mut oracle = QueryOracle::new(
+        SimulatedDetector::new(gt.clone(), ClassId(0), NoiseModel::realistic(), 9),
+        TrackerDiscriminator::new(gt.clone(), 10),
+    );
+    let mut rng = Rng64::new(11);
+    let mut samples = 0u64;
+    while oracle.true_found() < 80 && samples < 80_000 {
+        let Some(frame) = policy.next_frame(&mut rng) else { break };
+        let fb = oracle.process(frame);
+        policy.feedback(frame, fb);
+        samples += 1;
+    }
+    assert!(
+        oracle.true_found() >= 80,
+        "only {} of 100 found after {samples} samples",
+        oracle.true_found()
+    );
+    let inflation = (oracle.duplicate_results() + oracle.spurious_results()) as f64
+        / oracle.true_found() as f64;
+    assert!(inflation < 1.0, "result inflation too high: {inflation}");
+}
+
+#[test]
+fn batched_mode_finds_the_same_objects() {
+    let gt = skewed_truth(50_000, 80, 100.0, 12);
+    let mut policy = ExSample::new(Chunking::even(50_000, 16), ExSampleConfig::default());
+    let mut oracle = QueryOracle::new(
+        SimulatedDetector::perfect(gt.clone(), ClassId(0)),
+        OracleDiscriminator::new(),
+    );
+    let mut rng = Rng64::new(13);
+    let mut batch = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut samples = 0u64;
+    while oracle.true_found() < 40 && samples < 40_000 {
+        policy.next_batch(16, &mut rng, &mut batch);
+        assert!(!batch.is_empty());
+        for &f in &batch {
+            assert!(seen.insert(f), "batch mode repeated frame {f}");
+        }
+        let fbs: Vec<_> = batch.iter().map(|&f| (f, oracle.process(f))).collect();
+        for (f, fb) in fbs {
+            policy.feedback(f, fb);
+            samples += 1;
+        }
+    }
+    assert!(oracle.true_found() >= 40);
+}
