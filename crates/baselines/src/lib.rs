@@ -33,7 +33,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Policy over a repository of `frames` frames.
     pub fn new(frames: u64) -> Self {
-        RandomPolicy { inner: RandomWithin::new(0..frames) }
+        RandomPolicy {
+            inner: RandomWithin::new(0..frames),
+        }
     }
 }
 
@@ -56,7 +58,9 @@ pub struct RandomPlusPolicy {
 impl RandomPlusPolicy {
     /// Policy over a repository of `frames` frames.
     pub fn new(frames: u64) -> Self {
-        RandomPlusPolicy { inner: StratifiedWithin::new(0..frames) }
+        RandomPlusPolicy {
+            inner: StratifiedWithin::new(0..frames),
+        }
     }
 }
 
@@ -87,7 +91,12 @@ impl SequentialPolicy {
     /// Panics if `stride == 0`.
     pub fn new(frames: u64, stride: u64) -> Self {
         assert!(stride > 0, "stride must be positive");
-        SequentialPolicy { frames, stride, offset: 0, cursor: 0 }
+        SequentialPolicy {
+            frames,
+            stride,
+            offset: 0,
+            cursor: 0,
+        }
     }
 }
 

@@ -8,7 +8,7 @@ use exsample_core::exsample::{ExSample, ExSampleConfig};
 use exsample_core::policy::SamplingPolicy;
 use exsample_core::within::StratifiedWithin;
 use exsample_core::Chunking;
-use exsample_detect::{Detector, OracleDiscriminator, Discriminator, SimulatedDetector};
+use exsample_detect::{Detector, Discriminator, OracleDiscriminator, SimulatedDetector};
 use exsample_optimal::{optimal_weights, ChunkProbs, SolveOpts};
 use exsample_stats::dist::{Continuous, Gamma};
 use exsample_stats::{Rng64, UniformNoReplacement};
@@ -152,7 +152,12 @@ fn bench_detector_and_tracker(c: &mut Criterion) {
 fn bench_optimal_solver(c: &mut Criterion) {
     let gt = DatasetSpec::single_class(
         1_000_000,
-        ClassSpec::new("car", 2_000, 700.0, SkewSpec::CentralNormal { frac95: 1.0 / 32.0 }),
+        ClassSpec::new(
+            "car",
+            2_000,
+            700.0,
+            SkewSpec::CentralNormal { frac95: 1.0 / 32.0 },
+        ),
     )
     .generate(12);
     let probs = ChunkProbs::build(&gt, ClassId(0), &Chunking::even(1_000_000, 128));

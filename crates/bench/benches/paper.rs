@@ -29,7 +29,10 @@ fn bench_fig3(c: &mut Criterion) {
         max_samples: 5_000,
         targets: vec![10, 100],
         durations: vec![40.0],
-        skews: vec![("1/32".into(), SkewSpec::CentralNormal { frac95: 1.0 / 32.0 })],
+        skews: vec![(
+            "1/32".into(),
+            SkewSpec::CentralNormal { frac95: 1.0 / 32.0 },
+        )],
         seed: 2,
     };
     c.bench_function("paper/fig3_grid_cell", |b| {
@@ -48,14 +51,20 @@ fn bench_fig4(c: &mut Criterion) {
         max_samples: 5_000,
         seed: 3,
     };
-    c.bench_function("paper/fig4_chunk_sweep", |b| b.iter(|| black_box(fig4::run(&cfg))));
+    c.bench_function("paper/fig4_chunk_sweep", |b| {
+        b.iter(|| black_box(fig4::run(&cfg)))
+    });
 }
 
 fn bench_table1(c: &mut Criterion) {
     let ds = exsample_experiments::presets::dataset("BDD MOT").unwrap();
     let gt = Arc::new(ds.dataset_spec().generate(4));
     let ci = ds.class_index("car").unwrap();
-    let cfg = table1::EvalConfig { runs: 2, max_samples: 20_000, seed: 5 };
+    let cfg = table1::EvalConfig {
+        runs: 2,
+        max_samples: 20_000,
+        seed: 5,
+    };
     c.bench_function("paper/table1_single_query", |b| {
         b.iter(|| black_box(table1::evaluate_query(&gt, &ds, ci, &cfg)))
     });
@@ -89,11 +98,16 @@ fn bench_fig6(c: &mut Criterion) {
     use exsample_videosim::{ClassId, ClassSpec, DatasetSpec};
     let gt = DatasetSpec::single_class(
         1_000_000,
-        ClassSpec::new("bicycle", 2_000, 300.0, SkewSpec::HotSpots {
-            spots: 2,
-            mass: 0.85,
-            width_frac: 0.01,
-        }),
+        ClassSpec::new(
+            "bicycle",
+            2_000,
+            300.0,
+            SkewSpec::HotSpots {
+                spots: 2,
+                mass: 0.85,
+                width_frac: 0.01,
+            },
+        ),
     )
     .generate(6);
     let chunking = Chunking::even(1_000_000, 60);
@@ -112,7 +126,12 @@ fn bench_coverage(c: &mut Criterion) {
         ClassSpec::new("car", 300, 120.0, SkewSpec::Uniform),
     )
     .generate(7);
-    let cfg = coverage::CoverageConfig { runs: 3, samples: 4_000, checkpoints: 6, seed: 8 };
+    let cfg = coverage::CoverageConfig {
+        runs: 3,
+        samples: 4_000,
+        checkpoints: 6,
+        seed: 8,
+    };
     c.bench_function("paper/coverage_check", |b| {
         b.iter(|| black_box(coverage::class_coverage(&gt, ClassId(0), &cfg)))
     });

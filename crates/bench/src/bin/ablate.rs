@@ -14,27 +14,36 @@ fn main() {
     println!("\n# Ablation: prior pseudo-counts (α0, β0)\n");
     let prior = ablate::prior_table(&w);
     println!("{}", prior.to_markdown());
-    prior.write_csv(results_dir().join("ablate_prior.csv")).expect("write CSV");
+    prior
+        .write_csv(results_dir().join("ablate_prior.csv"))
+        .expect("write CSV");
 
     println!("\n# Ablation: chunk selector\n");
     let sel = ablate::selector_table(&w);
     println!("{}", sel.to_markdown());
-    sel.write_csv(results_dir().join("ablate_selector.csv")).expect("write CSV");
+    sel.write_csv(results_dir().join("ablate_selector.csv"))
+        .expect("write CSV");
 
     println!("\n# Ablation: within-chunk order\n");
     let within = ablate::within_table(&w);
     println!("{}", within.to_markdown());
-    within.write_csv(results_dir().join("ablate_within.csv")).expect("write CSV");
+    within
+        .write_csv(results_dir().join("ablate_within.csv"))
+        .expect("write CSV");
 
     println!("\n# Ablation: batched Thompson sampling\n");
     let batch = ablate::batch_table(&w);
     println!("{}", batch.to_markdown());
-    batch.write_csv(results_dir().join("ablate_batch.csv")).expect("write CSV");
+    batch
+        .write_csv(results_dir().join("ablate_batch.csv"))
+        .expect("write CSV");
 
     println!("\n# Ablation: §VII fusion (scored within-chunk order)\n");
     let fusion = ablate::fusion_table(&w, 0.9);
     println!("{}", fusion.to_markdown());
-    fusion.write_csv(results_dir().join("ablate_fusion.csv")).expect("write CSV");
+    fusion
+        .write_csv(results_dir().join("ablate_fusion.csv"))
+        .expect("write CSV");
 
     println!(
         "Reading: performance is insensitive to the prior and to Thompson\n\

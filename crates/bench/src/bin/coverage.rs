@@ -19,6 +19,12 @@ fn main() {
         coverage::mean_coverage(&rows) * 100.0
     );
     let out = results_dir().join("coverage.csv");
-    coverage::to_table(&rows).write_csv(&out).expect("write CSV");
-    eprintln!("wrote {} ({:.1}s)", out.display(), t0.elapsed().as_secs_f64());
+    coverage::to_table(&rows)
+        .write_csv(&out)
+        .expect("write CSV");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,0 +1,43 @@
+//! Quantifies what the multi-query engine's shared detection cache saves:
+//! runs a batch of overlapping queries independently (one blocking search
+//! each, private detectors) and again through `exsample_engine::Engine`,
+//! then compares detector invocations and modelled GPU seconds.
+
+use exsample_bench::results_dir;
+use exsample_experiments::{engine_cmp, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut cfg = engine_cmp::EngineCmpConfig::default_workload();
+    if scale == Scale::Quick {
+        cfg.frames = 20_000;
+        cfg.instances = 40;
+        cfg.target = 30;
+        cfg.queries = 4;
+    }
+    eprintln!(
+        "engine_cmp: {} overlapping queries over {} frames ({scale:?}) …",
+        cfg.queries, cfg.frames
+    );
+    let t0 = std::time::Instant::now();
+    let report = engine_cmp::run(&cfg, 20.0);
+    println!("\n# Engine-shared vs. independent execution\n");
+    println!("{}", engine_cmp::to_table(&report).to_markdown());
+    println!(
+        "sharing avoided {:.0}% of detector invocations ({} → {}) at a {:.0}% cache hit rate",
+        report.savings() * 100.0,
+        report.independent.detector_invocations,
+        report.engine.detector_invocations,
+        report.cache_hit_rate * 100.0
+    );
+    let out = results_dir().join("engine_cmp.csv");
+    engine_cmp::to_table(&report)
+        .write_csv(&out)
+        .expect("write CSV");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -25,5 +25,9 @@ fn main() {
     );
     let out = results_dir().join("fig2.csv");
     table.write_csv(&out).expect("write CSV");
-    eprintln!("wrote {} ({:.1}s)", out.display(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
 }

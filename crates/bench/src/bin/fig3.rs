@@ -41,7 +41,9 @@ fn main() {
     let out = results_dir().join("fig3_curves.csv");
     curves.write_csv(&out).expect("write CSV");
     let savings_out = results_dir().join("fig3_savings.csv");
-    fig3::savings_table(&cells).write_csv(&savings_out).expect("write CSV");
+    fig3::savings_table(&cells)
+        .write_csv(&savings_out)
+        .expect("write CSV");
     eprintln!(
         "wrote {} and {} ({:.1}s)",
         out.display(),

@@ -22,6 +22,12 @@ fn main() {
          learning cost, so the benefit is non-monotonic in M."
     );
     let out = results_dir().join("fig4_curves.csv");
-    fig4::curves_table(&series).write_csv(&out).expect("write CSV");
-    eprintln!("wrote {} ({:.1}s)", out.display(), t0.elapsed().as_secs_f64());
+    fig4::curves_table(&series)
+        .write_csv(&out)
+        .expect("write CSV");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
 }

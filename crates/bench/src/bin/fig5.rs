@@ -21,9 +21,7 @@ fn main() {
             "summary over {} bars: geometric mean {:.2}x | min {:.2}x | p10 {:.2}x | p90 {:.2}x | max {:.2}x",
             s.bars, s.geo_mean, s.min, s.p10, s.p90, s.max
         );
-        println!(
-            "(paper: geometric mean 1.9x, max ≈6x, min ≈0.75x, p90 3.7x, p10 1.2x)"
-        );
+        println!("(paper: geometric mean 1.9x, max ≈6x, min ≈0.75x, p90 3.7x, p10 1.2x)");
     }
     for panel in &panels {
         let out = results_dir().join(format!("fig5_recall{}.csv", panel.recall));

@@ -15,9 +15,13 @@ fn main() {
          (S≈1, savings ≈1x or slightly below)."
     );
     let out = results_dir().join("fig6_histograms.csv");
-    fig6::histogram_table(&rows).write_csv(&out).expect("write CSV");
+    fig6::histogram_table(&rows)
+        .write_csv(&out)
+        .expect("write CSV");
     let sum_out = results_dir().join("fig6_summary.csv");
-    fig6::to_table(&rows).write_csv(&sum_out).expect("write CSV");
+    fig6::to_table(&rows)
+        .write_csv(&sum_out)
+        .expect("write CSV");
     eprintln!(
         "wrote {} and {} ({:.1}s)",
         out.display(),

@@ -25,15 +25,25 @@ fn main() {
             "  violation: {}/{} t90={} scan={}",
             v.dataset,
             v.class,
-            v.exsample_s[2].map(fmt_hms).unwrap_or_else(|| "unreached".into()),
+            v.exsample_s[2]
+                .map(fmt_hms)
+                .unwrap_or_else(|| "unreached".into()),
             fmt_hms(v.proxy_scan_s)
         );
     }
 
     // Full evaluation dump (also consumed as the Figure 5 input).
     let mut dump = Table::new(&[
-        "dataset", "class", "count", "proxy_scan_s",
-        "ex_t10_s", "ex_t50_s", "ex_t90_s", "rnd_t10_s", "rnd_t50_s", "rnd_t90_s",
+        "dataset",
+        "class",
+        "count",
+        "proxy_scan_s",
+        "ex_t10_s",
+        "ex_t50_s",
+        "ex_t90_s",
+        "rnd_t10_s",
+        "rnd_t50_s",
+        "rnd_t90_s",
     ]);
     let f = |x: &Option<f64>| x.map(|v| format!("{v:.1}")).unwrap_or_else(|| "".into());
     for e in &evals {
@@ -52,5 +62,9 @@ fn main() {
     }
     let out = results_dir().join("table1_evals.csv");
     dump.write_csv(&out).expect("write CSV");
-    eprintln!("wrote {} ({:.1}s)", out.display(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
 }

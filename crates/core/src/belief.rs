@@ -46,7 +46,10 @@ impl Default for BeliefPrior {
     /// The paper's values: `α0 = 0.1`, `β0 = 1` ("we did not observe a
     /// strong dependence on this value choice").
     fn default() -> Self {
-        BeliefPrior { alpha0: 0.1, beta0: 1.0 }
+        BeliefPrior {
+            alpha0: 0.1,
+            beta0: 1.0,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ impl BeliefPrior {
     /// Panics unless both pseudo-counts are positive (the Gamma is not
     /// defined at zero).
     pub fn new(alpha0: f64, beta0: f64) -> Self {
-        assert!(alpha0 > 0.0 && beta0 > 0.0, "prior pseudo-counts must be positive");
+        assert!(
+            alpha0 > 0.0 && beta0 > 0.0,
+            "prior pseudo-counts must be positive"
+        );
         BeliefPrior { alpha0, beta0 }
     }
 
@@ -183,9 +189,7 @@ mod tests {
         let cold = ChunkStats { n1: 0.0, n: 100 };
         let mut rng = Rng64::new(51);
         let wins = (0..2000)
-            .filter(|_| {
-                prior.thompson_draw(&hot, &mut rng) > prior.thompson_draw(&cold, &mut rng)
-            })
+            .filter(|_| prior.thompson_draw(&hot, &mut rng) > prior.thompson_draw(&cold, &mut rng))
             .count();
         assert!(wins > 1950, "wins={wins}");
     }

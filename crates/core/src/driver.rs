@@ -4,6 +4,11 @@
 //! to an oracle (detector + discriminator bundle), feeds the outcome back,
 //! and records a [`SearchTrace`]: the `(samples, found, seconds)` curve
 //! that every figure and table of the evaluation is computed from.
+//!
+//! The loop is factored through [`SearchStepper`], which exposes the same
+//! state machine one frame at a time so external drivers (notably the
+//! `exsample-engine` multi-query scheduler) can interleave many searches
+//! and charge each its measured cost.
 
 use crate::policy::{Feedback, SamplingPolicy};
 use crate::FrameIdx;
@@ -24,7 +29,10 @@ pub struct SearchCost {
 impl SearchCost {
     /// Cost with no upfront component.
     pub fn per_sample(per_sample_s: f64) -> Self {
-        SearchCost { upfront_s: 0.0, per_sample_s }
+        SearchCost {
+            upfront_s: 0.0,
+            per_sample_s,
+        }
     }
 
     /// Seconds elapsed after `samples` frames.
@@ -48,17 +56,26 @@ pub struct StopCond {
 impl StopCond {
     /// Stop at a result limit.
     pub fn results(limit: u64) -> Self {
-        StopCond { max_results: Some(limit), ..Default::default() }
+        StopCond {
+            max_results: Some(limit),
+            ..Default::default()
+        }
     }
 
     /// Stop at a sample budget.
     pub fn samples(budget: u64) -> Self {
-        StopCond { max_samples: Some(budget), ..Default::default() }
+        StopCond {
+            max_samples: Some(budget),
+            ..Default::default()
+        }
     }
 
     /// Stop at a time budget.
     pub fn seconds(budget: f64) -> Self {
-        StopCond { max_seconds: Some(budget), ..Default::default() }
+        StopCond {
+            max_seconds: Some(budget),
+            ..Default::default()
+        }
     }
 
     /// Combine with a sample budget.
@@ -149,6 +166,131 @@ impl SearchTrace {
     }
 }
 
+/// Incremental form of the Algorithm 1 loop: one search, stepped one
+/// frame at a time by an external caller.
+///
+/// [`run_search`] is a thin loop over this type. The multi-query engine
+/// drives many steppers concurrently, interleaving their steps under a
+/// scheduler instead of running each search to completion — which is why
+/// the stepper, unlike `run_search`, takes elapsed seconds from the
+/// caller: interleaved searches are charged their *actual* (cache- and
+/// decode-aware) cost rather than a fixed per-sample constant.
+///
+/// Protocol per step: call [`SearchStepper::next_frame`]; if it yields a
+/// frame, process it (detector + discriminator) and report the outcome via
+/// [`SearchStepper::record`]. When either method signals completion, call
+/// [`SearchStepper::finish`] to obtain the final [`SearchTrace`].
+#[derive(Debug, Clone)]
+pub struct SearchStepper {
+    stop: StopCond,
+    trace: SearchTrace,
+    done: bool,
+}
+
+impl SearchStepper {
+    /// Start a search with `upfront_s` seconds already on the clock (a
+    /// proxy scoring scan, for instance). The stepper may be born done if
+    /// the stop condition is already met.
+    pub fn new(stop: StopCond, upfront_s: f64) -> Self {
+        let trace = SearchTrace {
+            points: Vec::new(),
+            samples: 0,
+            found: 0,
+            seconds: upfront_s,
+            exhausted: false,
+        };
+        let done = stop.done(0, 0, trace.seconds);
+        SearchStepper { stop, trace, done }
+    }
+
+    /// True once the stop condition fired or the policy ran out of frames.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Frames processed so far.
+    pub fn samples(&self) -> u64 {
+        self.trace.samples
+    }
+
+    /// Distinct results found so far.
+    pub fn found(&self) -> u64 {
+        self.trace.found
+    }
+
+    /// Seconds on the clock (as last reported to [`SearchStepper::record`]).
+    pub fn seconds(&self) -> f64 {
+        self.trace.seconds
+    }
+
+    /// True if the policy ran out of frames before the stop condition hit.
+    pub fn exhausted(&self) -> bool {
+        self.trace.exhausted
+    }
+
+    /// Draw the next frame to process. Returns `None` when the search is
+    /// already done or the policy is exhausted (which marks the search
+    /// done and the trace exhausted).
+    pub fn next_frame(
+        &mut self,
+        policy: &mut dyn SamplingPolicy,
+        rng: &mut Rng64,
+    ) -> Option<FrameIdx> {
+        if self.done {
+            return None;
+        }
+        match policy.next_frame(rng) {
+            Some(frame) => Some(frame),
+            None => {
+                self.trace.exhausted = true;
+                self.done = true;
+                None
+            }
+        }
+    }
+
+    /// Report the outcome of processing `frame`: routes `fb` back to the
+    /// policy, advances the sample count, sets the clock to `seconds_now`
+    /// (absolute, not a delta), and evaluates the stop condition.
+    /// Returns `true` when the search is finished.
+    pub fn record(
+        &mut self,
+        policy: &mut dyn SamplingPolicy,
+        frame: FrameIdx,
+        fb: Feedback,
+        seconds_now: f64,
+    ) -> bool {
+        policy.feedback(frame, fb);
+        self.trace.samples += 1;
+        self.trace.seconds = seconds_now;
+        if fb.new_results > 0 {
+            self.trace.found += fb.new_results as u64;
+            self.trace.points.push(TracePoint {
+                samples: self.trace.samples,
+                found: self.trace.found,
+                seconds: self.trace.seconds,
+            });
+        }
+        if self
+            .stop
+            .done(self.trace.found, self.trace.samples, self.trace.seconds)
+        {
+            self.done = true;
+        }
+        self.done
+    }
+
+    /// Seal the trace (appends the terminal point) and return it.
+    pub fn finish(mut self) -> SearchTrace {
+        self.trace.points.push(TracePoint {
+            samples: self.trace.samples,
+            found: self.trace.found,
+            seconds: self.trace.seconds,
+        });
+        self.trace
+    }
+}
+
 /// Run a search to completion under a stop condition.
 ///
 /// The `oracle` maps a frame index to the discriminator outcome for that
@@ -164,44 +306,16 @@ pub fn run_search<O>(
 where
     O: FnMut(FrameIdx) -> Feedback,
 {
-    let mut trace = SearchTrace {
-        points: Vec::new(),
-        samples: 0,
-        found: 0,
-        seconds: cost.seconds(0),
-        exhausted: false,
-    };
-    if stop.done(0, 0, trace.seconds) {
-        trace.points.push(TracePoint { samples: 0, found: 0, seconds: trace.seconds });
-        return trace;
-    }
-    loop {
-        let Some(frame) = policy.next_frame(rng) else {
-            trace.exhausted = true;
+    let mut stepper = SearchStepper::new(*stop, cost.seconds(0));
+    while !stepper.done() {
+        let Some(frame) = stepper.next_frame(policy, rng) else {
             break;
         };
         let fb = oracle(frame);
-        policy.feedback(frame, fb);
-        trace.samples += 1;
-        trace.seconds = cost.seconds(trace.samples);
-        if fb.new_results > 0 {
-            trace.found += fb.new_results as u64;
-            trace.points.push(TracePoint {
-                samples: trace.samples,
-                found: trace.found,
-                seconds: trace.seconds,
-            });
-        }
-        if stop.done(trace.found, trace.samples, trace.seconds) {
-            break;
-        }
+        let seconds = cost.seconds(stepper.samples() + 1);
+        stepper.record(policy, frame, fb, seconds);
     }
-    trace.points.push(TracePoint {
-        samples: trace.samples,
-        found: trace.found,
-        seconds: trace.seconds,
-    });
-    trace
+    stepper.finish()
 }
 
 #[cfg(test)]
@@ -225,7 +339,13 @@ mod tests {
                 Feedback::NONE
             }
         };
-        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(0.05), &StopCond::results(5), &mut rng);
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(0.05),
+            &StopCond::results(5),
+            &mut rng,
+        );
         assert_eq!(t.found(), 5);
         assert!(!t.exhausted());
         assert_eq!(t.seconds(), t.samples() as f64 * 0.05);
@@ -237,7 +357,13 @@ mod tests {
         let mut p = policy();
         let mut rng = Rng64::new(81);
         let mut oracle = |_f: u64| Feedback::NONE;
-        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(1.0), &StopCond::samples(17), &mut rng);
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(1.0),
+            &StopCond::samples(17),
+            &mut rng,
+        );
         assert_eq!(t.samples(), 17);
         assert_eq!(t.found(), 0);
     }
@@ -249,8 +375,17 @@ mod tests {
         let mut p = policy();
         let mut rng = Rng64::new(82);
         let mut oracle = |_f: u64| Feedback::new(1, 0);
-        let cost = SearchCost { upfront_s: 100.0, per_sample_s: 0.05 };
-        let t = run_search(&mut p, &mut oracle, &cost, &StopCond::seconds(50.0), &mut rng);
+        let cost = SearchCost {
+            upfront_s: 100.0,
+            per_sample_s: 0.05,
+        };
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &cost,
+            &StopCond::seconds(50.0),
+            &mut rng,
+        );
         assert_eq!(t.samples(), 0);
         assert_eq!(t.found(), 0);
         assert_eq!(t.seconds(), 100.0);
@@ -261,7 +396,13 @@ mod tests {
         let mut p = ExSample::new(Chunking::even(50, 5), ExSampleConfig::default());
         let mut rng = Rng64::new(83);
         let mut oracle = |_f: u64| Feedback::NONE;
-        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(1.0), &StopCond::results(1), &mut rng);
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(1.0),
+            &StopCond::results(1),
+            &mut rng,
+        );
         assert!(t.exhausted());
         assert_eq!(t.samples(), 50);
     }
@@ -277,7 +418,13 @@ mod tests {
                 Feedback::NONE
             }
         };
-        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(0.01), &StopCond::results(30), &mut rng);
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(0.01),
+            &StopCond::results(30),
+            &mut rng,
+        );
         for w in t.points().windows(2) {
             assert!(w[0].samples <= w[1].samples);
             assert!(w[0].found <= w[1].found);
@@ -297,10 +444,105 @@ mod tests {
                 Feedback::NONE
             }
         };
-        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(0.01), &StopCond::samples(100), &mut rng);
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(0.01),
+            &StopCond::samples(100),
+            &mut rng,
+        );
         assert_eq!(t.found_at_samples(t.samples()), t.found());
         assert!(t.found_at_samples(10) <= t.found());
         assert_eq!(t.found_at_samples(0), 0);
+    }
+
+    #[test]
+    fn stepper_matches_run_search_exactly() {
+        // The incremental stepper must reproduce run_search bit-for-bit:
+        // same frames, same trace points, same (exact) seconds.
+        let oracle = |f: u64| {
+            if f.is_multiple_of(9) {
+                Feedback::new(1, 0)
+            } else {
+                Feedback::NONE
+            }
+        };
+        let cost = SearchCost {
+            upfront_s: 3.0,
+            per_sample_s: 0.05,
+        };
+        let stop = StopCond::results(12).or_samples(400);
+
+        let mut p1 = policy();
+        let mut rng1 = Rng64::new(90);
+        let mut o = oracle;
+        let blocking = run_search(&mut p1, &mut o, &cost, &stop, &mut rng1);
+
+        let mut p2 = policy();
+        let mut rng2 = Rng64::new(90);
+        let mut st = SearchStepper::new(stop, cost.seconds(0));
+        while !st.done() {
+            let Some(frame) = st.next_frame(&mut p2, &mut rng2) else {
+                break;
+            };
+            let fb = oracle(frame);
+            let seconds = cost.seconds(st.samples() + 1);
+            st.record(&mut p2, frame, fb, seconds);
+        }
+        let stepped = st.finish();
+        assert_eq!(blocking, stepped);
+    }
+
+    #[test]
+    fn stepper_born_done_when_stop_already_met() {
+        let mut p = policy();
+        let mut rng = Rng64::new(91);
+        let mut st = SearchStepper::new(StopCond::seconds(10.0), 50.0);
+        assert!(st.done());
+        assert_eq!(st.next_frame(&mut p, &mut rng), None);
+        let t = st.finish();
+        assert_eq!(t.samples(), 0);
+        assert_eq!(t.seconds(), 50.0);
+        assert_eq!(t.points().len(), 1);
+    }
+
+    #[test]
+    fn stepper_reports_exhaustion() {
+        let mut p = ExSample::new(Chunking::even(10, 2), ExSampleConfig::default());
+        let mut rng = Rng64::new(92);
+        let mut st = SearchStepper::new(StopCond::results(99), 0.0);
+        let mut steps = 0;
+        while let Some(f) = st.next_frame(&mut p, &mut rng) {
+            steps += 1;
+            st.record(&mut p, f, Feedback::NONE, steps as f64);
+        }
+        assert!(st.done());
+        assert!(st.exhausted());
+        assert_eq!(st.samples(), 10);
+        let t = st.finish();
+        assert!(t.exhausted());
+    }
+
+    #[test]
+    fn stepper_accepts_caller_supplied_clock() {
+        // The engine charges variable per-frame costs (cache hits are
+        // cheap); the stepper must stop on whatever clock it is told.
+        let mut p = policy();
+        let mut rng = Rng64::new(93);
+        let mut st = SearchStepper::new(StopCond::seconds(1.0), 0.0);
+        let mut clock = 0.0;
+        let mut frames = 0;
+        while !st.done() {
+            let Some(f) = st.next_frame(&mut p, &mut rng) else {
+                break;
+            };
+            frames += 1;
+            clock += if frames % 2 == 0 { 0.4 } else { 0.01 };
+            st.record(&mut p, f, Feedback::NONE, clock);
+        }
+        assert!(st.seconds() >= 1.0);
+        // Cumulative clock: .01, .41, .42, .82, .83, 1.23 — stops at 6.
+        assert_eq!(frames, 6);
     }
 
     #[test]
@@ -308,7 +550,13 @@ mod tests {
         let mut p = policy();
         let mut rng = Rng64::new(86);
         let mut oracle = |_f: u64| Feedback::new(3, 0);
-        let t = run_search(&mut p, &mut oracle, &SearchCost::per_sample(1.0), &StopCond::results(7), &mut rng);
+        let t = run_search(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(1.0),
+            &StopCond::results(7),
+            &mut rng,
+        );
         // 3 per frame: reaches >= 7 after 3 frames (9 found).
         assert_eq!(t.samples(), 3);
         assert_eq!(t.found(), 9);

@@ -218,10 +218,7 @@ impl ExSample {
     ) -> Self {
         let within = (0..chunking.num_chunks())
             .map(|j| {
-                WithinSampler::Scored(crate::within::ScoredWithin::new(
-                    scores,
-                    chunking.range(j),
-                ))
+                WithinSampler::Scored(crate::within::ScoredWithin::new(scores, chunking.range(j)))
             })
             .collect();
         Self::from_parts(chunking, config, within)
@@ -275,7 +272,10 @@ impl ExSample {
                 continue;
             }
             let key = self.groups.keys[gid];
-            let stats = ChunkStats { n1: f64::from_bits(key.0), n: key.1 };
+            let stats = ChunkStats {
+                n1: f64::from_bits(key.0),
+                n: key.1,
+            };
             let k = members.len();
             match selector {
                 Selector::Thompson => {
@@ -360,7 +360,9 @@ mod tests {
     fn run_policy(policy: &mut ExSample, oracle: impl Fn(u64) -> Feedback, n: usize, seed: u64) {
         let mut rng = Rng64::new(seed);
         for _ in 0..n {
-            let Some(f) = policy.next_frame(&mut rng) else { break };
+            let Some(f) = policy.next_frame(&mut rng) else {
+                break;
+            };
             policy.feedback(f, oracle(f));
         }
     }
@@ -370,11 +372,7 @@ mod tests {
         // Scores increase with the frame id inside each chunk; the fused
         // sampler must emit each chunk's frames in descending order.
         let scores = std::sync::Arc::new((0..100).map(|i| (i % 25) as f32).collect::<Vec<_>>());
-        let mut p = ExSample::fused(
-            Chunking::even(100, 4),
-            ExSampleConfig::default(),
-            &scores,
-        );
+        let mut p = ExSample::fused(Chunking::even(100, 4), ExSampleConfig::default(), &scores);
         let mut rng = Rng64::new(69);
         let mut last_in_chunk = [f32::INFINITY; 4];
         let mut seen = std::collections::HashSet::new();
@@ -486,7 +484,11 @@ mod tests {
     fn all_selectors_and_withins_work() {
         for selector in [Selector::Thompson, Selector::BayesUcb, Selector::Greedy] {
             for within in [WithinKind::Stratified, WithinKind::Random] {
-                let cfg = ExSampleConfig { prior: BeliefPrior::default(), selector, within };
+                let cfg = ExSampleConfig {
+                    prior: BeliefPrior::default(),
+                    selector,
+                    within,
+                };
                 let mut p = ExSample::new(Chunking::even(200, 4), cfg);
                 let mut rng = Rng64::new(74);
                 let mut seen = std::collections::HashSet::new();
@@ -540,7 +542,10 @@ mod tests {
     #[test]
     fn feedback_after_retirement_is_safe() {
         // Exhaust a tiny chunk, then feed back its last frame's outcome.
-        let mut p = ExSample::new(Chunking::from_bounds(vec![0, 2, 100]), ExSampleConfig::default());
+        let mut p = ExSample::new(
+            Chunking::from_bounds(vec![0, 2, 100]),
+            ExSampleConfig::default(),
+        );
         let mut rng = Rng64::new(78);
         let mut last_small = None;
         for _ in 0..50 {

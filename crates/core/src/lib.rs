@@ -65,7 +65,7 @@ pub mod within;
 
 pub use belief::{BeliefPrior, ChunkStats, Selector};
 pub use chunking::Chunking;
-pub use driver::{run_search, SearchCost, SearchTrace, StopCond, TracePoint};
+pub use driver::{run_search, SearchCost, SearchStepper, SearchTrace, StopCond, TracePoint};
 pub use exsample::{ExSample, ExSampleConfig};
 pub use policy::{Feedback, SamplingPolicy};
 pub use within::{RandomWithin, ScoredWithin, StratifiedWithin, WithinKind, WithinSampler};

@@ -17,11 +17,17 @@ pub struct Feedback {
 
 impl Feedback {
     /// A frame that yielded nothing.
-    pub const NONE: Feedback = Feedback { new_results: 0, matched_once: 0 };
+    pub const NONE: Feedback = Feedback {
+        new_results: 0,
+        matched_once: 0,
+    };
 
     /// Convenience constructor.
     pub fn new(new_results: u32, matched_once: u32) -> Self {
-        Feedback { new_results, matched_once }
+        Feedback {
+            new_results,
+            matched_once,
+        }
     }
 }
 
@@ -30,7 +36,12 @@ impl Feedback {
 /// Implementations must never return the same frame twice (sampling is
 /// without replacement) and must return `None` once the repository is
 /// exhausted.
-pub trait SamplingPolicy {
+///
+/// Policies are `Send` so a search session (policy + RNG + stepper) can
+/// migrate between the worker threads of the multi-query engine; each
+/// session is still driven by one thread at a time, so `Sync` is not
+/// required.
+pub trait SamplingPolicy: Send {
     /// Choose the next frame to process.
     fn next_frame(&mut self, rng: &mut Rng64) -> Option<FrameIdx>;
 
@@ -87,7 +98,11 @@ mod tests {
 
     #[test]
     fn default_batch_draws_sequentially() {
-        let mut p = Counter { next: 0, limit: 10, feedbacks: 0 };
+        let mut p = Counter {
+            next: 0,
+            limit: 10,
+            feedbacks: 0,
+        };
         let mut rng = Rng64::new(1);
         let mut out = Vec::new();
         p.next_batch(4, &mut rng, &mut out);
@@ -100,7 +115,11 @@ mod tests {
 
     #[test]
     fn feedback_reaches_policy() {
-        let mut p = Counter { next: 0, limit: 10, feedbacks: 0 };
+        let mut p = Counter {
+            next: 0,
+            limit: 10,
+            feedbacks: 0,
+        };
         p.feedback(0, Feedback::new(3, 1));
         assert_eq!(p.feedbacks, 3);
     }

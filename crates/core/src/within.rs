@@ -139,7 +139,10 @@ pub struct RandomWithin {
 impl RandomWithin {
     /// Sampler over the given range.
     pub fn new(range: std::ops::Range<u64>) -> Self {
-        RandomWithin { lo: range.start, inner: UniformNoReplacement::new(range.end - range.start) }
+        RandomWithin {
+            lo: range.start,
+            inner: UniformNoReplacement::new(range.end - range.start),
+        }
     }
 
     /// Draw the next frame.

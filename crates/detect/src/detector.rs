@@ -95,7 +95,13 @@ pub struct SimulatedDetector {
 impl SimulatedDetector {
     /// Build a detector for one class of one dataset.
     pub fn new(gt: Arc<GroundTruth>, class: ClassId, noise: NoiseModel, seed: u64) -> Self {
-        SimulatedDetector { gt, class, noise, rng_root: Rng64::new(seed), scratch: Vec::new() }
+        SimulatedDetector {
+            gt,
+            class,
+            noise,
+            rng_root: Rng64::new(seed),
+            scratch: Vec::new(),
+        }
     }
 
     /// Perfect detector (no noise).
@@ -107,21 +113,29 @@ impl SimulatedDetector {
     pub fn ground_truth(&self) -> &Arc<GroundTruth> {
         &self.gt
     }
-}
 
-impl Detector for SimulatedDetector {
-    fn detect(&mut self, frame: FrameIdx) -> Vec<Detection> {
+    /// Run detection on one frame through `&self` — identical output to
+    /// [`Detector::detect`] (the per-frame noise stream depends only on
+    /// `(seed, frame)`), but usable from shared references, which is what
+    /// the engine's frame cache needs when many sessions share one
+    /// detector. The caller supplies the scratch buffer the `&mut` path
+    /// keeps internally.
+    pub fn detect_with_scratch(
+        &self,
+        frame: FrameIdx,
+        scratch: &mut Vec<InstanceId>,
+    ) -> Vec<Detection> {
         // Per-frame deterministic stream: same frame -> same noise.
         let mut rng = self.rng_root.fork(frame);
         let gt = &self.gt;
-        gt.visible_at(self.class, frame, &mut self.scratch);
-        let mut out = Vec::with_capacity(self.scratch.len());
+        gt.visible_at(self.class, frame, scratch);
+        let mut out = Vec::with_capacity(scratch.len());
         let jitter = if self.noise.jitter_px > 0.0 {
             Some(Normal::new(0.0, self.noise.jitter_px))
         } else {
             None
         };
-        for &id in &self.scratch {
+        for &id in scratch.iter() {
             let inst = gt.instance(id);
             let bbox = inst
                 .bbox_at(frame, gt.img_w, gt.img_h)
@@ -164,6 +178,15 @@ impl Detector for SimulatedDetector {
         }
         out
     }
+}
+
+impl Detector for SimulatedDetector {
+    fn detect(&mut self, frame: FrameIdx) -> Vec<Detection> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.detect_with_scratch(frame, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
 
     fn class(&self) -> ClassId {
         self.class
@@ -176,10 +199,8 @@ mod tests {
     use exsample_videosim::{ClassSpec, DatasetSpec, SkewSpec};
 
     fn truth() -> Arc<GroundTruth> {
-        let spec = DatasetSpec::single_class(
-            10_000,
-            ClassSpec::new("car", 100, 200.0, SkewSpec::Uniform),
-        );
+        let spec =
+            DatasetSpec::single_class(10_000, ClassSpec::new("car", 100, 200.0, SkewSpec::Uniform));
         Arc::new(spec.generate(42))
     }
 
@@ -209,9 +230,24 @@ mod tests {
     }
 
     #[test]
+    fn shared_path_matches_mut_path() {
+        let gt = truth();
+        let mut det = SimulatedDetector::new(gt, ClassId(0), NoiseModel::realistic(), 13);
+        let mut scratch = Vec::new();
+        for frame in (0..10_000u64).step_by(611) {
+            let shared = det.detect_with_scratch(frame, &mut scratch);
+            let owned = det.detect(frame);
+            assert_eq!(shared, owned, "frame {frame}");
+        }
+    }
+
+    #[test]
     fn noise_misses_some_objects() {
         let gt = truth();
-        let noise = NoiseModel { miss_rate: 0.5, ..NoiseModel::none() };
+        let noise = NoiseModel {
+            miss_rate: 0.5,
+            ..NoiseModel::none()
+        };
         let mut det = SimulatedDetector::new(gt.clone(), ClassId(0), noise, 10);
         let mut visible = 0usize;
         let mut detected = 0usize;
@@ -235,11 +271,18 @@ mod tests {
     #[test]
     fn false_positives_marked_with_no_truth() {
         let gt = truth();
-        let noise = NoiseModel { fp_rate: 2.0, ..NoiseModel::none() };
+        let noise = NoiseModel {
+            fp_rate: 2.0,
+            ..NoiseModel::none()
+        };
         let mut det = SimulatedDetector::new(gt, ClassId(0), noise, 11);
         let mut fp = 0usize;
         for frame in 0..2000u64 {
-            fp += det.detect(frame).iter().filter(|d| d.truth.is_none()).count();
+            fp += det
+                .detect(frame)
+                .iter()
+                .filter(|d| d.truth.is_none())
+                .count();
         }
         // ~2 per frame expected.
         assert!((3000..5000).contains(&fp), "fp={fp}");
@@ -249,7 +292,10 @@ mod tests {
     fn jitter_moves_boxes_but_keeps_overlap() {
         let gt = truth();
         let mut clean = SimulatedDetector::perfect(gt.clone(), ClassId(0));
-        let noise = NoiseModel { jitter_px: 4.0, ..NoiseModel::none() };
+        let noise = NoiseModel {
+            jitter_px: 4.0,
+            ..NoiseModel::none()
+        };
         let mut noisy = SimulatedDetector::new(gt, ClassId(0), noise, 12);
         // Find a frame with at least one detection.
         for frame in 0..10_000u64 {

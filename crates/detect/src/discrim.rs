@@ -250,10 +250,8 @@ mod tests {
     use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, SkewSpec};
 
     fn truth() -> Arc<GroundTruth> {
-        let spec = DatasetSpec::single_class(
-            20_000,
-            ClassSpec::new("car", 60, 400.0, SkewSpec::Uniform),
-        );
+        let spec =
+            DatasetSpec::single_class(20_000, ClassSpec::new("car", 60, 400.0, SkewSpec::Uniform));
         Arc::new(spec.generate(77))
     }
 
@@ -328,10 +326,7 @@ mod tests {
     fn tracker_separates_distinct_instances() {
         let gt = truth();
         let mut d = TrackerDiscriminator::new(gt.clone(), 2);
-        let o = d.observe(
-            gt.instance(InstanceId(0)).start,
-            &[det(&gt, 0)],
-        );
+        let o = d.observe(gt.instance(InstanceId(0)).start, &[det(&gt, 0)]);
         assert_eq!(o.new_results, 1);
         // A different instance somewhere else must open a second track.
         let o2 = d.observe(gt.instance(InstanceId(1)).start, &[det(&gt, 1)]);
@@ -412,7 +407,10 @@ mod tests {
         assert!(reported >= distinct);
         // False positives arrive at ~fp_rate per frame.
         let fp_budget = (noise.fp_rate * samples as f64 * 1.8 + 10.0) as u64;
-        assert!(spurious <= fp_budget, "spurious={spurious} budget={fp_budget}");
+        assert!(
+            spurious <= fp_budget,
+            "spurious={spurious} budget={fp_budget}"
+        );
         // Track splits: about one duplicate per instance at this rate.
         let duplicates = reported - spurious - distinct;
         assert!(

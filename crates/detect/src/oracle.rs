@@ -46,7 +46,8 @@ impl<D: Detector, X: Discriminator> QueryOracle<D, X> {
             match t {
                 Some(id) => {
                     if self.true_found.insert(*id) {
-                        self.truth_curve.push((self.calls, self.true_found.len() as u64));
+                        self.truth_curve
+                            .push((self.calls, self.true_found.len() as u64));
                     } else {
                         self.duplicate_results += 1;
                     }
@@ -120,11 +121,8 @@ mod tests {
 
     fn truth() -> Arc<GroundTruth> {
         Arc::new(
-            DatasetSpec::single_class(
-                30_000,
-                ClassSpec::new("car", 40, 400.0, SkewSpec::Uniform),
-            )
-            .generate(99),
+            DatasetSpec::single_class(30_000, ClassSpec::new("car", 40, 400.0, SkewSpec::Uniform))
+                .generate(99),
         )
     }
 
@@ -165,7 +163,9 @@ mod tests {
         let mut found = 0u64;
         let mut samples = 0u64;
         while found < 20 && samples < 30_000 {
-            let Some(f) = policy.next_frame(&mut rng) else { break };
+            let Some(f) = policy.next_frame(&mut rng) else {
+                break;
+            };
             let fb = q.process(f);
             policy.feedback(f, fb);
             found += fb.new_results as u64;

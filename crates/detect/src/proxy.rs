@@ -42,7 +42,11 @@ impl ProxyModel {
         let mut vis = Vec::new();
         for frame in 0..gt.frames {
             gt.visible_at(class, frame, &mut vis);
-            let signal = if vis.is_empty() { 0.0 } else { 1.0 + 0.1 * (vis.len() as f64).ln_1p() };
+            let signal = if vis.is_empty() {
+                0.0
+            } else {
+                1.0 + 0.1 * (vis.len() as f64).ln_1p()
+            };
             let noise = if sigma > 0.0 {
                 sigma * Normal::standard_sample(&mut rng)
             } else {
@@ -142,11 +146,8 @@ mod tests {
     use exsample_videosim::{ClassSpec, DatasetSpec, SkewSpec};
 
     fn truth() -> GroundTruth {
-        DatasetSpec::single_class(
-            50_000,
-            ClassSpec::new("car", 80, 300.0, SkewSpec::Uniform),
-        )
-        .generate(13)
+        DatasetSpec::single_class(50_000, ClassSpec::new("car", 80, 300.0, SkewSpec::Uniform))
+            .generate(13)
     }
 
     #[test]

@@ -1,0 +1,913 @@
+//! The engine: worker threads multiplexing many search sessions.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit ──▶ ┌───────────────────────────────┐
+//!  poll   ──▶ │ EngineState (one mutex)       │   work_cv / done_cv
+//!  cancel ──▶ │  sessions: SessionId -> Slot  │◀──────────────┐
+//!  wait   ──▶ │  scheduler: weighted fair     │               │
+//!             └──────────────┬────────────────┘               │
+//!                            │ lease (session checked out)    │
+//!                 ┌──────────▼──────────┐                     │
+//!                 │ worker thread pool  │── step quantum ─────┘
+//!                 └──────────┬──────────┘
+//!                            │ miss: decode + detect
+//!                 ┌──────────▼──────────┐
+//!                 │ FrameCache (sharded)│  hit: free, shared
+//!                 └─────────────────────┘
+//! ```
+//!
+//! A worker leases the runnable session with the smallest virtual time,
+//! *takes the session core out of the slot* (so the state mutex is not
+//! held while frames are processed), steps it for up to a quantum of
+//! frames, then puts it back and charges the scheduler what the quantum
+//! actually cost. Per-frame cost is the modelled detector time
+//! (`1 / detector_fps`, cache misses only) plus io/decode seconds from the
+//! session's own GOP container reader priced by the store's `CostModel`;
+//! cache hits are free, which is precisely the sharing the engine exists
+//! to exploit.
+//!
+//! # Determinism
+//!
+//! Each session owns its policy, RNG, and discriminator, and is stepped by
+//! one worker at a time, so its frame sequence — and therefore its
+//! results, for result- or sample-bounded stops — is a pure function of
+//! its `QuerySpec`, independent of scheduling interleavings. Detector
+//! output is deterministic per `(repo, frame)`, and the cache computes
+//! each resident key exactly once, so total detector invocations are also
+//! reproducible (given a cache large enough to avoid evictions).
+//! Time-bounded stops (`StopCond::max_seconds`) react to *charged*
+//! seconds, which depend on which session happens to pay for a shared
+//! frame first — those stops are fair but not bit-reproducible.
+
+use crate::cache::{CacheStats, FrameCache};
+use crate::scheduler::Scheduler;
+use crate::session::{
+    QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport, SessionSnapshot,
+    SessionStatus,
+};
+use crate::threads::default_threads;
+use exsample_core::driver::SearchStepper;
+use exsample_core::exsample::ExSample;
+use exsample_core::policy::Feedback;
+use exsample_core::Chunking;
+use exsample_detect::{
+    Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
+};
+use exsample_stats::{FxHashMap, Rng64};
+use exsample_store::{Container, ContainerWriter, CostModel, DecodeStats};
+use exsample_videosim::GroundTruth;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (defaults to [`default_threads`]).
+    pub workers: usize,
+    /// Modelled detector throughput; one invocation charges
+    /// `1 / detector_fps` seconds (the paper measures ≈ 20 fps).
+    pub detector_fps: f64,
+    /// Frames granted per scheduler lease. Smaller quanta interleave
+    /// sessions more finely; larger quanta amortize locking.
+    pub quantum: u32,
+    /// Shared detection cache capacity, in frames.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Keyframe interval of the modelled storage containers.
+    pub gop_size: u32,
+    /// Prices io/decode work (seeks, GOP walks) in seconds.
+    pub cost_model: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: default_threads(),
+            detector_fps: 20.0,
+            quantum: 32,
+            cache_capacity: 1 << 20,
+            cache_shards: 64,
+            gop_size: 20,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Errors surfaced by the engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The repository id was never registered.
+    UnknownRepo(RepoId),
+    /// The session id was never submitted.
+    UnknownSession(SessionId),
+    /// The query spec is structurally invalid.
+    InvalidSpec(&'static str),
+    /// The session is still running (e.g. `forget` before completion).
+    SessionRunning(SessionId),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownRepo(r) => write!(f, "unknown repository {r:?}"),
+            EngineError::UnknownSession(s) => write!(f, "unknown session {s:?}"),
+            EngineError::InvalidSpec(why) => write!(f, "invalid query spec: {why}"),
+            EngineError::SessionRunning(s) => write!(f, "session {s:?} is still running"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A registered repository: ground truth, one deterministic per-class
+/// detector bank, and the bytes of its GOP container.
+struct RepoData {
+    gt: Arc<GroundTruth>,
+    detectors: Vec<SimulatedDetector>,
+    container: bytes::Bytes,
+}
+
+/// The per-session state a worker checks out while stepping.
+struct SessionCore {
+    repo_id: RepoId,
+    repo: Arc<RepoData>,
+    class: exsample_videosim::ClassId,
+    policy: ExSample,
+    rng: Rng64,
+    stepper: SearchStepper,
+    discrim: OracleDiscriminator,
+    /// This session's private reader over the repo container (its own GOP
+    /// cache and decode tally).
+    container: Container,
+    /// Reusable buffer for the query-class slice of cached detections.
+    class_dets: Vec<Detection>,
+    /// Reusable visible-instance scratch for cache-miss detection runs.
+    gt_scratch: Vec<exsample_videosim::InstanceId>,
+}
+
+/// Slot holding a session inside the engine state.
+struct Slot {
+    /// `Some` while the session still runs; taken by the leasing worker.
+    core: Option<Box<SessionCore>>,
+    status: SessionStatus,
+    cancel: Arc<AtomicBool>,
+    events: Vec<ResultEvent>,
+    charges: SessionCharges,
+    found: u64,
+    samples: u64,
+    /// Final trace, set at completion/cancellation.
+    trace: Option<exsample_core::driver::SearchTrace>,
+    /// Position in the engine-wide finish order, set at finalization.
+    finish_order: u64,
+}
+
+struct EngineState {
+    repos: Vec<Arc<RepoData>>,
+    sessions: FxHashMap<SessionId, Slot>,
+    scheduler: Scheduler,
+    next_session: u64,
+    finished_sessions: u64,
+}
+
+struct Shared {
+    state: Mutex<EngineState>,
+    /// Wakes workers when sessions become runnable (submit / release).
+    work_cv: Condvar,
+    /// Wakes `wait()` callers when any session finishes.
+    done_cv: Condvar,
+    cache: FrameCache,
+    config: EngineConfig,
+    stop: AtomicBool,
+}
+
+/// Multi-query search engine front door.
+///
+/// See the [module docs](self) for the architecture. All methods take
+/// `&self`; the engine is internally synchronized and is shut down (stop
+/// flag + worker join) on drop.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start an engine and its worker threads.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (zero workers, quantum,
+    /// fps, or cache capacity).
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.quantum > 0, "quantum must be positive");
+        assert!(config.detector_fps > 0.0, "detector_fps must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EngineState {
+                repos: Vec::new(),
+                sessions: FxHashMap::default(),
+                scheduler: Scheduler::new(),
+                next_session: 0,
+                finished_sessions: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cache: FrameCache::new(config.cache_capacity, config.cache_shards),
+            config,
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("exsample-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// Register a repository. Builds the per-class detector bank (the
+    /// noise stream of class `c` is seeded by `det_seed + c`, so detection
+    /// output is a pure function of `(repo, frame)`) and writes the
+    /// repository's GOP container, which sessions decode through.
+    pub fn register_repo(&self, gt: Arc<GroundTruth>, noise: NoiseModel, det_seed: u64) -> RepoId {
+        let detectors = (0..gt.num_classes())
+            .map(|c| {
+                SimulatedDetector::new(
+                    gt.clone(),
+                    exsample_videosim::ClassId(c as u16),
+                    noise,
+                    det_seed.wrapping_add(c as u64),
+                )
+            })
+            .collect();
+        // Model the storage layer with an empty payload per frame: decode
+        // *cost* (seeks, keyframe walks) is structural, not content-bound.
+        let mut writer = ContainerWriter::new(self.shared.config.gop_size);
+        for _ in 0..gt.frames {
+            writer.push_frame(&[]);
+        }
+        let repo = Arc::new(RepoData {
+            gt,
+            detectors,
+            container: writer.finish(),
+        });
+        let mut state = self.lock_state();
+        let id = RepoId(state.repos.len() as u32);
+        state.repos.push(repo);
+        id
+    }
+
+    /// Submit a query; the session immediately competes for detector
+    /// budget. Returns its id for `poll` / `cancel` / `wait`.
+    pub fn submit(&self, spec: QuerySpec) -> Result<SessionId, EngineError> {
+        if spec.chunks == 0 {
+            return Err(EngineError::InvalidSpec("chunks must be positive"));
+        }
+        if spec.weight == 0 {
+            return Err(EngineError::InvalidSpec("weight must be positive"));
+        }
+        let mut state = self.lock_state();
+        let repo = state
+            .repos
+            .get(spec.repo.0 as usize)
+            .cloned()
+            .ok_or(EngineError::UnknownRepo(spec.repo))?;
+        if (spec.class.0 as usize) >= repo.gt.num_classes() {
+            return Err(EngineError::InvalidSpec("class not present in repository"));
+        }
+        let frames = repo.gt.frames;
+        if frames == 0 {
+            return Err(EngineError::InvalidSpec("repository has no frames"));
+        }
+        let chunks = spec.chunks.min(frames as usize);
+        let core = Box::new(SessionCore {
+            repo_id: spec.repo,
+            class: spec.class,
+            policy: ExSample::new(Chunking::even(frames, chunks), spec.config),
+            rng: Rng64::new(spec.seed),
+            stepper: SearchStepper::new(spec.stop, 0.0),
+            discrim: OracleDiscriminator::new(),
+            container: Container::open(repo.container.clone()).expect("engine-built container"),
+            repo,
+            class_dets: Vec::new(),
+            gt_scratch: Vec::new(),
+        });
+        let id = SessionId(state.next_session);
+        state.next_session += 1;
+        state.sessions.insert(
+            id,
+            Slot {
+                core: Some(core),
+                status: SessionStatus::Running,
+                cancel: Arc::new(AtomicBool::new(false)),
+                events: Vec::new(),
+                charges: SessionCharges::default(),
+                found: 0,
+                samples: 0,
+                trace: None,
+                finish_order: 0,
+            },
+        );
+        state.scheduler.register(id, spec.weight);
+        drop(state);
+        self.shared.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Non-blocking progress snapshot. `cursor` selects which result
+    /// events to return (pass 0 first, then the returned `next_cursor`).
+    pub fn poll(&self, id: SessionId, cursor: usize) -> Result<SessionSnapshot, EngineError> {
+        let state = self.lock_state();
+        let slot = state
+            .sessions
+            .get(&id)
+            .ok_or(EngineError::UnknownSession(id))?;
+        let cursor = cursor.min(slot.events.len());
+        Ok(SessionSnapshot {
+            status: slot.status,
+            found: slot.found,
+            samples: slot.samples,
+            charges: slot.charges,
+            events: slot.events[cursor..].to_vec(),
+            next_cursor: slot.events.len(),
+        })
+    }
+
+    /// Request cancellation. Takes effect at the session's next frame
+    /// boundary; `wait` then returns its partial trace with status
+    /// [`SessionStatus::Cancelled`]. Cancelling a finished session is a
+    /// no-op.
+    pub fn cancel(&self, id: SessionId) -> Result<(), EngineError> {
+        let state = self.lock_state();
+        let slot = state
+            .sessions
+            .get(&id)
+            .ok_or(EngineError::UnknownSession(id))?;
+        slot.cancel.store(true, Ordering::Relaxed);
+        drop(state);
+        // A worker pass finalizes the cancellation even if the session is
+        // currently parked.
+        self.shared.work_cv.notify_all();
+        Ok(())
+    }
+
+    /// Block until the session finishes (or is cancelled) and return its
+    /// final report.
+    pub fn wait(&self, id: SessionId) -> Result<SessionReport, EngineError> {
+        let mut state = self.lock_state();
+        loop {
+            let slot = state
+                .sessions
+                .get(&id)
+                .ok_or(EngineError::UnknownSession(id))?;
+            if let Some(trace) = &slot.trace {
+                return Ok(SessionReport {
+                    status: slot.status,
+                    trace: trace.clone(),
+                    charges: slot.charges,
+                    finish_order: slot.finish_order,
+                });
+            }
+            // Drop takes `&mut self`, so no `wait` borrow can be alive
+            // while the engine shuts down — no stop check is needed here.
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .expect("engine state poisoned");
+        }
+    }
+
+    /// Drop every trace of a *finished* session (its event log, trace,
+    /// and ledger), returning the final report one last time.
+    ///
+    /// Finished sessions are retained indefinitely so late `poll`/`wait`
+    /// callers can still read them; a long-lived engine serving an open-
+    /// ended query stream should `forget` sessions once their results are
+    /// consumed, or resident memory grows with every query ever run.
+    pub fn forget(&self, id: SessionId) -> Result<SessionReport, EngineError> {
+        let mut state = self.lock_state();
+        let slot = state
+            .sessions
+            .get(&id)
+            .ok_or(EngineError::UnknownSession(id))?;
+        if slot.trace.is_none() {
+            return Err(EngineError::SessionRunning(id));
+        }
+        let slot = state.sessions.remove(&id).expect("present above");
+        Ok(SessionReport {
+            status: slot.status,
+            trace: slot.trace.expect("checked above"),
+            charges: slot.charges,
+            finish_order: slot.finish_order,
+        })
+    }
+
+    /// Shared-cache counters (hits, misses, evictions, residency).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Total detector invocations the engine has paid for — cache misses.
+    /// With independent execution this would be the total frame count
+    /// across sessions; the difference is what sharing saved.
+    pub fn detector_invocations(&self) -> u64 {
+        self.shared.cache.stats().misses
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, EngineState> {
+        self.shared.state.lock().expect("engine state poisoned")
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Workers read `stop` under the state mutex before parking on
+        // work_cv. Notifying while holding that mutex closes the lost-
+        // wakeup window: either a worker has already parked (the notify
+        // reaches it) or it still holds the mutex (we block here until it
+        // parks, then our notify reaches it) — it can never re-check the
+        // flag before our store became visible.
+        {
+            let _state = self.lock_state();
+            self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock_state();
+        f.debug_struct("Engine")
+            .field("workers", &self.workers.len())
+            .field("repos", &state.repos.len())
+            .field("sessions", &state.sessions.len())
+            .field("cache", &self.shared.cache.stats())
+            .finish()
+    }
+}
+
+/// What one quantum of stepping produced (applied under the state lock).
+struct QuantumOutcome {
+    events: Vec<ResultEvent>,
+    delta: SessionCharges,
+    finished: bool,
+    cancelled: bool,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("engine state poisoned");
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(id) = state.scheduler.lease_next() else {
+            state = shared.work_cv.wait(state).expect("engine state poisoned");
+            continue;
+        };
+        let slot = state.sessions.get_mut(&id).expect("leased session exists");
+        let mut core = slot.core.take().expect("leased session has its core");
+        let cancel = slot.cancel.clone();
+        drop(state);
+
+        let outcome = step_quantum(&mut core, shared, &cancel);
+
+        state = shared.state.lock().expect("engine state poisoned");
+        // Liveness floor: an all-hit quantum costs ~0 modelled seconds, and
+        // charging exactly 0 would freeze the session's virtual time and
+        // let a cache-warm session hold every lease until it finishes
+        // (wall-clock-starving cost-paying sessions). Floor each release at
+        // 0.1% of a fully-missing quantum — negligible for budget split,
+        // sufficient for rotation. Session ledgers stay exact; only the
+        // scheduler's arbitration sees the floor.
+        let floor_s = shared.config.quantum as f64 / shared.config.detector_fps * 1e-3;
+        state
+            .scheduler
+            .release(id, outcome.delta.total_s().max(floor_s));
+        let finish_order = state.finished_sessions;
+        let finalized = {
+            let slot = state.sessions.get_mut(&id).expect("session exists");
+            slot.events.extend_from_slice(&outcome.events);
+            slot.charges.detect_s += outcome.delta.detect_s;
+            slot.charges.io_s += outcome.delta.io_s;
+            slot.charges.frames += outcome.delta.frames;
+            slot.charges.cache_hits += outcome.delta.cache_hits;
+            slot.charges.detector_invocations += outcome.delta.detector_invocations;
+            slot.found = core.stepper.found();
+            slot.samples = core.stepper.samples();
+            if outcome.finished || outcome.cancelled {
+                slot.status = if outcome.cancelled {
+                    SessionStatus::Cancelled
+                } else {
+                    SessionStatus::Done
+                };
+                slot.trace = Some(core.stepper.clone().finish());
+                slot.finish_order = finish_order;
+                true
+            } else {
+                slot.core = Some(core);
+                false
+            }
+        };
+        if finalized {
+            state.finished_sessions += 1;
+            state.scheduler.deactivate(id);
+            shared.done_cv.notify_all();
+        } else {
+            // The session is runnable again; a parked worker may want it.
+            shared.work_cv.notify_one();
+        }
+    }
+}
+
+/// Step one leased session for up to `quantum` frames. Runs without the
+/// state lock; touches only the session's own core plus the shared cache.
+fn step_quantum(core: &mut SessionCore, shared: &Shared, cancel: &AtomicBool) -> QuantumOutcome {
+    let detect_frame_s = 1.0 / shared.config.detector_fps;
+    let cost_model = shared.config.cost_model;
+    let mut out = QuantumOutcome {
+        events: Vec::new(),
+        delta: SessionCharges::default(),
+        finished: false,
+        cancelled: false,
+    };
+    for _ in 0..shared.config.quantum {
+        if cancel.load(Ordering::Relaxed) {
+            out.cancelled = true;
+            break;
+        }
+        let Some(frame) = core.stepper.next_frame(&mut core.policy, &mut core.rng) else {
+            out.finished = true;
+            break;
+        };
+        let mut io_s = 0.0;
+        let container = &mut core.container;
+        let repo = &core.repo;
+        let gt_scratch = &mut core.gt_scratch;
+        let (dets, hit) = shared.cache.get_or_compute((core.repo_id, frame), || {
+            let before = *container.stats();
+            container
+                .read_frame(frame)
+                .expect("engine-built container read");
+            let after = *container.stats();
+            io_s = cost_model.seconds(&decode_delta(&before, &after));
+            let mut all = Vec::new();
+            for det in &repo.detectors {
+                all.extend(det.detect_with_scratch(frame, gt_scratch));
+            }
+            all
+        });
+        core.class_dets.clear();
+        core.class_dets
+            .extend(dets.iter().filter(|d| d.class == core.class).cloned());
+        let obs = core.discrim.observe(frame, &core.class_dets);
+        let fb = Feedback::new(obs.new_results, obs.matched_once);
+
+        out.delta.frames += 1;
+        let frame_cost = if hit {
+            out.delta.cache_hits += 1;
+            0.0
+        } else {
+            out.delta.detector_invocations += 1;
+            out.delta.detect_s += detect_frame_s;
+            out.delta.io_s += io_s;
+            detect_frame_s + io_s
+        };
+        // The session clock lives in the stepper (record sets it to the
+        // absolute value we pass), so there is a single source of truth.
+        let now = core.stepper.seconds() + frame_cost;
+        let done = core.stepper.record(&mut core.policy, frame, fb, now);
+        if fb.new_results > 0 {
+            out.events.push(ResultEvent {
+                frame,
+                new_results: fb.new_results,
+                samples: core.stepper.samples(),
+                seconds: now,
+            });
+        }
+        if done {
+            out.finished = true;
+            break;
+        }
+    }
+    out
+}
+
+/// Component-wise `after - before` of two decode tallies.
+fn decode_delta(before: &DecodeStats, after: &DecodeStats) -> DecodeStats {
+    DecodeStats {
+        seeks: after.seeks - before.seeks,
+        gops_fetched: after.gops_fetched - before.gops_fetched,
+        frames_decoded: after.frames_decoded - before.frames_decoded,
+        frames_returned: after.frames_returned - before.frames_returned,
+        bytes_fetched: after.bytes_fetched - before.bytes_fetched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsample_core::driver::StopCond;
+    use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, SkewSpec};
+
+    fn truth(frames: u64, instances: usize) -> Arc<GroundTruth> {
+        Arc::new(
+            DatasetSpec::single_class(
+                frames,
+                ClassSpec::new(
+                    "car",
+                    instances,
+                    200.0,
+                    SkewSpec::CentralNormal { frac95: 0.2 },
+                ),
+            )
+            .generate(17),
+        )
+    }
+
+    fn small_engine(workers: usize) -> (Engine, RepoId) {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            quantum: 8,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo(truth(20_000, 60), NoiseModel::none(), 5);
+        (engine, repo)
+    }
+
+    #[test]
+    fn single_session_reaches_result_limit() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(10)).seed(3))
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+        assert_eq!(report.status, SessionStatus::Done);
+        assert!(report.trace.found() >= 10);
+        assert!(report.charges.frames > 0);
+        assert!(report.charges.detector_invocations > 0);
+        assert!(report.charges.total_s() > 0.0);
+        // Engine seconds equal the charged ledger.
+        assert!((report.trace.seconds() - report.charges.total_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poll_streams_events_incrementally() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(15)).seed(4))
+            .unwrap();
+        let mut cursor = 0;
+        let mut streamed = 0u64;
+        loop {
+            let snap = engine.poll(id, cursor).unwrap();
+            streamed += snap
+                .events
+                .iter()
+                .map(|e| e.new_results as u64)
+                .sum::<u64>();
+            cursor = snap.next_cursor;
+            if snap.status != SessionStatus::Running {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let report = engine.wait(id).unwrap();
+        assert_eq!(streamed, report.trace.found());
+        // Events are monotone in samples and their results sum to found.
+        let snap = engine.poll(id, 0).unwrap();
+        for w in snap.events.windows(2) {
+            assert!(w[0].samples < w[1].samples);
+            assert!(w[0].seconds <= w[1].seconds);
+        }
+    }
+
+    #[test]
+    fn cancel_preserves_partial_trace() {
+        // Big, nearly-empty repository: the session cannot exhaust or
+        // finish before the cancel lands.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            quantum: 8,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo(truth(500_000, 2), NoiseModel::none(), 5);
+        // Unreachable target: only cancellation (or exhaustion) ends it.
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(1_000_000)).seed(5))
+            .unwrap();
+        // Let it make some progress, then cancel.
+        loop {
+            let snap = engine.poll(id, 0).unwrap();
+            if snap.samples > 100 || snap.status != SessionStatus::Running {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        engine.cancel(id).unwrap();
+        let report = engine.wait(id).unwrap();
+        assert_eq!(report.status, SessionStatus::Cancelled);
+        assert!(report.trace.samples() > 0);
+        // Idempotent.
+        engine.cancel(id).unwrap();
+        assert_eq!(engine.wait(id).unwrap().status, SessionStatus::Cancelled);
+    }
+
+    #[test]
+    fn overlapping_sessions_share_detections() {
+        // Rare objects and a near-full-recall target force each session to
+        // sweep a large share of the hot region, so the sessions' sample
+        // sets overlap heavily.
+        let engine = Engine::new(EngineConfig {
+            workers: 3,
+            quantum: 8,
+            ..EngineConfig::default()
+        });
+        let gt = Arc::new(
+            DatasetSpec::single_class(
+                20_000,
+                ClassSpec::new("car", 40, 40.0, SkewSpec::CentralNormal { frac95: 0.15 }),
+            )
+            .generate(17),
+        );
+        let repo = engine.register_repo(gt, NoiseModel::none(), 5);
+        let ids: Vec<SessionId> = (0..4)
+            .map(|i| {
+                engine
+                    .submit(
+                        QuerySpec::new(repo, ClassId(0), StopCond::results(30))
+                            .seed(100 + i)
+                            .chunks(8),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let mut total_frames = 0;
+        for id in ids {
+            let report = engine.wait(id).unwrap();
+            assert_eq!(report.status, SessionStatus::Done);
+            assert!(report.trace.found() >= 30);
+            total_frames += report.charges.frames;
+        }
+        let stats = engine.cache_stats();
+        assert!(
+            stats.hits > 0,
+            "overlapping sessions produced no cache hits"
+        );
+        assert_eq!(stats.hits + stats.misses, total_frames);
+        assert!(engine.detector_invocations() < total_frames);
+    }
+
+    #[test]
+    fn exhaustion_finishes_session() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo(truth(500, 2), NoiseModel::none(), 6);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(1_000)).seed(7))
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+        assert_eq!(report.status, SessionStatus::Done);
+        assert!(report.trace.exhausted());
+        assert_eq!(report.trace.samples(), 500);
+    }
+
+    #[test]
+    fn api_errors() {
+        let (engine, repo) = small_engine(1);
+        assert_eq!(
+            engine.submit(QuerySpec::new(RepoId(99), ClassId(0), StopCond::results(1))),
+            Err(EngineError::UnknownRepo(RepoId(99)))
+        );
+        assert_eq!(
+            engine.submit(QuerySpec::new(repo, ClassId(9), StopCond::results(1))),
+            Err(EngineError::InvalidSpec("class not present in repository"))
+        );
+        assert_eq!(
+            engine.submit(QuerySpec::new(repo, ClassId(0), StopCond::results(1)).weight(0)),
+            Err(EngineError::InvalidSpec("weight must be positive"))
+        );
+        assert_eq!(
+            engine.poll(SessionId(42), 0).unwrap_err(),
+            EngineError::UnknownSession(SessionId(42))
+        );
+        assert_eq!(
+            engine.wait(SessionId(42)).unwrap_err(),
+            EngineError::UnknownSession(SessionId(42))
+        );
+        assert!(engine.cancel(SessionId(42)).is_err());
+    }
+
+    #[test]
+    fn priority_weights_shift_detector_budget() {
+        // One worker, equal sample budgets: the weight-4 session receives
+        // 4/5 of the detector grants while both run, so it must reach its
+        // budget — and finalize — strictly before the weight-1 session.
+        // finish_order is assigned under the state lock, so this is
+        // race-free.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            quantum: 4,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo(truth(50_000, 40), NoiseModel::none(), 8);
+        let heavy = engine
+            .submit(
+                QuerySpec::new(repo, ClassId(0), StopCond::samples(2_000))
+                    .seed(1)
+                    .weight(4),
+            )
+            .unwrap();
+        let light = engine
+            .submit(
+                QuerySpec::new(repo, ClassId(0), StopCond::samples(2_000))
+                    .seed(2)
+                    .weight(1),
+            )
+            .unwrap();
+        let heavy_report = engine.wait(heavy).unwrap();
+        let light_report = engine.wait(light).unwrap();
+        assert_eq!(heavy_report.trace.samples(), 2_000);
+        assert_eq!(light_report.trace.samples(), 2_000);
+        assert!(
+            heavy_report.finish_order < light_report.finish_order,
+            "weight-4 session finished after weight-1 ({} vs {})",
+            heavy_report.finish_order,
+            light_report.finish_order
+        );
+    }
+
+    #[test]
+    fn forget_releases_finished_sessions_only() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(21))
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+        let forgotten = engine.forget(id).unwrap();
+        assert_eq!(forgotten.trace, report.trace);
+        assert_eq!(forgotten.charges, report.charges);
+        // Gone: every later access errors.
+        assert_eq!(
+            engine.poll(id, 0).unwrap_err(),
+            EngineError::UnknownSession(id)
+        );
+        assert_eq!(
+            engine.forget(id).unwrap_err(),
+            EngineError::UnknownSession(id)
+        );
+        // A running session cannot be forgotten.
+        let busy = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(1_000_000)).seed(22))
+            .unwrap();
+        match engine.forget(busy) {
+            Err(EngineError::SessionRunning(_)) => {}
+            Ok(_) => {
+                // It may legitimately have finished (exhaustion) before we
+                // got here on a fast machine; that is fine too.
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_results_are_deterministic_across_engines() {
+        let run = || {
+            let (engine, repo) = small_engine(4);
+            let ids: Vec<SessionId> = (0..4)
+                .map(|i| {
+                    engine
+                        .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(20)).seed(7 + i))
+                        .unwrap()
+                })
+                .collect();
+            ids.into_iter()
+                .map(|id| {
+                    let r = engine.wait(id).unwrap();
+                    (
+                        r.trace.samples(),
+                        r.trace.found(),
+                        r.trace
+                            .points()
+                            .iter()
+                            .map(|p| (p.samples, p.found))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,73 @@
+//! Multi-query search engine for ExSample workloads.
+//!
+//! The core crates answer "how do I find distinct objects in video with
+//! the fewest detector invocations?" for *one* query. A production
+//! service faces many concurrent users whose queries overlap on the same
+//! repositories — where detector outputs can be shared and the GPU budget
+//! must be arbitrated. This crate provides that serving layer:
+//!
+//! * [`Engine`] — the front door: register repositories, [`Engine::submit`]
+//!   queries, [`Engine::poll`] incremental results, [`Engine::cancel`],
+//!   and [`Engine::wait`] for the final `SearchTrace`. Sessions are
+//!   multiplexed over a worker-thread pool.
+//! * [`FrameCache`] — a sharded, thread-safe memo of detector output keyed
+//!   by `(video, frame)`, with hit/miss/eviction statistics. Overlapping
+//!   queries never pay for the same frame twice.
+//! * [`Scheduler`] — weighted-fair arbitration of the modelled detector
+//!   budget: sessions are charged detection plus io/decode seconds (via
+//!   `exsample_store::CostModel`) and the next quantum always goes to the
+//!   cheapest-so-far session per unit priority.
+//! * [`QuerySpec`] / [`SessionId`] / [`SessionSnapshot`] /
+//!   [`SessionReport`] — the session lifecycle vocabulary.
+//! * [`default_threads`] — the workspace-wide `EXSAMPLE_THREADS`
+//!   convention, shared with the experiments harness.
+//!
+//! # Example
+//!
+//! ```
+//! use exsample_engine::{Engine, EngineConfig, QuerySpec};
+//! use exsample_core::driver::StopCond;
+//! use exsample_detect::NoiseModel;
+//! use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, SkewSpec};
+//! use std::sync::Arc;
+//!
+//! let gt = Arc::new(
+//!     DatasetSpec::single_class(
+//!         50_000,
+//!         ClassSpec::new("car", 80, 300.0, SkewSpec::CentralNormal { frac95: 0.2 }),
+//!     )
+//!     .generate(11),
+//! );
+//! let engine = Engine::new(EngineConfig::default());
+//! let repo = engine.register_repo(gt, NoiseModel::none(), 1);
+//!
+//! // Two overlapping queries race for the same detector budget ...
+//! let a = engine
+//!     .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(10)).seed(1))
+//!     .unwrap();
+//! let b = engine
+//!     .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(10)).seed(2))
+//!     .unwrap();
+//! assert!(engine.wait(a).unwrap().trace.found() >= 10);
+//! assert!(engine.wait(b).unwrap().trace.found() >= 10);
+//! // ... and frames sampled by both were only detected once.
+//! let stats = engine.cache_stats();
+//! assert_eq!(stats.misses, engine.detector_invocations());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod scheduler;
+pub mod session;
+pub mod threads;
+
+pub use cache::{CacheStats, FrameCache};
+pub use engine::{Engine, EngineConfig, EngineError};
+pub use scheduler::Scheduler;
+pub use session::{
+    QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport, SessionSnapshot,
+    SessionStatus,
+};
+pub use threads::default_threads;

@@ -1,0 +1,182 @@
+//! Public vocabulary of the engine: queries, sessions, and their
+//! observable state.
+
+use exsample_core::driver::{SearchTrace, StopCond};
+use exsample_core::exsample::ExSampleConfig;
+use exsample_videosim::ClassId;
+
+/// Identifies a video repository registered with an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RepoId(pub u32);
+
+/// Identifies one submitted search session. Monotonic per engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// A declarative search request: "find distinct objects of `class` in
+/// `repo` until `stop`", plus knobs for the sampler and the scheduler.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Repository to search.
+    pub repo: RepoId,
+    /// Object class queried.
+    pub class: ClassId,
+    /// Stop condition (result limit / sample budget / time budget).
+    pub stop: StopCond,
+    /// Number of temporal chunks for the ExSample policy.
+    pub chunks: usize,
+    /// Sampler configuration (prior, selector, within-chunk order).
+    pub config: ExSampleConfig,
+    /// Scheduler priority weight: a weight-2 session receives twice the
+    /// detector budget of a weight-1 session.
+    pub weight: u32,
+    /// Seed for the session's private sampling RNG.
+    pub seed: u64,
+}
+
+impl QuerySpec {
+    /// A query with the paper-default sampler over 16 chunks, weight 1.
+    pub fn new(repo: RepoId, class: ClassId, stop: StopCond) -> Self {
+        QuerySpec {
+            repo,
+            class,
+            stop,
+            chunks: 16,
+            config: ExSampleConfig::default(),
+            weight: 1,
+            seed: 0,
+        }
+    }
+
+    /// Set the chunk count.
+    pub fn chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks;
+        self
+    }
+
+    /// Set the scheduler weight (priority).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the sampler configuration.
+    pub fn config(mut self, config: ExSampleConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Competing for detector budget (includes "queued behind others").
+    Running,
+    /// Stop condition reached or repository exhausted.
+    Done,
+    /// Cancelled by the client; the partial trace is preserved.
+    Cancelled,
+}
+
+/// One incremental result: a frame that yielded new distinct objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultEvent {
+    /// The frame that was processed.
+    pub frame: u64,
+    /// How many new distinct results it contributed.
+    pub new_results: u32,
+    /// Session sample count after this frame.
+    pub samples: u64,
+    /// Session charged seconds after this frame.
+    pub seconds: f64,
+}
+
+/// Cost ledger of a session, maintained by the scheduler loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionCharges {
+    /// Modelled detector seconds charged (misses only — hits are free).
+    pub detect_s: f64,
+    /// Modelled io/decode seconds charged (container seeks + GOP walks).
+    pub io_s: f64,
+    /// Frames this session processed.
+    pub frames: u64,
+    /// Frames answered from the shared cache.
+    pub cache_hits: u64,
+    /// Frames this session paid detector time for.
+    pub detector_invocations: u64,
+}
+
+impl SessionCharges {
+    /// Total seconds charged against the scheduler budget.
+    pub fn total_s(&self) -> f64 {
+        self.detect_s + self.io_s
+    }
+}
+
+/// Snapshot returned by [`crate::Engine::poll`]: status, aggregate
+/// counters, and the result events the caller has not yet consumed.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// Lifecycle state at snapshot time.
+    pub status: SessionStatus,
+    /// Distinct results found so far.
+    pub found: u64,
+    /// Frames processed so far.
+    pub samples: u64,
+    /// Cost ledger so far.
+    pub charges: SessionCharges,
+    /// Events `cursor..` (pass `next_cursor` back in to continue).
+    pub events: Vec<ResultEvent>,
+    /// Cursor to pass to the next poll.
+    pub next_cursor: usize,
+}
+
+/// Final report for a finished session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Lifecycle state (Done or Cancelled).
+    pub status: SessionStatus,
+    /// The discovery trace, identical in shape to a single-query
+    /// `run_search` trace (seconds = charged engine seconds).
+    pub trace: SearchTrace,
+    /// Cost ledger.
+    pub charges: SessionCharges,
+    /// 0-based position in the engine's finish order (session 0 finished
+    /// first). Useful for observing scheduling effects.
+    pub finish_order: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_spec_builder() {
+        let q = QuerySpec::new(RepoId(3), ClassId(1), StopCond::results(5))
+            .chunks(32)
+            .weight(4)
+            .seed(99);
+        assert_eq!(q.repo, RepoId(3));
+        assert_eq!(q.class, ClassId(1));
+        assert_eq!(q.chunks, 32);
+        assert_eq!(q.weight, 4);
+        assert_eq!(q.seed, 99);
+        assert_eq!(q.stop.max_results, Some(5));
+    }
+
+    #[test]
+    fn charges_total() {
+        let c = SessionCharges {
+            detect_s: 1.5,
+            io_s: 0.25,
+            ..Default::default()
+        };
+        assert!((c.total_s() - 1.75).abs() < 1e-12);
+    }
+}

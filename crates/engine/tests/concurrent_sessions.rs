@@ -1,0 +1,110 @@
+//! Integration test: many concurrent sessions over one repository must
+//! all reach their stop conditions, share detector work through the
+//! cache, and produce results that are deterministic under fixed seeds.
+
+use exsample_core::driver::StopCond;
+use exsample_detect::NoiseModel;
+use exsample_engine::{Engine, EngineConfig, QuerySpec, SessionReport, SessionStatus};
+use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
+use std::sync::Arc;
+
+fn repository() -> Arc<GroundTruth> {
+    // Rare objects in a hot region: sessions chasing high recall sweep
+    // overlapping frames.
+    Arc::new(
+        DatasetSpec::single_class(
+            50_000,
+            ClassSpec::new("car", 60, 50.0, SkewSpec::CentralNormal { frac95: 0.15 }),
+        )
+        .generate(41),
+    )
+}
+
+/// Submit six concurrent sessions (mixed targets, weights, seeds) and
+/// wait for all of them.
+fn run_fleet(workers: usize) -> (Vec<SessionReport>, u64, u64) {
+    let engine = Engine::new(EngineConfig {
+        workers,
+        quantum: 8,
+        ..EngineConfig::default()
+    });
+    let repo = engine.register_repo(repository(), NoiseModel::none(), 3);
+    let specs: Vec<QuerySpec> = (0..6)
+        .map(|i| {
+            QuerySpec::new(repo, ClassId(0), StopCond::results(40 + 2 * i as u64))
+                .chunks(16)
+                .weight(1 + (i % 3) as u32)
+                .seed(900 + i as u64)
+        })
+        .collect();
+    let ids: Vec<_> = specs
+        .into_iter()
+        .map(|s| engine.submit(s).expect("valid spec"))
+        .collect();
+    let reports: Vec<SessionReport> = ids
+        .into_iter()
+        .map(|id| engine.wait(id).expect("session finishes"))
+        .collect();
+    let stats = engine.cache_stats();
+    (reports, stats.hits, engine.detector_invocations())
+}
+
+#[test]
+fn concurrent_sessions_reach_stop_share_cache_and_are_deterministic() {
+    let (reports, hits, invocations) = run_fleet(4);
+
+    // Every session reached its StopCond (the result limit, not
+    // exhaustion or cancellation).
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.status, SessionStatus::Done, "session {i}");
+        assert!(!r.trace.exhausted(), "session {i} exhausted the repository");
+        assert!(
+            r.trace.found() >= 40 + 2 * i as u64,
+            "session {i} under target"
+        );
+        // The ledger is consistent: every frame was a hit or an invocation.
+        assert_eq!(
+            r.charges.cache_hits + r.charges.detector_invocations,
+            r.charges.frames,
+            "session {i} ledger"
+        );
+        assert_eq!(r.trace.samples(), r.charges.frames, "session {i} samples");
+    }
+
+    // Overlap was shared: hits happened, and the engine paid for strictly
+    // fewer invocations than the frames it served.
+    let total_frames: u64 = reports.iter().map(|r| r.charges.frames).sum();
+    assert!(hits > 0, "no cache hits across six overlapping sessions");
+    assert_eq!(hits + invocations, total_frames);
+    assert!(invocations < total_frames);
+
+    // Determinism: a second engine with the same seeds reproduces every
+    // session's sampled-frame count, result count, and discovery curve —
+    // and (with no evictions) the same total detector spend — regardless
+    // of worker interleaving. Use a different worker count to stress that
+    // independence.
+    let (again, hits2, invocations2) = run_fleet(2);
+    assert_eq!(reports.len(), again.len());
+    for (a, b) in reports.iter().zip(&again) {
+        assert_eq!(a.trace.samples(), b.trace.samples());
+        assert_eq!(a.trace.found(), b.trace.found());
+        let curve_a: Vec<(u64, u64)> = a
+            .trace
+            .points()
+            .iter()
+            .map(|p| (p.samples, p.found))
+            .collect();
+        let curve_b: Vec<(u64, u64)> = b
+            .trace
+            .points()
+            .iter()
+            .map(|p| (p.samples, p.found))
+            .collect();
+        assert_eq!(curve_a, curve_b);
+    }
+    assert_eq!(
+        invocations, invocations2,
+        "detector spend is not reproducible"
+    );
+    assert_eq!(hits, hits2);
+}

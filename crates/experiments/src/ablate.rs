@@ -47,7 +47,15 @@ impl AblationWorkload {
     /// Standard workload at a scale.
     pub fn at_scale(scale: Scale) -> Self {
         let (frames, instances, dur, chunks, runs, max_samples, target) = match scale {
-            Scale::Full => (2_000_000u64, 1000usize, 90.0, 64usize, 15usize, 150_000u64, 500u64),
+            Scale::Full => (
+                2_000_000u64,
+                1000usize,
+                90.0,
+                64usize,
+                15usize,
+                150_000u64,
+                500u64,
+            ),
             Scale::Quick => (400_000, 400, 40.0, 32, 5, 30_000, 200),
         };
         let spec = DatasetSpec::single_class(
@@ -81,7 +89,10 @@ impl AblationWorkload {
 
     /// Median samples-to-target for an ExSample configuration.
     pub fn measure(&self, config: ExSampleConfig) -> Option<f64> {
-        let spec = PolicySpec::ExSample { chunking: self.chunking.clone(), config };
+        let spec = PolicySpec::ExSample {
+            chunking: self.chunking.clone(),
+            config,
+        };
         let traces = replicate_runs(&self.gt, ClassId(0), &spec, &self.run_cfg());
         median_samples_to(&traces, self.target)
     }
@@ -117,7 +128,10 @@ pub fn prior_table(w: &AblationWorkload) -> Table {
 pub fn selector_table(w: &AblationWorkload) -> Table {
     let mut t = Table::new(&["selector", "median samples to target"]);
     for sel in [Selector::Thompson, Selector::BayesUcb, Selector::Greedy] {
-        let cfg = ExSampleConfig { selector: sel, ..ExSampleConfig::default() };
+        let cfg = ExSampleConfig {
+            selector: sel,
+            ..ExSampleConfig::default()
+        };
         let med = w.measure(cfg);
         t.row(vec![
             sel.name().to_string(),
@@ -140,7 +154,10 @@ pub fn within_table(w: &AblationWorkload) -> Table {
         ("exsample + random+", WithinKind::Stratified),
         ("exsample + random", WithinKind::Random),
     ] {
-        let cfg = ExSampleConfig { within, ..ExSampleConfig::default() };
+        let cfg = ExSampleConfig {
+            within,
+            ..ExSampleConfig::default()
+        };
         let med = w.measure(cfg);
         t.row(vec![
             label.into(),
@@ -164,10 +181,8 @@ pub fn within_table(w: &AblationWorkload) -> Table {
 /// size `b` (feedback only lands after a whole batch is processed).
 pub fn batched_samples_to_target(w: &AblationWorkload, b: usize) -> Option<f64> {
     let root = Rng64::new(w.seed ^ 0xBA7C);
-    let per_run: Vec<Option<u64>> = crate::parallel::parallel_map(
-        w.runs,
-        crate::parallel::default_threads(),
-        |r| {
+    let per_run: Vec<Option<u64>> =
+        crate::parallel::parallel_map(w.runs, crate::parallel::default_threads(), |r| {
             let mut rng = root.fork(r as u64);
             let mut policy = ExSample::new(w.chunking.clone(), ExSampleConfig::default());
             let mut oracle = exsample_detect::QueryOracle::new(
@@ -195,8 +210,7 @@ pub fn batched_samples_to_target(w: &AblationWorkload, b: usize) -> Option<f64> 
                 }
             }
             None
-        },
-    );
+        });
     let reached: Vec<f64> = per_run.iter().flatten().map(|&s| s as f64).collect();
     if reached.len() * 2 < w.runs {
         None
@@ -218,7 +232,7 @@ pub fn fusion_table(w: &AblationWorkload, fidelity: f64) -> Table {
     let order = proxy.descending_order();
 
     let root = Rng64::new(w.seed ^ 0xF1);
-    let mut measure = |mk: &dyn Fn() -> Box<dyn SamplingPolicy>| -> Option<f64> {
+    let measure = |mk: &dyn Fn() -> Box<dyn SamplingPolicy>| -> Option<f64> {
         let per_run: Vec<Option<u64>> = (0..w.runs)
             .map(|r| {
                 let mut rng = root.fork(r as u64);
@@ -248,17 +262,27 @@ pub fn fusion_table(w: &AblationWorkload, fidelity: f64) -> Table {
         }
     };
 
-    let mut t = Table::new(&["policy", "median samples to target", "requires scoring scan"]);
+    let mut t = Table::new(&[
+        "policy",
+        "median samples to target",
+        "requires scoring scan",
+    ]);
     let fmt = |m: Option<f64>| m.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into());
     let chunking = w.chunking.clone();
-    let m_plain = measure(&|| {
-        Box::new(ExSample::new(chunking.clone(), ExSampleConfig::default()))
-    });
-    t.row(vec!["exsample (random+ within)".into(), fmt(m_plain), "no".into()]);
+    let m_plain = measure(&|| Box::new(ExSample::new(chunking.clone(), ExSampleConfig::default())));
+    t.row(vec![
+        "exsample (random+ within)".into(),
+        fmt(m_plain),
+        "no".into(),
+    ]);
     let chunking2 = w.chunking.clone();
     let scores2 = scores.clone();
     let m_fused = measure(&|| {
-        Box::new(ExSample::fused(chunking2.clone(), ExSampleConfig::default(), &scores2))
+        Box::new(ExSample::fused(
+            chunking2.clone(),
+            ExSampleConfig::default(),
+            &scores2,
+        ))
     });
     t.row(vec![
         format!("exsample fused (scores; fid {fidelity})"),
@@ -266,7 +290,11 @@ pub fn fusion_table(w: &AblationWorkload, fidelity: f64) -> Table {
         "yes".into(),
     ]);
     let m_proxy = measure(&|| Box::new(ProxyOrderPolicy::new(order.clone(), 0)));
-    t.row(vec![format!("proxy-order (fid {fidelity})"), fmt(m_proxy), "yes".into()]);
+    t.row(vec![
+        format!("proxy-order (fid {fidelity})"),
+        fmt(m_proxy),
+        "yes".into(),
+    ]);
     t
 }
 
@@ -332,10 +360,16 @@ mod tests {
     fn thompson_and_bayes_ucb_comparable() {
         let w = tiny();
         let t = w
-            .measure(ExSampleConfig { selector: Selector::Thompson, ..Default::default() })
+            .measure(ExSampleConfig {
+                selector: Selector::Thompson,
+                ..Default::default()
+            })
             .unwrap();
         let u = w
-            .measure(ExSampleConfig { selector: Selector::BayesUcb, ..Default::default() })
+            .measure(ExSampleConfig {
+                selector: Selector::BayesUcb,
+                ..Default::default()
+            })
             .unwrap();
         let ratio = t.max(u) / t.min(u);
         assert!(ratio < 3.0, "thompson={t} bayes-ucb={u}");

@@ -47,18 +47,24 @@ impl CoverageConfig {
     /// Paper-scale / smoke-scale settings.
     pub fn at_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Full => CoverageConfig { runs: 20, samples: 40_000, checkpoints: 12, seed: 61 },
-            Scale::Quick => CoverageConfig { runs: 5, samples: 10_000, checkpoints: 8, seed: 61 },
+            Scale::Full => CoverageConfig {
+                runs: 20,
+                samples: 40_000,
+                checkpoints: 12,
+                seed: 61,
+            },
+            Scale::Quick => CoverageConfig {
+                runs: 5,
+                samples: 10_000,
+                checkpoints: 8,
+                seed: 61,
+            },
         }
     }
 }
 
 /// Run the coverage study on one class of a ground truth.
-pub fn class_coverage(
-    gt: &GroundTruth,
-    class: ClassId,
-    cfg: &CoverageConfig,
-) -> ClassCoverage {
+pub fn class_coverage(gt: &GroundTruth, class: ClassId, cfg: &CoverageConfig) -> ClassCoverage {
     const ALPHA0: f64 = 0.1;
     let p: FxHashMap<InstanceId, f64> = gt
         .instances_of_class(class)
@@ -85,7 +91,9 @@ pub fn class_coverage(
         let mut n1 = 0i64;
         let mut cp_iter = checkpoints.iter().copied().peekable();
         for n in 1..=cfg.samples {
-            let Some(frame) = sampler.next(&mut rng) else { break };
+            let Some(frame) = sampler.next(&mut rng) else {
+                break;
+            };
             gt.visible_at(class, frame, &mut vis);
             for &id in &vis {
                 let c = seen.entry(id).or_insert(0);
@@ -118,8 +126,16 @@ pub fn class_coverage(
     ClassCoverage {
         class: gt.class_name(class).to_string(),
         evaluations,
-        coverage: if evaluations == 0 { 0.0 } else { hits as f64 / evaluations as f64 },
-        miss_above: if misses == 0 { 0.0 } else { above as f64 / misses as f64 },
+        coverage: if evaluations == 0 {
+            0.0
+        } else {
+            hits as f64 / evaluations as f64
+        },
+        miss_above: if misses == 0 {
+            0.0
+        } else {
+            above as f64 / misses as f64
+        },
     }
 }
 
@@ -169,7 +185,12 @@ mod tests {
             ClassSpec::new("car", 300, 120.0, SkewSpec::Uniform),
         )
         .generate(8);
-        let cfg = CoverageConfig { runs: 10, samples: 8_000, checkpoints: 8, seed: 2 };
+        let cfg = CoverageConfig {
+            runs: 10,
+            samples: 8_000,
+            checkpoints: 8,
+            seed: 2,
+        };
         let c = class_coverage(&gt, ClassId(0), &cfg);
         assert!(c.evaluations >= 60, "evaluations={}", c.evaluations);
         assert!(
@@ -182,8 +203,18 @@ mod tests {
     #[test]
     fn table_and_mean() {
         let rows = vec![
-            ClassCoverage { class: "a".into(), evaluations: 10, coverage: 0.8, miss_above: 1.0 },
-            ClassCoverage { class: "b".into(), evaluations: 10, coverage: 0.6, miss_above: 0.5 },
+            ClassCoverage {
+                class: "a".into(),
+                evaluations: 10,
+                coverage: 0.8,
+                miss_above: 1.0,
+            },
+            ClassCoverage {
+                class: "b".into(),
+                evaluations: 10,
+                coverage: 0.6,
+                miss_above: 0.5,
+            },
         ];
         assert!((mean_coverage(&rows) - 0.7).abs() < 1e-12);
         assert_eq!(to_table(&rows).len(), 2);

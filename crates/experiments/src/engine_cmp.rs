@@ -1,0 +1,314 @@
+//! Engine-shared vs. independent execution of overlapping queries.
+//!
+//! The multi-query engine's pitch is simple: when concurrent queries
+//! overlap on the same videos, a shared detection cache means the fleet
+//! pays for each frame once. This experiment quantifies that claim. A
+//! batch of overlapping queries is executed twice over the same synthetic
+//! repository:
+//!
+//! 1. **independent** — each query runs the classic blocking `run_search`
+//!    with its own detector, exactly as a one-query-per-process deployment
+//!    would (total detector invocations = total frames sampled);
+//! 2. **engine-shared** — the same queries run concurrently through
+//!    `exsample_engine::Engine` with a shared [`exsample_engine::FrameCache`].
+//!
+//! Per-query results are identical by construction (same seeds, same
+//! deterministic detector), so the comparison isolates the *cost* effect:
+//! invocations saved, cache hit rate, and modelled GPU seconds.
+
+use crate::parallel::default_threads;
+use exsample_core::driver::{run_search, SearchCost, StopCond};
+use exsample_core::exsample::{ExSample, ExSampleConfig};
+use exsample_core::Chunking;
+use exsample_detect::{NoiseModel, OracleDiscriminator, QueryOracle, SimulatedDetector};
+use exsample_engine::{Engine, EngineConfig, QuerySpec, SessionStatus};
+use exsample_stats::Rng64;
+use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
+use std::sync::Arc;
+
+/// Workload description: `queries` overlapping searches over one skewed
+/// repository.
+#[derive(Debug, Clone)]
+pub struct EngineCmpConfig {
+    /// Repository size in frames.
+    pub frames: u64,
+    /// Distinct instances of the queried class.
+    pub instances: usize,
+    /// Mean instance duration in frames.
+    pub mean_duration: f64,
+    /// Placement skew of the instances.
+    pub skew: SkewSpec,
+    /// Number of concurrent queries.
+    pub queries: usize,
+    /// Distinct-result target per query.
+    pub target: u64,
+    /// Chunk count per query.
+    pub chunks: usize,
+    /// Root seed (query `q` samples with seed `seed + q`).
+    pub seed: u64,
+    /// Engine worker threads.
+    pub workers: usize,
+}
+
+impl EngineCmpConfig {
+    /// A workload sized so queries overlap heavily: rare objects, high
+    /// recall target, hot-region skew.
+    pub fn default_workload() -> Self {
+        EngineCmpConfig {
+            frames: 100_000,
+            instances: 120,
+            mean_duration: 60.0,
+            skew: SkewSpec::CentralNormal { frac95: 0.15 },
+            queries: 6,
+            target: 90,
+            chunks: 16,
+            seed: 33,
+            workers: default_threads(),
+        }
+    }
+
+    /// The synthetic repository this workload searches.
+    pub fn ground_truth(&self) -> Arc<GroundTruth> {
+        Arc::new(
+            DatasetSpec::single_class(
+                self.frames,
+                ClassSpec::new(
+                    "object",
+                    self.instances,
+                    self.mean_duration,
+                    self.skew.clone(),
+                ),
+            )
+            .generate(self.seed ^ 0xD5),
+        )
+    }
+}
+
+/// Outcome of one execution strategy over the whole batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyCost {
+    /// Total frames sampled across queries.
+    pub frames: u64,
+    /// Total detector invocations paid for.
+    pub detector_invocations: u64,
+    /// Total modelled detector seconds.
+    pub detect_s: f64,
+}
+
+/// Comparison report.
+#[derive(Debug, Clone)]
+pub struct EngineCmpReport {
+    /// Per-query distinct results found (identical between strategies).
+    pub found: Vec<u64>,
+    /// Cost of running each query on its own.
+    pub independent: StrategyCost,
+    /// Cost of running all queries through the shared engine.
+    pub engine: StrategyCost,
+    /// Cache hit rate observed by the engine run.
+    pub cache_hit_rate: f64,
+}
+
+impl EngineCmpReport {
+    /// Detector invocations avoided by sharing, as a fraction.
+    pub fn savings(&self) -> f64 {
+        if self.independent.detector_invocations == 0 {
+            0.0
+        } else {
+            1.0 - self.engine.detector_invocations as f64
+                / self.independent.detector_invocations as f64
+        }
+    }
+}
+
+fn specs(cfg: &EngineCmpConfig) -> Vec<(StopCond, u64)> {
+    (0..cfg.queries)
+        .map(|q| (StopCond::results(cfg.target), cfg.seed + q as u64))
+        .collect()
+}
+
+/// Run the batch independently: one blocking `run_search` per query, each
+/// with a private detector (the status quo this crate's other experiments
+/// model).
+pub fn run_independent(
+    gt: &Arc<GroundTruth>,
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+) -> (Vec<u64>, StrategyCost) {
+    let mut found = Vec::with_capacity(cfg.queries);
+    let mut frames = 0;
+    for (stop, seed) in specs(cfg) {
+        let mut policy = ExSample::new(
+            Chunking::even(gt.frames, cfg.chunks),
+            ExSampleConfig::default(),
+        );
+        let mut oracle = QueryOracle::new(
+            SimulatedDetector::new(gt.clone(), ClassId(0), NoiseModel::none(), cfg.seed),
+            OracleDiscriminator::new(),
+        );
+        let mut rng = Rng64::new(seed);
+        let trace = {
+            let mut f = |frame| oracle.process(frame);
+            run_search(
+                &mut policy,
+                &mut f,
+                &SearchCost::per_sample(1.0 / detector_fps),
+                &stop,
+                &mut rng,
+            )
+        };
+        found.push(trace.found());
+        frames += trace.samples();
+    }
+    let cost = StrategyCost {
+        frames,
+        detector_invocations: frames,
+        detect_s: frames as f64 / detector_fps,
+    };
+    (found, cost)
+}
+
+/// Run the batch concurrently through the shared engine.
+pub fn run_engine(
+    gt: &Arc<GroundTruth>,
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+) -> (Vec<u64>, StrategyCost, f64) {
+    let engine = Engine::new(EngineConfig {
+        workers: cfg.workers,
+        detector_fps,
+        ..EngineConfig::default()
+    });
+    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), cfg.seed);
+    let ids: Vec<_> = specs(cfg)
+        .into_iter()
+        .map(|(stop, seed)| {
+            engine
+                .submit(
+                    QuerySpec::new(repo, ClassId(0), stop)
+                        .chunks(cfg.chunks)
+                        .seed(seed),
+                )
+                .expect("valid spec")
+        })
+        .collect();
+    let mut found = Vec::with_capacity(ids.len());
+    let mut frames = 0;
+    let mut detect_s = 0.0;
+    for id in ids {
+        let report = engine.wait(id).expect("session completes");
+        assert_eq!(report.status, SessionStatus::Done);
+        found.push(report.trace.found());
+        frames += report.charges.frames;
+        detect_s += report.charges.detect_s;
+    }
+    let stats = engine.cache_stats();
+    let cost = StrategyCost {
+        frames,
+        detector_invocations: engine.detector_invocations(),
+        detect_s,
+    };
+    (found, cost, stats.hit_rate())
+}
+
+/// Run both strategies and compare.
+pub fn run(cfg: &EngineCmpConfig, detector_fps: f64) -> EngineCmpReport {
+    let gt = cfg.ground_truth();
+    let (found_ind, independent) = run_independent(&gt, cfg, detector_fps);
+    let (found_eng, engine, cache_hit_rate) = run_engine(&gt, cfg, detector_fps);
+    assert_eq!(
+        found_ind, found_eng,
+        "engine execution changed query results — determinism violated"
+    );
+    EngineCmpReport {
+        found: found_ind,
+        independent,
+        engine,
+        cache_hit_rate,
+    }
+}
+
+/// Render a report as a markdown table.
+pub fn to_table(report: &EngineCmpReport) -> crate::report::Table {
+    let mut t = crate::report::Table::new(&[
+        "strategy",
+        "frames",
+        "detector invocations",
+        "detector seconds",
+        "cache hit rate",
+    ]);
+    t.row(vec![
+        "independent".into(),
+        report.independent.frames.to_string(),
+        report.independent.detector_invocations.to_string(),
+        format!("{:.1}", report.independent.detect_s),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "engine-shared".into(),
+        report.engine.frames.to_string(),
+        report.engine.detector_invocations.to_string(),
+        format!("{:.1}", report.engine.detect_s),
+        format!("{:.1}%", report.cache_hit_rate * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> EngineCmpConfig {
+        EngineCmpConfig {
+            frames: 20_000,
+            instances: 40,
+            mean_duration: 40.0,
+            skew: SkewSpec::CentralNormal { frac95: 0.15 },
+            queries: 4,
+            target: 30,
+            chunks: 8,
+            seed: 7,
+            workers: 3,
+        }
+    }
+
+    #[test]
+    fn sharing_strictly_reduces_invocations() {
+        let report = run(&quick_cfg(), 20.0);
+        assert_eq!(report.found.len(), 4);
+        for f in &report.found {
+            assert!(*f >= 30);
+        }
+        assert!(
+            report.engine.detector_invocations < report.independent.detector_invocations,
+            "engine {} !< independent {}",
+            report.engine.detector_invocations,
+            report.independent.detector_invocations
+        );
+        assert!(report.cache_hit_rate > 0.0);
+        assert!(report.savings() > 0.0);
+        // Both strategies sampled the same frames per query.
+        assert_eq!(report.engine.frames, report.independent.frames);
+    }
+
+    #[test]
+    fn table_renders() {
+        let report = EngineCmpReport {
+            found: vec![10, 10],
+            independent: StrategyCost {
+                frames: 100,
+                detector_invocations: 100,
+                detect_s: 5.0,
+            },
+            engine: StrategyCost {
+                frames: 100,
+                detector_invocations: 70,
+                detect_s: 3.5,
+            },
+            cache_hit_rate: 0.3,
+        };
+        let md = to_table(&report).to_markdown();
+        assert!(md.contains("engine-shared"));
+        assert!(md.contains("70"));
+        assert!((report.savings() - 0.3).abs() < 1e-12);
+    }
+}

@@ -170,8 +170,16 @@ pub fn run(config: &Fig2Config) -> Vec<Fig2Cell> {
                 } else {
                     pooled.iter().sum::<f64>() / pooled.len() as f64
                 },
-                actual_q05: if pooled.is_empty() { 0.0 } else { quantile(&pooled, 0.05) },
-                actual_q95: if pooled.is_empty() { 0.0 } else { quantile(&pooled, 0.95) },
+                actual_q05: if pooled.is_empty() {
+                    0.0
+                } else {
+                    quantile(&pooled, 0.05)
+                },
+                actual_q95: if pooled.is_empty() {
+                    0.0
+                } else {
+                    quantile(&pooled, 0.95)
+                },
                 point_estimate: n1 as f64 / n as f64,
                 gamma_mean: gamma.mean(),
                 gamma_q05: gq05,
@@ -185,8 +193,15 @@ pub fn run(config: &Fig2Config) -> Vec<Fig2Cell> {
 /// Render the cells as a markdown table.
 pub fn to_table(cells: &[Fig2Cell]) -> Table {
     let mut t = Table::new(&[
-        "n", "N1", "pooled", "actual mean R", "actual q05..q95", "N1/n (Eq III.1)",
-        "Gamma mean", "Gamma q05..q95", "coverage",
+        "n",
+        "N1",
+        "pooled",
+        "actual mean R",
+        "actual q05..q95",
+        "N1/n (Eq III.1)",
+        "Gamma mean",
+        "Gamma q05..q95",
+        "coverage",
     ]);
     for c in cells {
         t.row(vec![

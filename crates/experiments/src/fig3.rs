@@ -50,8 +50,16 @@ impl Fig3Config {
             vec![
                 ("none".to_string(), SkewSpec::Uniform),
                 ("1/4".to_string(), SkewSpec::CentralNormal { frac95: 0.25 }),
-                ("1/32".to_string(), SkewSpec::CentralNormal { frac95: 1.0 / 32.0 }),
-                ("1/256".to_string(), SkewSpec::CentralNormal { frac95: 1.0 / 256.0 }),
+                (
+                    "1/32".to_string(),
+                    SkewSpec::CentralNormal { frac95: 1.0 / 32.0 },
+                ),
+                (
+                    "1/256".to_string(),
+                    SkewSpec::CentralNormal {
+                        frac95: 1.0 / 256.0,
+                    },
+                ),
             ]
             .into_iter()
             .map(|(l, s)| {
@@ -171,7 +179,12 @@ pub fn run(config: &Fig3Config) -> Vec<Fig3Cell> {
 
 /// Savings-label summary table (the text annotations of Figure 3).
 pub fn savings_table(cells: &[Fig3Cell]) -> Table {
-    let mut t = Table::new(&["mean duration", "skew", "target", "savings (random/exsample)"]);
+    let mut t = Table::new(&[
+        "mean duration",
+        "skew",
+        "target",
+        "savings (random/exsample)",
+    ]);
     for c in cells {
         for &(target, s) in &c.savings {
             t.row(vec![
@@ -188,8 +201,16 @@ pub fn savings_table(cells: &[Fig3Cell]) -> Table {
 /// Full band/curve CSV (one row per checkpoint per cell).
 pub fn curves_table(cells: &[Fig3Cell]) -> Table {
     let mut t = Table::new(&[
-        "duration", "skew", "samples", "exsample_q25", "exsample_med", "exsample_q75",
-        "random_q25", "random_med", "random_q75", "optimal",
+        "duration",
+        "skew",
+        "samples",
+        "exsample_q25",
+        "exsample_med",
+        "exsample_q75",
+        "random_q25",
+        "random_med",
+        "random_q75",
+        "optimal",
     ]);
     for c in cells {
         for (i, p) in c.exsample_band.iter().enumerate() {
@@ -227,7 +248,10 @@ mod tests {
             durations: vec![50.0],
             skews: vec![
                 ("none".into(), SkewSpec::Uniform),
-                ("1/32".into(), SkewSpec::CentralNormal { frac95: 1.0 / 32.0 }),
+                (
+                    "1/32".into(),
+                    SkewSpec::CentralNormal { frac95: 1.0 / 32.0 },
+                ),
             ],
             seed: 5,
         }

@@ -215,13 +215,20 @@ mod tests {
             .map(|s| s.optimal.last().unwrap().1)
             .collect();
         for w in opt_at_budget.windows(2) {
-            assert!(w[1] >= w[0] - 1.0, "optimal not increasing: {opt_at_budget:?}");
+            assert!(
+                w[1] >= w[0] - 1.0,
+                "optimal not increasing: {opt_at_budget:?}"
+            );
         }
     }
 
     #[test]
     fn tables_render() {
-        let series = run(&Fig4Config { runs: 3, chunk_counts: vec![4], ..tiny() });
+        let series = run(&Fig4Config {
+            runs: 3,
+            chunk_counts: vec![4],
+            ..tiny()
+        });
         assert_eq!(summary_table(&series).len(), 2);
         assert!(curves_table(&series).len() > 5);
     }

@@ -72,7 +72,14 @@ pub fn run(seed: u64) -> Vec<Fig6Row> {
 /// Render the summary as a table (histograms go to CSV via
 /// [`histogram_table`]).
 pub fn to_table(rows: &[Fig6Row]) -> Table {
-    let mut t = Table::new(&["query", "N", "chunks", "S (ours)", "S (paper)", "savings (paper)"]);
+    let mut t = Table::new(&[
+        "query",
+        "N",
+        "chunks",
+        "S (ours)",
+        "S (paper)",
+        "savings (paper)",
+    ]);
     for r in rows {
         t.row(vec![
             format!("{}/{}", r.dataset, r.class),

@@ -13,6 +13,7 @@
 //! | [`fig6`] | Fig. 6 — chunk histograms and the skew metric `S` |
 //! | [`coverage`] | §III-D — variance-bound coverage check (≈80%) |
 //! | [`ablate`] | DESIGN.md ablations: prior, selector, within-chunk order, batch |
+//! | [`engine_cmp`] | engine-shared vs. independent execution of overlapping queries |
 //!
 //! Supporting modules: [`presets`] (the six evaluation datasets,
 //! calibrated to the paper's reported frame counts, instance counts and
@@ -23,6 +24,7 @@
 
 pub mod ablate;
 pub mod coverage;
+pub mod engine_cmp;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

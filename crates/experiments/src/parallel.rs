@@ -44,18 +44,9 @@ where
         .collect()
 }
 
-/// Number of worker threads to use: respects `EXSAMPLE_THREADS`, defaults
-/// to available parallelism.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("EXSAMPLE_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-}
+/// The workspace-wide worker-thread convention (`EXSAMPLE_THREADS`),
+/// shared with the engine's worker pool.
+pub use exsample_engine::default_threads;
 
 #[cfg(test)]
 mod tests {

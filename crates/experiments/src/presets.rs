@@ -56,10 +56,26 @@ impl SkewLevel {
     pub fn spec(&self) -> SkewSpec {
         match self {
             SkewLevel::None => SkewSpec::Uniform,
-            SkewLevel::Low => SkewSpec::HotSpots { spots: 8, mass: 0.3, width_frac: 0.03 },
-            SkewLevel::Medium => SkewSpec::HotSpots { spots: 6, mass: 0.6, width_frac: 0.02 },
-            SkewLevel::High => SkewSpec::HotSpots { spots: 4, mass: 0.7, width_frac: 0.015 },
-            SkewLevel::Extreme => SkewSpec::HotSpots { spots: 1, mass: 0.9, width_frac: 0.008 },
+            SkewLevel::Low => SkewSpec::HotSpots {
+                spots: 8,
+                mass: 0.3,
+                width_frac: 0.03,
+            },
+            SkewLevel::Medium => SkewSpec::HotSpots {
+                spots: 6,
+                mass: 0.6,
+                width_frac: 0.02,
+            },
+            SkewLevel::High => SkewSpec::HotSpots {
+                spots: 4,
+                mass: 0.7,
+                width_frac: 0.015,
+            },
+            SkewLevel::Extreme => SkewSpec::HotSpots {
+                spots: 1,
+                mass: 0.9,
+                width_frac: 0.008,
+            },
         }
     }
 }
@@ -133,7 +149,10 @@ impl EvalDataset {
                 .map(|q| ClassSpec {
                     name: q.name.to_string(),
                     count: q.count,
-                    duration: DurationSpec::LogNormalMean { mean: q.mean_duration, sigma: 1.0 },
+                    duration: DurationSpec::LogNormalMean {
+                        mean: q.mean_duration,
+                        sigma: 1.0,
+                    },
                     skew: q.skew.spec(),
                     mean_box: mean_box(q.name),
                 })
@@ -172,14 +191,54 @@ pub fn all_datasets() -> Vec<EvalDataset> {
             clip_frames: Some(324),
             chunks: ChunkScheme::PerClip,
             classes: vec![
-                QueryClass { name: "bike", count: 400, mean_duration: 42.9, skew: High },
-                QueryClass { name: "bus", count: 600, mean_duration: 35.8, skew: Medium },
-                QueryClass { name: "motor", count: 509, mean_duration: 38.1, skew: High },
-                QueryClass { name: "person", count: 5000, mean_duration: 48.8, skew: Medium },
-                QueryClass { name: "rider", count: 350, mean_duration: 38.9, skew: High },
-                QueryClass { name: "traffic light", count: 4000, mean_duration: 35.0, skew: Low },
-                QueryClass { name: "traffic sign", count: 6000, mean_duration: 30.2, skew: Low },
-                QueryClass { name: "truck", count: 2000, mean_duration: 35.0, skew: Medium },
+                QueryClass {
+                    name: "bike",
+                    count: 400,
+                    mean_duration: 42.9,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "bus",
+                    count: 600,
+                    mean_duration: 35.8,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "motor",
+                    count: 509,
+                    mean_duration: 38.1,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "person",
+                    count: 5000,
+                    mean_duration: 48.8,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "rider",
+                    count: 350,
+                    mean_duration: 38.9,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "traffic light",
+                    count: 4000,
+                    mean_duration: 35.0,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "traffic sign",
+                    count: 6000,
+                    mean_duration: 30.2,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "truck",
+                    count: 2000,
+                    mean_duration: 35.0,
+                    skew: Medium,
+                },
             ],
         },
         EvalDataset {
@@ -190,15 +249,60 @@ pub fn all_datasets() -> Vec<EvalDataset> {
             clip_frames: Some(200),
             chunks: ChunkScheme::PerClip,
             classes: vec![
-                QueryClass { name: "bicycle", count: 200, mean_duration: 49.1, skew: High },
-                QueryClass { name: "bus", count: 400, mean_duration: 82.1, skew: Medium },
-                QueryClass { name: "car", count: 15_000, mean_duration: 57.2, skew: Low },
-                QueryClass { name: "motorcycle", count: 150, mean_duration: 44.0, skew: High },
-                QueryClass { name: "pedestrian", count: 6000, mean_duration: 71.6, skew: Medium },
-                QueryClass { name: "rider", count: 280, mean_duration: 52.5, skew: High },
-                QueryClass { name: "trailer", count: 80, mean_duration: 45.4, skew: High },
-                QueryClass { name: "train", count: 30, mean_duration: 53.9, skew: Extreme },
-                QueryClass { name: "truck", count: 1800, mean_duration: 83.5, skew: Medium },
+                QueryClass {
+                    name: "bicycle",
+                    count: 200,
+                    mean_duration: 49.1,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "bus",
+                    count: 400,
+                    mean_duration: 82.1,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "car",
+                    count: 15_000,
+                    mean_duration: 57.2,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "motorcycle",
+                    count: 150,
+                    mean_duration: 44.0,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "pedestrian",
+                    count: 6000,
+                    mean_duration: 71.6,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "rider",
+                    count: 280,
+                    mean_duration: 52.5,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "trailer",
+                    count: 80,
+                    mean_duration: 45.4,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "train",
+                    count: 30,
+                    mean_duration: 53.9,
+                    skew: Extreme,
+                },
+                QueryClass {
+                    name: "truck",
+                    count: 1800,
+                    mean_duration: 83.5,
+                    skew: Medium,
+                },
             ],
         },
         EvalDataset {
@@ -209,13 +313,48 @@ pub fn all_datasets() -> Vec<EvalDataset> {
             clip_frames: Option::None,
             chunks: ChunkScheme::Count(60),
             classes: vec![
-                QueryClass { name: "bicycle", count: 3000, mean_duration: 490.7, skew: Medium },
-                QueryClass { name: "boat", count: 588, mean_duration: 4794.0, skew: None },
-                QueryClass { name: "car", count: 6000, mean_duration: 812.2, skew: Low },
-                QueryClass { name: "dog", count: 180, mean_duration: 174.8, skew: Medium },
-                QueryClass { name: "motorcycle", count: 130, mean_duration: 138.2, skew: High },
-                QueryClass { name: "person", count: 8000, mean_duration: 885.5, skew: Low },
-                QueryClass { name: "truck", count: 700, mean_duration: 490.7, skew: Medium },
+                QueryClass {
+                    name: "bicycle",
+                    count: 3000,
+                    mean_duration: 490.7,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "boat",
+                    count: 588,
+                    mean_duration: 4794.0,
+                    skew: None,
+                },
+                QueryClass {
+                    name: "car",
+                    count: 6000,
+                    mean_duration: 812.2,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "dog",
+                    count: 180,
+                    mean_duration: 174.8,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "motorcycle",
+                    count: 130,
+                    mean_duration: 138.2,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "person",
+                    count: 8000,
+                    mean_duration: 885.5,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "truck",
+                    count: 700,
+                    mean_duration: 490.7,
+                    skew: Medium,
+                },
             ],
         },
         EvalDataset {
@@ -225,12 +364,42 @@ pub fn all_datasets() -> Vec<EvalDataset> {
             clip_frames: Option::None,
             chunks: ChunkScheme::Count(60),
             classes: vec![
-                QueryClass { name: "bicycle", count: 1200, mean_duration: 445.6, skew: Medium },
-                QueryClass { name: "bus", count: 450, mean_duration: 329.9, skew: Medium },
-                QueryClass { name: "car", count: 33_546, mean_duration: 1807.6, skew: None },
-                QueryClass { name: "motorcycle", count: 160, mean_duration: 163.6, skew: High },
-                QueryClass { name: "person", count: 9000, mean_duration: 383.5, skew: Low },
-                QueryClass { name: "truck", count: 600, mean_duration: 236.9, skew: Medium },
+                QueryClass {
+                    name: "bicycle",
+                    count: 1200,
+                    mean_duration: 445.6,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "bus",
+                    count: 450,
+                    mean_duration: 329.9,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "car",
+                    count: 33_546,
+                    mean_duration: 1807.6,
+                    skew: None,
+                },
+                QueryClass {
+                    name: "motorcycle",
+                    count: 160,
+                    mean_duration: 163.6,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "person",
+                    count: 9000,
+                    mean_duration: 383.5,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "truck",
+                    count: 600,
+                    mean_duration: 236.9,
+                    skew: Medium,
+                },
             ],
         },
         EvalDataset {
@@ -241,13 +410,48 @@ pub fn all_datasets() -> Vec<EvalDataset> {
             clip_frames: Option::None,
             chunks: ChunkScheme::Count(29),
             classes: vec![
-                QueryClass { name: "bicycle", count: 249, mean_duration: 94.2, skew: Extreme },
-                QueryClass { name: "bus", count: 400, mean_duration: 31.9, skew: Medium },
-                QueryClass { name: "fire hydrant", count: 350, mean_duration: 75.3, skew: Medium },
-                QueryClass { name: "person", count: 2500, mean_duration: 83.2, skew: Medium },
-                QueryClass { name: "stop sign", count: 800, mean_duration: 38.4, skew: High },
-                QueryClass { name: "traffic light", count: 1500, mean_duration: 69.7, skew: High },
-                QueryClass { name: "truck", count: 900, mean_duration: 31.9, skew: Low },
+                QueryClass {
+                    name: "bicycle",
+                    count: 249,
+                    mean_duration: 94.2,
+                    skew: Extreme,
+                },
+                QueryClass {
+                    name: "bus",
+                    count: 400,
+                    mean_duration: 31.9,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "fire hydrant",
+                    count: 350,
+                    mean_duration: 75.3,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "person",
+                    count: 2500,
+                    mean_duration: 83.2,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "stop sign",
+                    count: 800,
+                    mean_duration: 38.4,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "traffic light",
+                    count: 1500,
+                    mean_duration: 69.7,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "truck",
+                    count: 900,
+                    mean_duration: 31.9,
+                    skew: Low,
+                },
             ],
         },
         EvalDataset {
@@ -257,12 +461,42 @@ pub fn all_datasets() -> Vec<EvalDataset> {
             clip_frames: Option::None,
             chunks: ChunkScheme::Count(60),
             classes: vec![
-                QueryClass { name: "bus", count: 300, mean_duration: 298.9, skew: Medium },
-                QueryClass { name: "car", count: 12_000, mean_duration: 1415.6, skew: Low },
-                QueryClass { name: "dog", count: 60, mean_duration: 71.1, skew: High },
-                QueryClass { name: "motorcycle", count: 25, mean_duration: 34.7, skew: Extreme },
-                QueryClass { name: "person", count: 2078, mean_duration: 1037.8, skew: Medium },
-                QueryClass { name: "truck", count: 500, mean_duration: 242.5, skew: Medium },
+                QueryClass {
+                    name: "bus",
+                    count: 300,
+                    mean_duration: 298.9,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "car",
+                    count: 12_000,
+                    mean_duration: 1415.6,
+                    skew: Low,
+                },
+                QueryClass {
+                    name: "dog",
+                    count: 60,
+                    mean_duration: 71.1,
+                    skew: High,
+                },
+                QueryClass {
+                    name: "motorcycle",
+                    count: 25,
+                    mean_duration: 34.7,
+                    skew: Extreme,
+                },
+                QueryClass {
+                    name: "person",
+                    count: 2078,
+                    mean_duration: 1037.8,
+                    skew: Medium,
+                },
+                QueryClass {
+                    name: "truck",
+                    count: 500,
+                    mean_duration: 242.5,
+                    skew: Medium,
+                },
             ],
         },
     ]
@@ -310,7 +544,9 @@ mod tests {
     #[test]
     fn figure6_instance_counts_respected() {
         assert_eq!(
-            dataset("dashcam").unwrap().classes[dataset("dashcam").unwrap().class_index("bicycle").unwrap()].count,
+            dataset("dashcam").unwrap().classes
+                [dataset("dashcam").unwrap().class_index("bicycle").unwrap()]
+            .count,
             249
         );
         let bdd = dataset("BDD 1k").unwrap();

@@ -1,11 +1,11 @@
 //! Replicated discovery-curve runs shared by all experiments.
 
 use crate::parallel::parallel_map;
+use exsample_baselines::{ProxyOrderPolicy, RandomPlusPolicy, RandomPolicy, SequentialPolicy};
 use exsample_core::driver::{run_search, SearchCost, SearchTrace, StopCond};
 use exsample_core::exsample::{ExSample, ExSampleConfig};
 use exsample_core::policy::SamplingPolicy;
 use exsample_core::Chunking;
-use exsample_baselines::{ProxyOrderPolicy, RandomPlusPolicy, RandomPolicy, SequentialPolicy};
 use exsample_detect::{OracleDiscriminator, QueryOracle, SimulatedDetector};
 use exsample_stats::{quantile, Rng64};
 use exsample_videosim::{ClassId, GroundTruth};
@@ -52,9 +52,11 @@ impl PolicySpec {
             PolicySpec::Random => Box::new(RandomPolicy::new(frames)),
             PolicySpec::RandomPlus => Box::new(RandomPlusPolicy::new(frames)),
             PolicySpec::Sequential { stride } => Box::new(SequentialPolicy::new(frames, *stride)),
-            PolicySpec::ProxyOrder { order, avoid_window, .. } => {
-                Box::new(ProxyOrderPolicy::new(order.as_ref().clone(), *avoid_window))
-            }
+            PolicySpec::ProxyOrder {
+                order,
+                avoid_window,
+                ..
+            } => Box::new(ProxyOrderPolicy::new(order.as_ref().clone(), *avoid_window)),
         }
     }
 
@@ -298,7 +300,11 @@ mod tests {
     fn proxy_spec_charges_upfront() {
         let gt = truth();
         let order: Arc<Vec<u64>> = Arc::new((0..20_000).rev().collect());
-        let spec = PolicySpec::ProxyOrder { order, avoid_window: 10, upfront_s: 123.0 };
+        let spec = PolicySpec::ProxyOrder {
+            order,
+            avoid_window: 10,
+            upfront_s: 123.0,
+        };
         assert_eq!(spec.upfront_seconds(), 123.0);
         let cfg = RunConfig::new(1, StopCond::samples(5), 3);
         let traces = replicate_runs(&gt, ClassId(0), &spec, &cfg);

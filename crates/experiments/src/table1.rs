@@ -57,8 +57,16 @@ impl EvalConfig {
     /// Paper-scale or smoke-scale settings.
     pub fn at_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Full => EvalConfig { runs: 5, max_samples: 700_000, seed: 7 },
-            Scale::Quick => EvalConfig { runs: 3, max_samples: 120_000, seed: 7 },
+            Scale::Full => EvalConfig {
+                runs: 5,
+                max_samples: 700_000,
+                seed: 7,
+            },
+            Scale::Quick => EvalConfig {
+                runs: 3,
+                max_samples: 120_000,
+                seed: 7,
+            },
         }
     }
 }
@@ -72,9 +80,8 @@ pub fn evaluate_query(
 ) -> QueryEval {
     let class = ClassId(class_idx as u16);
     let count = gt.class_count(class);
-    let targets: [u64; 3] = std::array::from_fn(|i| {
-        ((count as f64 * RECALLS[i]).ceil() as u64).max(1)
-    });
+    let targets: [u64; 3] =
+        std::array::from_fn(|i| ((count as f64 * RECALLS[i]).ceil() as u64).max(1));
     let stop = StopCond::results(targets[2]).or_samples(cfg.max_samples);
     let run_cfg = RunConfig {
         runs: cfg.runs,
@@ -116,9 +123,7 @@ pub fn evaluate_all(scale: Scale) -> Vec<QueryEval> {
 
 /// Render Table I: per query, proxy scan time vs ExSample time to 10/50/90%.
 pub fn to_table(evals: &[QueryEval]) -> Table {
-    let mut t = Table::new(&[
-        "dataset", "proxy (scan)", "category", "10%", "50%", "90%",
-    ]);
+    let mut t = Table::new(&["dataset", "proxy (scan)", "category", "10%", "50%", "90%"]);
     let fmt = |s: &Option<f64>| s.map(fmt_hms).unwrap_or_else(|| "-".into());
     for e in evals {
         t.row(vec![
@@ -156,7 +161,11 @@ mod tests {
         let d = dataset("BDD MOT").unwrap();
         let gt = Arc::new(d.dataset_spec().generate(5));
         let ci = d.class_index("car").unwrap();
-        let cfg = EvalConfig { runs: 3, max_samples: 60_000, seed: 1 };
+        let cfg = EvalConfig {
+            runs: 3,
+            max_samples: 60_000,
+            seed: 1,
+        };
         let e = evaluate_query(&gt, &d, ci, &cfg);
         assert_eq!(e.count, 15_000);
         assert_eq!(e.targets, [1500, 7500, 13500]);
@@ -175,7 +184,11 @@ mod tests {
         let d = dataset("dashcam").unwrap();
         let gt = Arc::new(d.dataset_spec().generate(9));
         let ci = d.class_index("bicycle").unwrap();
-        let cfg = EvalConfig { runs: 3, max_samples: 400_000, seed: 2 };
+        let cfg = EvalConfig {
+            runs: 3,
+            max_samples: 400_000,
+            seed: 2,
+        };
         let e = evaluate_query(&gt, &d, ci, &cfg);
         let t90 = e.exsample_s[2].expect("90% reachable");
         assert!(

@@ -61,7 +61,10 @@ impl ChunkProbs {
                 row
             })
             .collect();
-        ChunkProbs { num_chunks: chunking.num_chunks(), rows }
+        ChunkProbs {
+            num_chunks: chunking.num_chunks(),
+            rows,
+        }
     }
 
     /// Build directly from rows (tests / synthetic studies).
@@ -153,7 +156,11 @@ pub struct SolveOpts {
 
 impl Default for SolveOpts {
     fn default() -> Self {
-        SolveOpts { max_iters: 400, tol: 1e-10, lr: 0.5 }
+        SolveOpts {
+            max_iters: 400,
+            tol: 1e-10,
+            lr: 0.5,
+        }
     }
 }
 
@@ -270,9 +277,7 @@ mod tests {
     fn uniform_weights_match_uniform_helper() {
         let probs = two_chunk_probs(0.1, 0.2, 5, 7);
         let w = vec![0.5, 0.5];
-        assert!(
-            (probs.expected_found(&w, 50) - probs.expected_found_uniform(50)).abs() < 1e-12
-        );
+        assert!((probs.expected_found(&w, 50) - probs.expected_found_uniform(50)).abs() < 1e-12);
     }
 
     #[test]
@@ -317,7 +322,10 @@ mod tests {
         let probs = two_chunk_probs(0.5, 0.001, 10, 10);
         let w_small = optimal_weights(&probs, 5, SolveOpts::default());
         let w_large = optimal_weights(&probs, 20_000, SolveOpts::default());
-        assert!(w_small[0] > w_large[0], "small={w_small:?} large={w_large:?}");
+        assert!(
+            w_small[0] > w_large[0],
+            "small={w_small:?} large={w_large:?}"
+        );
         assert!(w_large[1] > 0.9, "large={w_large:?}");
     }
 
@@ -335,10 +343,8 @@ mod tests {
 
     #[test]
     fn build_from_ground_truth() {
-        let spec = DatasetSpec::single_class(
-            1000,
-            ClassSpec::new("car", 30, 40.0, SkewSpec::Uniform),
-        );
+        let spec =
+            DatasetSpec::single_class(1000, ClassSpec::new("car", 30, 40.0, SkewSpec::Uniform));
         let gt = spec.generate(3);
         let chunking = Chunking::even(1000, 10);
         let probs = ChunkProbs::build(&gt, ClassId(0), &chunking);

@@ -26,7 +26,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "Histogram: bad range {lo}..{hi}");
         assert!(bins > 0, "Histogram: need at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Record one observation.
@@ -50,7 +57,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "Histogram::merge: lo differs");
         assert_eq!(self.hi, other.hi, "Histogram::merge: hi differs");
-        assert_eq!(self.counts.len(), other.counts.len(), "Histogram::merge: bins differ");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "Histogram::merge: bins differ"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -136,7 +147,11 @@ impl Histogram {
             let next = acc + c as f64;
             if next >= target {
                 // Linear interpolation within the bin.
-                let frac = if c == 0 { 0.5 } else { (target - acc) / c as f64 };
+                let frac = if c == 0 {
+                    0.5
+                } else {
+                    (target - acc) / c as f64
+                };
                 return self.lo + (i as f64 + frac) * self.bin_width();
             }
             acc = next;

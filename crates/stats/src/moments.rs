@@ -17,7 +17,13 @@ pub struct OnlineMoments {
 impl OnlineMoments {
     /// Empty accumulator.
     pub fn new() -> Self {
-        OnlineMoments { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineMoments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Fold one observation.

@@ -47,8 +47,7 @@ impl Rng64 {
     pub fn fork(&self, stream: u64) -> Self {
         // Mix the stream id into a fresh SplitMix64 chain keyed by the
         // parent state so children of different parents never collide.
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .rotate_left(7)
             .wrapping_add(self.s[1].rotate_left(21))
             .wrapping_add(self.s[2].wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -67,10 +66,7 @@ impl Rng64 {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -27,7 +27,11 @@ pub struct UniformNoReplacement {
 impl UniformNoReplacement {
     /// Sampler over the range `0..n`. `n == 0` yields an exhausted sampler.
     pub fn new(n: u64) -> Self {
-        UniformNoReplacement { swapped: FxHashMap::default(), remaining: n, n }
+        UniformNoReplacement {
+            swapped: FxHashMap::default(),
+            remaining: n,
+            n,
+        }
     }
 
     /// Total size of the underlying range.

@@ -169,7 +169,11 @@ pub fn inv_reg_lower_gamma(a: f64, p: f64) -> f64 {
     let gln = ln_gamma(a);
     let a1 = a - 1.0;
     let lna1 = if a > 1.0 { a1.ln() } else { 0.0 };
-    let afac = if a > 1.0 { (a1 * (lna1 - 1.0) - gln).exp() } else { 0.0 };
+    let afac = if a > 1.0 {
+        (a1 * (lna1 - 1.0) - gln).exp()
+    } else {
+        0.0
+    };
 
     let mut x;
     if a > 1.0 {
@@ -237,7 +241,11 @@ mod tests {
         assert!(close(ln_gamma(2.0), 0.0, 1e-12));
         assert!(close(ln_gamma(3.0), 2.0f64.ln(), 1e-12));
         assert!(close(ln_gamma(4.0), 6.0f64.ln(), 1e-12));
-        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
         assert!(close(ln_gamma(10.0), 362_880.0f64.ln(), 1e-12));
     }
 
@@ -309,10 +317,7 @@ mod tests {
             for &p in &[1e-6, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999_999] {
                 let x = inv_reg_lower_gamma(a, p);
                 let p2 = reg_lower_gamma(a, x);
-                assert!(
-                    (p2 - p).abs() < 1e-6,
-                    "a={a} p={p} -> x={x} -> p2={p2}"
-                );
+                assert!((p2 - p).abs() < 1e-6, "a={a} p={p} -> x={x} -> p2={p2}");
             }
         }
     }

@@ -61,7 +61,11 @@ impl Default for CostModel {
     fn default() -> Self {
         // 100 fps sequential decode => 0.01 s/frame; seeks ~2 ms; a spinning
         // disk or object store would raise `seek_s`.
-        CostModel { seek_s: 0.002, frame_decode_s: 0.01, byte_fetch_s: 0.0 }
+        CostModel {
+            seek_s: 0.002,
+            frame_decode_s: 0.01,
+            byte_fetch_s: 0.0,
+        }
     }
 }
 
@@ -80,8 +84,20 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = DecodeStats { seeks: 1, gops_fetched: 2, frames_decoded: 10, frames_returned: 3, bytes_fetched: 100 };
-        let b = DecodeStats { seeks: 2, gops_fetched: 1, frames_decoded: 5, frames_returned: 5, bytes_fetched: 50 };
+        let mut a = DecodeStats {
+            seeks: 1,
+            gops_fetched: 2,
+            frames_decoded: 10,
+            frames_returned: 3,
+            bytes_fetched: 100,
+        };
+        let b = DecodeStats {
+            seeks: 2,
+            gops_fetched: 1,
+            frames_decoded: 5,
+            frames_returned: 5,
+            bytes_fetched: 50,
+        };
         a.merge(&b);
         assert_eq!(a.seeks, 3);
         assert_eq!(a.gops_fetched, 3);
@@ -92,22 +108,39 @@ mod tests {
 
     #[test]
     fn amplification() {
-        let s = DecodeStats { frames_decoded: 30, frames_returned: 3, ..Default::default() };
+        let s = DecodeStats {
+            frames_decoded: 30,
+            frames_returned: 3,
+            ..Default::default()
+        };
         assert!((s.decode_amplification() - 10.0).abs() < 1e-12);
         assert_eq!(DecodeStats::default().decode_amplification(), 0.0);
     }
 
     #[test]
     fn seconds_formula() {
-        let m = CostModel { seek_s: 1.0, frame_decode_s: 0.1, byte_fetch_s: 0.001 };
-        let s = DecodeStats { seeks: 2, frames_decoded: 10, bytes_fetched: 1000, ..Default::default() };
+        let m = CostModel {
+            seek_s: 1.0,
+            frame_decode_s: 0.1,
+            byte_fetch_s: 0.001,
+        };
+        let s = DecodeStats {
+            seeks: 2,
+            frames_decoded: 10,
+            bytes_fetched: 1000,
+            ..Default::default()
+        };
         assert!((m.seconds(&s) - (2.0 + 1.0 + 1.0)).abs() < 1e-12);
     }
 
     #[test]
     fn default_model_is_100fps_sequential() {
         let m = CostModel::default();
-        let s = DecodeStats { frames_decoded: 100, frames_returned: 100, ..Default::default() };
+        let s = DecodeStats {
+            frames_decoded: 100,
+            frames_returned: 100,
+            ..Default::default()
+        };
         assert!((m.seconds(&s) - 1.0).abs() < 1e-9);
     }
 }

@@ -222,7 +222,14 @@ impl Container {
             }
             index.push(e);
         }
-        Ok(Container { data, gop_size, frame_count, index, cache: None, stats: DecodeStats::new() })
+        Ok(Container {
+            data,
+            gop_size,
+            frame_count,
+            index,
+            cache: None,
+            stats: DecodeStats::new(),
+        })
     }
 
     /// Frames stored.
@@ -253,7 +260,10 @@ impl Container {
     /// Read one frame, paying keyframe-walk decode costs.
     pub fn read_frame(&mut self, frame: u64) -> Result<Bytes, StoreError> {
         if frame >= self.frame_count {
-            return Err(StoreError::FrameOutOfRange { frame, total: self.frame_count });
+            return Err(StoreError::FrameOutOfRange {
+                frame,
+                total: self.frame_count,
+            });
         }
         let gop = (frame / self.gop_size as u64) as u32;
         let within = (frame % self.gop_size as u64) as usize;
@@ -303,17 +313,13 @@ impl Container {
         let (g, frames) = self.cache.as_mut().expect("cache set by caller");
         debug_assert_eq!(*g, gop);
         // Re-walk the varint-length frame records from where we stopped.
-        let mut off = frames
-            .iter()
-            .map(|f| 4 + f.len())
-            .sum::<usize>();
+        let mut off = frames.iter().map(|f| 4 + f.len()).sum::<usize>();
         while frames.len() <= upto {
             if off + 4 > payload.len() {
                 return Err(StoreError::Malformed("truncated gop"));
             }
-            let len = u32::from_le_bytes(
-                payload[off..off + 4].try_into().expect("4 bytes"),
-            ) as usize;
+            let len =
+                u32::from_le_bytes(payload[off..off + 4].try_into().expect("4 bytes")) as usize;
             off += 4;
             if off + len > payload.len() {
                 return Err(StoreError::Malformed("truncated frame"));
@@ -333,7 +339,9 @@ mod tests {
     fn frame_payload(i: u64) -> Vec<u8> {
         // Variable-length, content derived from the index.
         let len = 10 + (i % 23) as usize;
-        (0..len).map(|j| ((i as usize * 31 + j) % 251) as u8).collect()
+        (0..len)
+            .map(|j| ((i as usize * 31 + j) % 251) as u8)
+            .collect()
     }
 
     fn build(frames: u64, gop: u32) -> Container {
@@ -350,7 +358,10 @@ mod tests {
         assert_eq!(c.frame_count(), 103);
         assert_eq!(c.gop_count(), 6); // 5 full GOPs + partial
         for i in 0..103 {
-            assert_eq!(c.read_frame(i).unwrap().as_ref(), frame_payload(i).as_slice());
+            assert_eq!(
+                c.read_frame(i).unwrap().as_ref(),
+                frame_payload(i).as_slice()
+            );
         }
     }
 
@@ -359,7 +370,10 @@ mod tests {
         let mut c = build(10, 4);
         assert_eq!(
             c.read_frame(10),
-            Err(StoreError::FrameOutOfRange { frame: 10, total: 10 })
+            Err(StoreError::FrameOutOfRange {
+                frame: 10,
+                total: 10
+            })
         );
     }
 

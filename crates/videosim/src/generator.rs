@@ -90,7 +90,10 @@ impl ClassSpec {
         ClassSpec {
             name: name.to_string(),
             count,
-            duration: DurationSpec::LogNormalMean { mean: mean_duration, sigma: 1.0 },
+            duration: DurationSpec::LogNormalMean {
+                mean: mean_duration,
+                sigma: 1.0,
+            },
             skew,
             mean_box: (80.0, 60.0),
         }
@@ -205,7 +208,11 @@ impl DatasetSpec {
                 let dur = duration.min(clip_len);
                 let span = clip_len - dur;
                 clip_start
-                    + if span == 0 { 0 } else { rng.u64_below(span + 1) }
+                    + if span == 0 {
+                        0
+                    } else {
+                        rng.u64_below(span + 1)
+                    }
             }
         };
         let duration = duration.min(self.frames - start);
@@ -241,8 +248,14 @@ struct Placer {
 
 enum PlacerKind {
     Uniform,
-    CentralNormal { sd: f64 },
-    HotSpots { centers: Vec<f64>, mass: f64, sd: f64 },
+    CentralNormal {
+        sd: f64,
+    },
+    HotSpots {
+        centers: Vec<f64>,
+        mass: f64,
+        sd: f64,
+    },
 }
 
 impl Placer {
@@ -250,16 +263,29 @@ impl Placer {
         let kind = match *spec {
             SkewSpec::Uniform => PlacerKind::Uniform,
             SkewSpec::CentralNormal { frac95 } => {
-                assert!(frac95 > 0.0 && frac95 <= 1.0, "frac95 out of range: {frac95}");
+                assert!(
+                    frac95 > 0.0 && frac95 <= 1.0,
+                    "frac95 out of range: {frac95}"
+                );
                 // 95% of a normal lies within +-1.96 sd.
-                PlacerKind::CentralNormal { sd: frac95 / (2.0 * 1.96) }
+                PlacerKind::CentralNormal {
+                    sd: frac95 / (2.0 * 1.96),
+                }
             }
-            SkewSpec::HotSpots { spots, mass, width_frac } => {
+            SkewSpec::HotSpots {
+                spots,
+                mass,
+                width_frac,
+            } => {
                 assert!(spots > 0, "need at least one hot-spot");
                 assert!((0.0..=1.0).contains(&mass), "mass out of range: {mass}");
                 assert!(width_frac > 0.0, "width_frac must be positive");
                 let centers = (0..spots).map(|_| rng.f64()).collect();
-                PlacerKind::HotSpots { centers, mass, sd: width_frac / (2.0 * 1.96) }
+                PlacerKind::HotSpots {
+                    centers,
+                    mass,
+                    sd: width_frac / (2.0 * 1.96),
+                }
             }
         };
         Placer { kind }
@@ -269,14 +295,12 @@ impl Placer {
     fn position(&self, rng: &mut Rng64) -> f64 {
         match &self.kind {
             PlacerKind::Uniform => rng.f64(),
-            PlacerKind::CentralNormal { sd } => {
-                loop {
-                    let x = 0.5 + sd * Normal::standard_sample(rng);
-                    if (0.0..1.0).contains(&x) {
-                        return x;
-                    }
+            PlacerKind::CentralNormal { sd } => loop {
+                let x = 0.5 + sd * Normal::standard_sample(rng);
+                if (0.0..1.0).contains(&x) {
+                    return x;
                 }
-            }
+            },
             PlacerKind::HotSpots { centers, mass, sd } => {
                 if rng.f64() < *mass {
                     loop {
@@ -299,10 +323,7 @@ mod tests {
     use super::*;
 
     fn spec_with(skew: SkewSpec, count: usize) -> DatasetSpec {
-        DatasetSpec::single_class(
-            100_000,
-            ClassSpec::new("car", count, 50.0, skew),
-        )
+        DatasetSpec::single_class(100_000, ClassSpec::new("car", count, 50.0, skew))
     }
 
     #[test]
@@ -348,9 +369,7 @@ mod tests {
         let mid = gt
             .instances()
             .iter()
-            .filter(|i| {
-                i.start >= spec.frames / 4 && i.start < 3 * spec.frames / 4
-            })
+            .filter(|i| i.start >= spec.frames / 4 && i.start < 3 * spec.frames / 4)
             .count();
         // Half the timeline should hold about half the instances.
         assert!((800..1200).contains(&mid), "mid={mid}");
@@ -359,7 +378,11 @@ mod tests {
     #[test]
     fn hotspots_create_dense_regions() {
         let spec = spec_with(
-            SkewSpec::HotSpots { spots: 2, mass: 0.9, width_frac: 0.01 },
+            SkewSpec::HotSpots {
+                spots: 2,
+                mass: 0.9,
+                width_frac: 0.01,
+            },
             2000,
         );
         let gt = spec.generate(4);
@@ -381,7 +404,11 @@ mod tests {
             ClassSpec::new("car", 5000, 700.0, SkewSpec::Uniform),
         );
         let gt = spec.generate(5);
-        let mean: f64 = gt.instances().iter().map(|i| i.duration as f64).sum::<f64>()
+        let mean: f64 = gt
+            .instances()
+            .iter()
+            .map(|i| i.duration as f64)
+            .sum::<f64>()
             / gt.instances().len() as f64;
         assert!((mean / 700.0 - 1.0).abs() < 0.1, "mean={mean}");
     }

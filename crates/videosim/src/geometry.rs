@@ -28,7 +28,12 @@ impl BBox {
     pub fn from_center(cx: f32, cy: f32, w: f32, h: f32) -> Self {
         let hw = w.abs() * 0.5;
         let hh = h.abs() * 0.5;
-        BBox { x1: cx - hw, y1: cy - hh, x2: cx + hw, y2: cy + hh }
+        BBox {
+            x1: cx - hw,
+            y1: cy - hh,
+            x2: cx + hw,
+            y2: cy + hh,
+        }
     }
 
     /// Box width.
@@ -96,7 +101,12 @@ impl BBox {
 
     /// Translate by `(dx, dy)`.
     pub fn translated(&self, dx: f32, dy: f32) -> BBox {
-        BBox { x1: self.x1 + dx, y1: self.y1 + dy, x2: self.x2 + dx, y2: self.y2 + dy }
+        BBox {
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+            x2: self.x2 + dx,
+            y2: self.y2 + dy,
+        }
     }
 
     /// Scale width/height by `s` about the centre.
@@ -208,10 +218,13 @@ mod tests {
 
     #[test]
     fn greedy_match_pairs_best_first() {
-        let a = vec![BBox::new(0.0, 0.0, 10.0, 10.0), BBox::new(100.0, 0.0, 110.0, 10.0)];
+        let a = vec![
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            BBox::new(100.0, 0.0, 110.0, 10.0),
+        ];
         let b = vec![
-            BBox::new(1.0, 0.0, 11.0, 10.0),   // good match for a[0]
-            BBox::new(102.0, 0.0, 112.0, 10.0), // good match for a[1]
+            BBox::new(1.0, 0.0, 11.0, 10.0),       // good match for a[0]
+            BBox::new(102.0, 0.0, 112.0, 10.0),    // good match for a[1]
             BBox::new(500.0, 500.0, 510.0, 510.0), // unmatched
         ];
         let (pairs, ua, ub) = greedy_iou_match(&a, &b, 0.3);
@@ -235,7 +248,10 @@ mod tests {
     #[test]
     fn greedy_match_is_one_to_one() {
         // Two boxes in `a` both overlap one box in `b`; only one may claim it.
-        let a = vec![BBox::new(0.0, 0.0, 10.0, 10.0), BBox::new(2.0, 0.0, 12.0, 10.0)];
+        let a = vec![
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            BBox::new(2.0, 0.0, 12.0, 10.0),
+        ];
         let b = vec![BBox::new(1.0, 0.0, 11.0, 10.0)];
         let (pairs, ua, _) = greedy_iou_match(&a, &b, 0.1);
         assert_eq!(pairs.len(), 1);

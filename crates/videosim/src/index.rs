@@ -31,7 +31,10 @@ impl IntervalIndex {
         let items: Vec<(u32, FrameIdx, FrameIdx)> = intervals.collect();
         for &(id, s, e) in &items {
             assert!(s < e, "interval {id} is empty ({s}..{e})");
-            assert!(e <= frames, "interval {id} exceeds dataset ({e} > {frames})");
+            assert!(
+                e <= frames,
+                "interval {id} exceeds dataset ({e} > {frames})"
+            );
         }
         // Aim for ~1 overlap entry per interval on average: width near the
         // mean duration, clamped to keep bucket count reasonable.

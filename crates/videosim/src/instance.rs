@@ -128,7 +128,10 @@ impl GroundTruth {
         instances: Vec<Instance>,
     ) -> Self {
         for (i, inst) in instances.iter().enumerate() {
-            assert_eq!(inst.id.0 as usize, i, "instance ids must be dense and ordered");
+            assert_eq!(
+                inst.id.0 as usize, i,
+                "instance ids must be dense and ordered"
+            );
             assert!(
                 (inst.class.0 as usize) < class_names.len(),
                 "instance {} has unknown class {:?}",
@@ -136,7 +139,10 @@ impl GroundTruth {
                 inst.class
             );
             assert!(inst.duration >= 1, "instance {i} has zero duration");
-            assert!(inst.end() <= frames, "instance {i} extends past the dataset");
+            assert!(
+                inst.end() <= frames,
+                "instance {i} extends past the dataset"
+            );
         }
         let class_index = (0..class_names.len())
             .map(|c| {
@@ -149,7 +155,14 @@ impl GroundTruth {
                 )
             })
             .collect();
-        GroundTruth { frames, img_w, img_h, class_names, instances, class_index }
+        GroundTruth {
+            frames,
+            img_w,
+            img_h,
+            class_names,
+            instances,
+            class_index,
+        }
     }
 
     /// All instances (every class).
@@ -210,16 +223,48 @@ mod tests {
     use super::*;
 
     fn traj() -> Trajectory {
-        Trajectory { cx0: 100.0, cy0: 100.0, vx: 1.0, vy: 0.5, w0: 40.0, h0: 20.0, growth: 1.0 }
+        Trajectory {
+            cx0: 100.0,
+            cy0: 100.0,
+            vx: 1.0,
+            vy: 0.5,
+            w0: 40.0,
+            h0: 20.0,
+            growth: 1.0,
+        }
     }
 
     fn tiny_truth() -> GroundTruth {
         let instances = vec![
-            Instance { id: InstanceId(0), class: ClassId(0), start: 10, duration: 5, trajectory: traj() },
-            Instance { id: InstanceId(1), class: ClassId(0), start: 12, duration: 10, trajectory: traj() },
-            Instance { id: InstanceId(2), class: ClassId(1), start: 0, duration: 100, trajectory: traj() },
+            Instance {
+                id: InstanceId(0),
+                class: ClassId(0),
+                start: 10,
+                duration: 5,
+                trajectory: traj(),
+            },
+            Instance {
+                id: InstanceId(1),
+                class: ClassId(0),
+                start: 12,
+                duration: 10,
+                trajectory: traj(),
+            },
+            Instance {
+                id: InstanceId(2),
+                class: ClassId(1),
+                start: 0,
+                duration: 100,
+                trajectory: traj(),
+            },
         ];
-        GroundTruth::new(100, 1920.0, 1080.0, vec!["car".into(), "person".into()], instances)
+        GroundTruth::new(
+            100,
+            1920.0,
+            1080.0,
+            vec!["car".into(), "person".into()],
+            instances,
+        )
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl VideoRepo {
     pub fn uniform(n: usize, frames: u64, fps: f64) -> Self {
         VideoRepo::new(
             (0..n)
-                .map(|i| Clip { name: format!("clip{i:05}"), frames, fps })
+                .map(|i| Clip {
+                    name: format!("clip{i:05}"),
+                    frames,
+                    fps,
+                })
                 .collect(),
         )
     }
@@ -83,7 +87,10 @@ impl VideoRepo {
     /// Panics if out of range.
     pub fn global(&self, clip: usize, offset: u64) -> FrameIdx {
         assert!(clip < self.clips.len(), "clip {clip} out of range");
-        assert!(offset < self.clips[clip].frames, "offset {offset} out of range");
+        assert!(
+            offset < self.clips[clip].frames,
+            "offset {offset} out of range"
+        );
         self.offsets[clip] + offset
     }
 
@@ -128,9 +135,21 @@ mod tests {
     #[test]
     fn locate_and_global_round_trip() {
         let repo = VideoRepo::new(vec![
-            Clip { name: "a".into(), frames: 10, fps: 30.0 },
-            Clip { name: "b".into(), frames: 5, fps: 30.0 },
-            Clip { name: "c".into(), frames: 20, fps: 30.0 },
+            Clip {
+                name: "a".into(),
+                frames: 10,
+                fps: 30.0,
+            },
+            Clip {
+                name: "b".into(),
+                frames: 5,
+                fps: 30.0,
+            },
+            Clip {
+                name: "c".into(),
+                frames: 20,
+                fps: 30.0,
+            },
         ]);
         assert_eq!(repo.total_frames(), 35);
         for f in 0..35 {
@@ -165,8 +184,16 @@ mod tests {
     #[test]
     fn by_duration_respects_clip_boundaries() {
         let repo = VideoRepo::new(vec![
-            Clip { name: "a".into(), frames: 70, fps: 10.0 }, // 7s -> chunks of <=3s
-            Clip { name: "b".into(), frames: 25, fps: 10.0 }, // 2.5s -> 1 chunk
+            Clip {
+                name: "a".into(),
+                frames: 70,
+                fps: 10.0,
+            }, // 7s -> chunks of <=3s
+            Clip {
+                name: "b".into(),
+                frames: 25,
+                fps: 10.0,
+            }, // 2.5s -> 1 chunk
         ]);
         let c = repo.chunking_by_duration(3.0);
         assert_eq!(c.frames(), 95);

@@ -33,7 +33,10 @@ fn main() {
         "workload: {} frames, 1000 instances concentrated in ~3% of the data; budget {budget} samples\n",
         frames
     );
-    println!("{:<10} {:>14} {:>18} {:>22}", "chunks", "found (median)", "optimal expected", "weight on busiest chunk");
+    println!(
+        "{:<10} {:>14} {:>18} {:>22}",
+        "chunks", "found (median)", "optimal expected", "weight on busiest chunk"
+    );
 
     for m in [1usize, 2, 16, 128, 1024] {
         let chunking = Chunking::even(frames, m);

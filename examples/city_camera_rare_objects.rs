@@ -42,7 +42,10 @@ fn main() {
     let stop = StopCond::results(limit).or_samples(600_000);
 
     let run = |label: &str, mut policy: Box<dyn SamplingPolicy>, upfront_s: f64, seed: u64| {
-        let cost = SearchCost { upfront_s, ..detector_cost };
+        let cost = SearchCost {
+            upfront_s,
+            ..detector_cost
+        };
         let mut rng = Rng64::new(seed);
         let mut oracle = QueryOracle::new(
             SimulatedDetector::perfect(gt.clone(), class),

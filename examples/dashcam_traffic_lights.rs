@@ -7,12 +7,12 @@
 //! cargo run --release --example dashcam_traffic_lights
 //! ```
 
+use exsample::baselines::{RandomPolicy, SequentialPolicy};
 use exsample::core::{
     driver::{run_search, SearchCost, StopCond},
     exsample::{ExSample, ExSampleConfig},
     policy::SamplingPolicy,
 };
-use exsample::baselines::{RandomPolicy, SequentialPolicy};
 use exsample::detect::{NoiseModel, QueryOracle, SimulatedDetector, TrackerDiscriminator};
 use exsample::experiments::presets::{dataset, DETECT_FPS};
 use exsample::stats::Rng64;

@@ -1,0 +1,230 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's benches compiling
+//! and runnable: it implements the API subset they use (`Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros) with a simple
+//! median-of-samples wall-clock measurement and plain-text reporting. It
+//! performs no statistical analysis, warm-up calibration, or HTML output.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, recording the median time per call over several
+    /// batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it runs ≥ ~1 ms,
+        // then take the median of a handful of batches.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= 1_000_000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut samples = Vec::with_capacity(7);
+        for _ in 0..7 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.ns_per_iter.is_nan() {
+        println!("{name:<50} (no measurement)");
+    } else if b.ns_per_iter >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", b.ns_per_iter / 1e6);
+    } else if b.ns_per_iter >= 1_000.0 {
+        println!("{name:<50} {:>12.3} µs/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("{name:<50} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(self, n: usize) -> Self {
+        Criterion { _sample_size: n }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.prefix, id.name), &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.prefix, id.name), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut g = c.benchmark_group("shim_group");
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        g.bench_function("sub", |b| b.iter(|| black_box(9u64) - 4));
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(10);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_run() {
+        smoke();
+        configured();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).name, "0.5");
+        assert_eq!(BenchmarkId::from("plain").name, "plain");
+    }
+}

@@ -20,8 +20,11 @@
 //!   policies.
 //! * [`optimal`] — the Eq. IV.1 optimal static chunk-weight solver and
 //!   skew diagnostics.
+//! * [`engine`] — the multi-query serving layer: concurrent search
+//!   sessions over shared repositories, a shared detection cache, and a
+//!   cost-aware scheduler arbitrating the detector budget.
 //! * [`experiments`] — runners that regenerate every table and figure of
-//!   the paper's evaluation.
+//!   the paper's evaluation, plus the engine-vs-independent comparison.
 //!
 //! ## Quick start
 //!
@@ -61,6 +64,7 @@
 pub use exsample_baselines as baselines;
 pub use exsample_core as core;
 pub use exsample_detect as detect;
+pub use exsample_engine as engine;
 pub use exsample_experiments as experiments;
 pub use exsample_optimal as optimal;
 pub use exsample_stats as stats;

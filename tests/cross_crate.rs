@@ -44,7 +44,10 @@ fn proxy_wins_on_samples_but_loses_on_wall_clock() {
         run_search(
             &mut p,
             &mut f,
-            &SearchCost { upfront_s: scan_s, per_sample_s: per_sample },
+            &SearchCost {
+                upfront_s: scan_s,
+                per_sample_s: per_sample,
+            },
             &stop,
             &mut rng,
         )
@@ -190,13 +193,15 @@ fn experiment_harness_smoke() {
     assert_eq!(cells.len(), 2);
 
     let cov = coverage::class_coverage(
-        &DatasetSpec::single_class(
-            50_000,
-            ClassSpec::new("car", 100, 80.0, SkewSpec::Uniform),
-        )
-        .generate(52),
+        &DatasetSpec::single_class(50_000, ClassSpec::new("car", 100, 80.0, SkewSpec::Uniform))
+            .generate(52),
         ClassId(0),
-        &coverage::CoverageConfig { runs: 3, samples: 3_000, checkpoints: 5, seed: 53 },
+        &coverage::CoverageConfig {
+            runs: 3,
+            samples: 3_000,
+            checkpoints: 5,
+            seed: 53,
+        },
     );
     assert!(cov.evaluations > 0);
 

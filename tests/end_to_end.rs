@@ -19,7 +19,12 @@ fn skewed_truth(frames: u64, count: usize, dur: f64, seed: u64) -> Arc<GroundTru
     Arc::new(
         DatasetSpec::single_class(
             frames,
-            ClassSpec::new("object", count, dur, SkewSpec::CentralNormal { frac95: 1.0 / 32.0 }),
+            ClassSpec::new(
+                "object",
+                count,
+                dur,
+                SkewSpec::CentralNormal { frac95: 1.0 / 32.0 },
+            ),
         )
         .generate(seed),
     )
@@ -38,7 +43,13 @@ fn run_policy(
     );
     let trace = {
         let mut f = |frame| oracle.process(frame);
-        run_search(policy, &mut f, &SearchCost::per_sample(0.05), &stop, &mut rng)
+        run_search(
+            policy,
+            &mut f,
+            &SearchCost::per_sample(0.05),
+            &stop,
+            &mut rng,
+        )
     };
     let true_found = oracle.true_found();
     (trace, true_found)
@@ -48,7 +59,10 @@ fn run_policy(
 fn every_policy_eventually_finds_everything() {
     let gt = skewed_truth(20_000, 50, 100.0, 1);
     let policies: Vec<Box<dyn SamplingPolicy>> = vec![
-        Box::new(ExSample::new(Chunking::even(20_000, 8), ExSampleConfig::default())),
+        Box::new(ExSample::new(
+            Chunking::even(20_000, 8),
+            ExSampleConfig::default(),
+        )),
         Box::new(RandomPolicy::new(20_000)),
         Box::new(RandomPlusPolicy::new(20_000)),
         Box::new(SequentialPolicy::new(20_000, 13)),
@@ -70,7 +84,11 @@ fn exhausting_the_repository_finds_every_instance_exactly_once() {
     assert!(trace.exhausted());
     assert_eq!(trace.samples(), 5_000, "every frame visited exactly once");
     assert_eq!(true_found, 40);
-    assert_eq!(trace.found(), 40, "oracle discriminator never double-counts");
+    assert_eq!(
+        trace.found(),
+        40,
+        "oracle discriminator never double-counts"
+    );
 }
 
 #[test]
@@ -154,7 +172,9 @@ fn noisy_pipeline_still_reaches_recall() {
     let mut rng = Rng64::new(11);
     let mut samples = 0u64;
     while oracle.true_found() < 80 && samples < 80_000 {
-        let Some(frame) = policy.next_frame(&mut rng) else { break };
+        let Some(frame) = policy.next_frame(&mut rng) else {
+            break;
+        };
         let fb = oracle.process(frame);
         policy.feedback(frame, fb);
         samples += 1;
