@@ -1,0 +1,48 @@
+//! Quantifies what the durable detection store saves a restarted engine:
+//! runs an overlapping query fleet cold (empty persist directory), again
+//! warm (fresh engine, same directory — must pay zero detector
+//! invocations for the replay), and probes how much persisted belief
+//! snapshots shorten an unseen query's exploration.
+
+use exsample_bench::results_dir;
+use exsample_experiments::{engine_cmp, persist_cmp, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut cfg = engine_cmp::EngineCmpConfig::default_workload();
+    if scale == Scale::Quick {
+        cfg.frames = 20_000;
+        cfg.instances = 40;
+        cfg.target = 30;
+        cfg.queries = 4;
+    }
+    eprintln!(
+        "persist_cmp: {} queries over {} frames, cold vs. warm restart ({scale:?}) …",
+        cfg.queries, cfg.frames
+    );
+    let t0 = std::time::Instant::now();
+    let report = persist_cmp::run(&cfg, 20.0);
+    println!("\n# Cold vs. warm engine start (persisted detection store)\n");
+    println!("{}", persist_cmp::to_table(&report).to_markdown());
+    println!(
+        "restart avoided {:.0}% of detector invocations ({} → {}); warm cache: {}",
+        report.restart_savings() * 100.0,
+        report.cold_invocations,
+        report.replay_invocations,
+        report.warm_cache
+    );
+    println!(
+        "belief warm-start: probe query needed {} samples vs {} from the prior",
+        report.probe_warm_samples, report.probe_cold_samples
+    );
+    let out = results_dir().join("persist_cmp.csv");
+    persist_cmp::to_table(&report)
+        .write_csv(&out)
+        .expect("write CSV");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

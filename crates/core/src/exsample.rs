@@ -229,9 +229,35 @@ impl ExSample {
         &self.chunking
     }
 
-    /// Per-chunk statistics (index = chunk id).
+    /// Per-chunk statistics (index = chunk id). The export half of
+    /// warm-starting: persist these and feed them to
+    /// [`ExSample::import_stats`] on a later sampler over the same
+    /// chunking.
     pub fn chunk_stats(&self) -> &[ChunkStats] {
         &self.stats
+    }
+
+    /// Warm-start: replace every chunk's `(N1, n)` statistics wholesale,
+    /// e.g. with the final beliefs of an earlier search over the same
+    /// repository (cross-session belief sharing). The imported values are
+    /// adopted bit-for-bit — [`ExSample::chunk_stats`] returns exactly
+    /// `stats` afterwards — and the scoring groups are rebuilt to match.
+    /// Within-chunk sampling streams are *not* affected: the new search
+    /// still visits frames without replacement from scratch; only its
+    /// beliefs start informed instead of at the prior.
+    ///
+    /// # Panics
+    /// Panics if `stats.len()` differs from the chunk count.
+    pub fn import_stats(&mut self, stats: &[ChunkStats]) {
+        assert_eq!(
+            stats.len(),
+            self.stats.len(),
+            "imported statistics must cover every chunk"
+        );
+        for (j, s) in stats.iter().enumerate() {
+            self.stats[j] = *s;
+            self.groups.update(j as u32, s);
+        }
     }
 
     /// Total frames handed out so far.
@@ -537,6 +563,52 @@ mod tests {
         run_policy(&mut p, |_| Feedback::NONE, 2_000, 77);
         let unsampled = p.chunk_stats().iter().filter(|s| s.n == 0).count();
         assert_eq!(unsampled, 0, "{unsampled} chunks never sampled");
+    }
+
+    #[test]
+    fn import_stats_is_bit_identical_and_rebuilds_groups() {
+        let mut donor = ExSample::new(Chunking::even(1000, 10), ExSampleConfig::default());
+        run_policy(
+            &mut donor,
+            |f| {
+                if f < 100 {
+                    Feedback::new(1, 0)
+                } else {
+                    Feedback::NONE
+                }
+            },
+            80,
+            95,
+        );
+        let exported = donor.chunk_stats().to_vec();
+        assert!(exported.iter().any(|s| s.n1 > 0.0));
+
+        let mut warm = ExSample::new(Chunking::even(1000, 10), ExSampleConfig::default());
+        warm.import_stats(&exported);
+        for (a, b) in warm.chunk_stats().iter().zip(&exported) {
+            assert_eq!(a.n1.to_bits(), b.n1.to_bits());
+            assert_eq!(a.n, b.n);
+        }
+        // Groups were rebuilt: the warm sampler immediately concentrates
+        // on the donor's rewarding chunk instead of exploring uniformly.
+        run_policy(&mut warm, |_| Feedback::NONE, 20, 96);
+        let delta0 = warm.chunk_stats()[0].n - exported[0].n;
+        let delta_rest: u64 = warm.chunk_stats()[1..]
+            .iter()
+            .zip(&exported[1..])
+            .map(|(a, b)| a.n - b.n)
+            .sum();
+        assert!(delta0 > delta_rest, "chunk0 +{delta0}, rest +{delta_rest}");
+        // All chunks are still sampleable: the import touched beliefs, not
+        // within-chunk availability.
+        assert_eq!(warm.active_chunks(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "every chunk")]
+    fn import_stats_rejects_wrong_length() {
+        let mut p = ExSample::new(Chunking::even(100, 4), ExSampleConfig::default());
+        p.import_stats(&[ChunkStats::default(); 3]);
     }
 
     #[test]

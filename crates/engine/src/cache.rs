@@ -49,6 +49,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Entries injected through [`FrameCache::preload`] (persisted
+    /// detections loaded at startup) — counted separately from misses,
+    /// since no detector ran for them in this process.
+    pub warm_loads: u64,
 }
 
 impl CacheStats {
@@ -63,6 +67,29 @@ impl CacheStats {
     }
 }
 
+impl std::fmt::Display for CacheStats {
+    /// One uniform cache line for examples, benches, and logs:
+    /// `"1234 hits / 2000 lookups (61.7% hit rate), 500 warm-loaded, 0
+    /// evictions, 1800 resident"`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups ({:.1}% hit rate), {} warm-loaded, {} evictions, {} resident",
+            self.hits,
+            self.hits + self.misses,
+            self.hit_rate() * 100.0,
+            self.warm_loads,
+            self.evictions,
+            self.entries
+        )
+    }
+}
+
+/// Hook invoked (after the shard lock is released) with every freshly
+/// computed entry; the engine uses it to write detections behind the
+/// cache into the persistent detection log.
+pub type WriteBehind = Box<dyn Fn(FrameKey, &[Detection]) + Send + Sync>;
+
 /// Sharded, thread-safe memo of per-frame detector output.
 pub struct FrameCache {
     shards: Vec<Mutex<Shard>>,
@@ -71,6 +98,8 @@ pub struct FrameCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    warm_loads: AtomicU64,
+    write_behind: Option<WriteBehind>,
 }
 
 impl FrameCache {
@@ -97,7 +126,20 @@ impl FrameCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            warm_loads: AtomicU64::new(0),
+            write_behind: None,
         }
+    }
+
+    /// Install a write-behind hook, called exactly once with every entry
+    /// a miss computes. Must be set before the cache is shared (it takes
+    /// `&mut`). The hook runs *after* the shard lock is released, so a
+    /// slow sink (buffered file IO, a periodic fsync) delays only the
+    /// computing session, never other sessions touching the same shard;
+    /// consequently, hook invocations for different keys may interleave
+    /// in any order across threads.
+    pub fn set_write_behind(&mut self, hook: WriteBehind) {
+        self.write_behind = Some(hook);
     }
 
     fn shard_of(&self, key: &FrameKey) -> usize {
@@ -129,7 +171,35 @@ impl FrameCache {
         }
         shard.map.insert(key, value.clone());
         shard.order.push_back(key);
+        // Write behind with the shard unlocked: the sink may do real IO,
+        // and other sessions must keep hitting this shard meanwhile.
+        // Compute-once still guarantees one invocation per resident key.
+        drop(shard);
+        if let Some(hook) = &self.write_behind {
+            hook(key, &value);
+        }
         (value, false)
+    }
+
+    /// Inject an already-known entry (the bulk preload path used when
+    /// restoring persisted detections at startup). Counted as a warm load,
+    /// not a miss, and the write-behind hook is *not* invoked — these
+    /// entries came from the log in the first place.
+    ///
+    /// Returns `false` without evicting when the key is already resident
+    /// or the shard is full: preloads fill spare capacity, they never push
+    /// out entries the running workload paid for.
+    pub fn preload(&self, key: FrameKey, dets: Vec<Detection>) -> bool {
+        let mut shard = self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("cache shard poisoned");
+        if shard.map.len() >= self.shard_capacity || shard.map.contains_key(&key) {
+            return false;
+        }
+        shard.map.insert(key, Arc::new(dets));
+        shard.order.push_back(key);
+        self.warm_loads.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Aggregate counters across all shards.
@@ -143,6 +213,7 @@ impl FrameCache {
                 .iter()
                 .map(|s| s.lock().expect("cache shard poisoned").map.len() as u64)
                 .sum(),
+            warm_loads: self.warm_loads.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,6 +302,65 @@ mod tests {
         assert_eq!(s.misses, 512);
         assert_eq!(s.hits, 8 * 512 - 512);
         assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn preload_serves_hits_without_misses() {
+        let cache = FrameCache::new(64, 4);
+        assert!(cache.preload(key(3), Vec::new()));
+        assert!(!cache.preload(key(3), Vec::new()), "double preload");
+        let (_, hit) = cache.get_or_compute(key(3), || panic!("preloaded"));
+        assert!(hit);
+        let s = cache.stats();
+        assert_eq!((s.warm_loads, s.hits, s.misses, s.entries), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn preload_declines_when_full_instead_of_evicting() {
+        let cache = FrameCache::new(2, 1);
+        cache.get_or_compute(key(0), Vec::new);
+        cache.get_or_compute(key(1), Vec::new);
+        assert!(!cache.preload(key(2), Vec::new()));
+        let s = cache.stats();
+        assert_eq!((s.warm_loads, s.evictions, s.entries), (0, 0, 2));
+        // The paid-for entries are still resident.
+        let (_, hit) = cache.get_or_compute(key(0), || panic!("evicted"));
+        assert!(hit);
+    }
+
+    #[test]
+    fn write_behind_sees_each_computed_entry_once() {
+        use std::sync::Mutex as StdMutex;
+        let written: Arc<StdMutex<Vec<FrameKey>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut cache = FrameCache::new(64, 4);
+        let sink = written.clone();
+        cache.set_write_behind(Box::new(move |k, dets| {
+            assert!(dets.is_empty());
+            sink.lock().unwrap().push(k);
+        }));
+        cache.preload(key(9), Vec::new());
+        cache.get_or_compute(key(9), || panic!("preloaded")); // hit: no write
+        cache.get_or_compute(key(1), Vec::new); // miss: written
+        cache.get_or_compute(key(1), Vec::new); // hit: no write
+        cache.get_or_compute(key(2), Vec::new); // miss: written
+        assert_eq!(*written.lock().unwrap(), vec![key(1), key(2)]);
+    }
+
+    #[test]
+    fn stats_display_is_one_line() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            entries: 4,
+            warm_loads: 2,
+        };
+        let line = s.to_string();
+        assert_eq!(
+            line,
+            "3 hits / 4 lookups (75.0% hit rate), 2 warm-loaded, 0 evictions, 4 resident"
+        );
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -44,17 +44,20 @@
 use crate::cache::{CacheStats, FrameCache};
 use crate::scheduler::Scheduler;
 use crate::session::{
-    QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport, SessionSnapshot,
-    SessionStatus,
+    DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
+    SessionSnapshot, SessionStatus,
 };
 use crate::threads::default_threads;
+use exsample_core::belief::ChunkStats;
 use exsample_core::driver::SearchStepper;
 use exsample_core::exsample::ExSample;
 use exsample_core::policy::Feedback;
 use exsample_core::Chunking;
 use exsample_detect::{
     Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
+    TrackerDiscriminator,
 };
+use exsample_persist::{scan_detections, BeliefStore, DetectionLog, LoadStats, PersistConfig};
 use exsample_stats::{FxHashMap, Rng64};
 use exsample_store::{Container, ContainerWriter, CostModel, DecodeStats};
 use exsample_videosim::GroundTruth;
@@ -63,7 +66,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Engine tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads (defaults to [`default_threads`]).
     pub workers: usize,
@@ -81,6 +84,12 @@ pub struct EngineConfig {
     pub gop_size: u32,
     /// Prices io/decode work (seeks, GOP walks) in seconds.
     pub cost_model: CostModel,
+    /// Durable detection store. When set, the engine preloads persisted
+    /// detections into the cache at startup, appends every cache miss to
+    /// the detection log (write-behind), and snapshots each finished
+    /// session's chunk beliefs for later warm-starts. `None` (the
+    /// default) keeps the engine fully in-memory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for EngineConfig {
@@ -93,8 +102,48 @@ impl Default for EngineConfig {
             cache_shards: 64,
             gop_size: 20,
             cost_model: CostModel::default(),
+            persist: None,
         }
     }
+}
+
+/// What the durable detection store did at startup and since (see
+/// [`Engine::persist_stats`]). All "skipped" counters are benign: stale or
+/// damaged data costs recomputation, never correctness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Detection-log segments whose records were loaded at startup.
+    pub segments_loaded: u64,
+    /// Segments invalidated at startup (version/fingerprint mismatch or
+    /// unrecognizable header).
+    pub segments_skipped: u64,
+    /// Checksum-valid detection records read at startup.
+    pub records_loaded: u64,
+    /// Damaged segment tails abandoned at startup (torn write, bit rot).
+    pub damaged_tails: u64,
+    /// Records actually injected into the cache (≤ `records_loaded`:
+    /// duplicates and capacity overflow are declined).
+    pub preloaded_frames: u64,
+    /// Belief snapshots loaded at startup.
+    pub snapshots_loaded: u64,
+    /// Belief snapshots invalidated at startup.
+    pub snapshots_skipped: u64,
+    /// Belief snapshot keys currently resident (loaded + written since).
+    pub beliefs_resident: u64,
+    /// Detection-log write errors absorbed (the log goes inert after the
+    /// first).
+    pub log_write_errors: u64,
+    /// Belief snapshot write errors absorbed.
+    pub snapshot_write_errors: u64,
+}
+
+/// Durable-store handles shared by workers (independent of the state
+/// mutex; lock order is always state → persist, or persist alone).
+struct PersistShared {
+    log: Arc<Mutex<DetectionLog>>,
+    beliefs: Mutex<BeliefStore>,
+    detections_load: LoadStats,
+    preloaded_frames: u64,
 }
 
 /// Errors surfaced by the engine API.
@@ -139,7 +188,7 @@ struct SessionCore {
     policy: ExSample,
     rng: Rng64,
     stepper: SearchStepper,
-    discrim: OracleDiscriminator,
+    discrim: Box<dyn Discriminator + Send>,
     /// This session's private reader over the repo container (its own GOP
     /// cache and decode tally).
     container: Container,
@@ -161,6 +210,8 @@ struct Slot {
     samples: u64,
     /// Final trace, set at completion/cancellation.
     trace: Option<exsample_core::driver::SearchTrace>,
+    /// Final belief statistics, set alongside `trace`.
+    chunk_stats: Vec<ChunkStats>,
     /// Position in the engine-wide finish order, set at finalization.
     finish_order: u64,
 }
@@ -181,6 +232,7 @@ struct Shared {
     done_cv: Condvar,
     cache: FrameCache,
     config: EngineConfig,
+    persist: Option<PersistShared>,
     stop: AtomicBool,
 }
 
@@ -195,15 +247,47 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Start an engine and its worker threads.
+    /// Start an engine and its worker threads. With
+    /// [`EngineConfig::persist`] set, previously persisted detections are
+    /// preloaded into the cache and belief snapshots into memory before
+    /// any worker runs; stale (fingerprint-mismatched) or damaged data is
+    /// skipped and counted in [`Engine::persist_stats`], never an error.
     ///
     /// # Panics
     /// Panics if the configuration is degenerate (zero workers, quantum,
-    /// fps, or cache capacity).
+    /// fps, or cache capacity), or if the persist directory cannot be
+    /// created or listed at all (directory-level IO failure — damaged
+    /// *contents* never panic).
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.quantum > 0, "quantum must be positive");
         assert!(config.detector_fps > 0.0, "detector_fps must be positive");
+        let mut cache = FrameCache::new(config.cache_capacity, config.cache_shards);
+        let persist = config.persist.as_ref().map(|pc| {
+            let beliefs = BeliefStore::open(pc).expect("persist directory unusable");
+            let log = DetectionLog::open(pc).expect("persist directory unusable");
+            let mut preloaded_frames = 0u64;
+            let detections_load = scan_detections(&pc.dir, pc.fingerprint, |rec| {
+                if cache.preload((RepoId(rec.repo), rec.frame), rec.dets) {
+                    preloaded_frames += 1;
+                }
+            })
+            .expect("persist directory unusable");
+            let log = Arc::new(Mutex::new(log));
+            let sink = log.clone();
+            cache.set_write_behind(Box::new(move |key, dets| {
+                sink.lock()
+                    .expect("detection log poisoned")
+                    .append(key.0 .0, key.1, dets);
+            }));
+            PersistShared {
+                log,
+                beliefs: Mutex::new(beliefs),
+                detections_load,
+                preloaded_frames,
+            }
+        });
+        let workers = config.workers;
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
                 repos: Vec::new(),
@@ -214,11 +298,12 @@ impl Engine {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            cache: FrameCache::new(config.cache_capacity, config.cache_shards),
+            cache,
             config,
+            persist,
             stop: AtomicBool::new(false),
         });
-        let workers = (0..config.workers)
+        let workers = (0..workers)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -285,13 +370,28 @@ impl Engine {
             return Err(EngineError::InvalidSpec("repository has no frames"));
         }
         let chunks = spec.chunks.min(frames as usize);
+        let mut policy = ExSample::new(Chunking::even(frames, chunks), spec.config);
+        if spec.warm_start {
+            if let Some(p) = &self.shared.persist {
+                let beliefs = p.beliefs.lock().expect("belief store poisoned");
+                if let Some(stats) = beliefs.get((spec.repo.0, spec.class.0, chunks as u32)) {
+                    policy.import_stats(stats);
+                }
+            }
+        }
+        let discrim: Box<dyn Discriminator + Send> = match spec.discriminator {
+            DiscriminatorKind::Oracle => Box::new(OracleDiscriminator::new()),
+            DiscriminatorKind::Tracker { seed } => {
+                Box::new(TrackerDiscriminator::new(repo.gt.clone(), seed))
+            }
+        };
         let core = Box::new(SessionCore {
             repo_id: spec.repo,
             class: spec.class,
-            policy: ExSample::new(Chunking::even(frames, chunks), spec.config),
+            policy,
             rng: Rng64::new(spec.seed),
             stepper: SearchStepper::new(spec.stop, 0.0),
-            discrim: OracleDiscriminator::new(),
+            discrim,
             container: Container::open(repo.container.clone()).expect("engine-built container"),
             repo,
             class_dets: Vec::new(),
@@ -310,6 +410,7 @@ impl Engine {
                 found: 0,
                 samples: 0,
                 trace: None,
+                chunk_stats: Vec::new(),
                 finish_order: 0,
             },
         );
@@ -371,6 +472,7 @@ impl Engine {
                     trace: trace.clone(),
                     charges: slot.charges,
                     finish_order: slot.finish_order,
+                    chunk_stats: slot.chunk_stats.clone(),
                 });
             }
             // Drop takes `&mut self`, so no `wait` borrow can be alive
@@ -405,6 +507,7 @@ impl Engine {
             trace: slot.trace.expect("checked above"),
             charges: slot.charges,
             finish_order: slot.finish_order,
+            chunk_stats: slot.chunk_stats,
         })
     }
 
@@ -418,6 +521,44 @@ impl Engine {
     /// across sessions; the difference is what sharing saved.
     pub fn detector_invocations(&self) -> u64 {
         self.shared.cache.stats().misses
+    }
+
+    /// Durable-store counters, or `None` when persistence is off.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.shared.persist.as_ref().map(|p| {
+            let beliefs = p.beliefs.lock().expect("belief store poisoned");
+            let snapshots = beliefs.load_stats();
+            PersistStats {
+                segments_loaded: p.detections_load.segments_loaded,
+                segments_skipped: p.detections_load.segments_skipped,
+                records_loaded: p.detections_load.records_loaded,
+                damaged_tails: p.detections_load.damaged_tails,
+                preloaded_frames: p.preloaded_frames,
+                snapshots_loaded: snapshots.segments_loaded,
+                snapshots_skipped: snapshots.segments_skipped,
+                beliefs_resident: beliefs.len() as u64,
+                snapshot_write_errors: beliefs.write_errors(),
+                log_write_errors: p.log.lock().expect("detection log poisoned").write_errors(),
+            }
+        })
+    }
+
+    /// The belief statistics a warm-starting query over
+    /// `(repo, class, chunks)` would import right now, if a snapshot
+    /// exists. `None` when persistence is off or no prior search over
+    /// that key has finished. `chunks` is the *effective* chunk count
+    /// (i.e. after clamping to the repository's frame count).
+    pub fn warm_beliefs(
+        &self,
+        repo: RepoId,
+        class: exsample_videosim::ClassId,
+        chunks: usize,
+    ) -> Option<Vec<ChunkStats>> {
+        let p = self.shared.persist.as_ref()?;
+        let beliefs = p.beliefs.lock().expect("belief store poisoned");
+        beliefs
+            .get((repo.0, class.0, chunks as u32))
+            .map(<[_]>::to_vec)
     }
 
     fn lock_state(&self) -> MutexGuard<'_, EngineState> {
@@ -495,7 +636,9 @@ fn worker_loop(shared: &Shared) {
             .scheduler
             .release(id, outcome.delta.total_s().max(floor_s));
         let finish_order = state.finished_sessions;
-        let finalized = {
+        // On finalization the core is kept out of the slot so the belief
+        // snapshot below can read its final statistics.
+        let retired = {
             let slot = state.sessions.get_mut(&id).expect("session exists");
             slot.events.extend_from_slice(&outcome.events);
             slot.charges.detect_s += outcome.delta.detect_s;
@@ -512,17 +655,50 @@ fn worker_loop(shared: &Shared) {
                     SessionStatus::Done
                 };
                 slot.trace = Some(core.stepper.clone().finish());
+                slot.chunk_stats = core.policy.chunk_stats().to_vec();
                 slot.finish_order = finish_order;
-                true
+                Some(core)
             } else {
                 slot.core = Some(core);
-                false
+                None
             }
         };
-        if finalized {
+        if let Some(core) = retired {
             state.finished_sessions += 1;
             state.scheduler.deactivate(id);
+            // Make the belief snapshot visible (in memory) *before*
+            // waiters learn the session finished: a warm_start query
+            // submitted the instant `wait` returns must find it. Only the
+            // durable file write is deferred past the state lock. The
+            // offer is evidence-gated, so a short or cancelled run never
+            // clobbers a richer snapshot of the same key.
+            let snapshot_key = match &shared.persist {
+                Some(persist) if core.stepper.samples() > 0 => {
+                    let key = (
+                        core.repo_id.0,
+                        core.class.0,
+                        core.policy.chunking().num_chunks() as u32,
+                    );
+                    let adopted = persist
+                        .beliefs
+                        .lock()
+                        .expect("belief store poisoned")
+                        .offer(key, core.policy.chunk_stats().to_vec());
+                    adopted.then_some(key)
+                }
+                _ => None,
+            };
             shared.done_cv.notify_all();
+            if let Some(key) = snapshot_key {
+                let persist = shared.persist.as_ref().expect("checked above");
+                drop(state);
+                persist
+                    .beliefs
+                    .lock()
+                    .expect("belief store poisoned")
+                    .persist_key(key);
+                state = shared.state.lock().expect("engine state poisoned");
+            }
         } else {
             // The session is runnable again; a parked worker may want it.
             shared.work_cv.notify_one();
@@ -880,6 +1056,111 @@ mod tests {
             }
             Err(other) => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracker_discriminator_is_selectable_per_session() {
+        // Smoke test (ROADMAP: tracker in the engine): a session using the
+        // SORT-style tracker under realistic detector noise must still
+        // reach its result limit, concurrently with an oracle session.
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            quantum: 8,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo(truth(20_000, 60), NoiseModel::realistic(), 5);
+        let tracked = engine
+            .submit(
+                QuerySpec::new(repo, ClassId(0), StopCond::results(20))
+                    .seed(31)
+                    .discriminator(DiscriminatorKind::Tracker { seed: 7 }),
+            )
+            .unwrap();
+        let oracle = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(20)).seed(32))
+            .unwrap();
+        let tracked = engine.wait(tracked).unwrap();
+        let oracle = engine.wait(oracle).unwrap();
+        assert_eq!(tracked.status, SessionStatus::Done);
+        assert_eq!(oracle.status, SessionStatus::Done);
+        assert!(tracked.trace.found() >= 20);
+        assert!(oracle.trace.found() >= 20);
+    }
+
+    #[test]
+    fn report_exposes_final_chunk_stats() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(
+                QuerySpec::new(repo, ClassId(0), StopCond::results(10))
+                    .seed(3)
+                    .chunks(8),
+            )
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+        assert_eq!(report.chunk_stats.len(), 8);
+        let sampled: u64 = report.chunk_stats.iter().map(|s| s.n).sum();
+        assert_eq!(sampled, report.trace.samples());
+        assert!(report.chunk_stats.iter().any(|s| s.n1 > 0.0));
+    }
+
+    #[test]
+    fn persist_stats_absent_without_persistence() {
+        let (engine, _) = small_engine(1);
+        assert!(engine.persist_stats().is_none());
+        assert!(engine.warm_beliefs(RepoId(0), ClassId(0), 16).is_none());
+    }
+
+    #[test]
+    fn persistence_warm_starts_cache_and_beliefs_across_engines() {
+        let dir = std::env::temp_dir().join(format!(
+            "exsample-engine-persist-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persist = exsample_persist::PersistConfig::new(&dir).fingerprint(11);
+        let config = EngineConfig {
+            workers: 2,
+            quantum: 8,
+            persist: Some(persist),
+            ..EngineConfig::default()
+        };
+
+        let engine = Engine::new(config.clone());
+        let repo = engine.register_repo(truth(20_000, 60), NoiseModel::none(), 5);
+        let spec = QuerySpec::new(repo, ClassId(0), StopCond::results(15))
+            .seed(3)
+            .warm_start(false);
+        let first = engine.wait(engine.submit(spec.clone()).unwrap()).unwrap();
+        let invocations = engine.detector_invocations();
+        assert!(invocations > 0);
+        drop(engine); // flushes the detection log
+
+        let engine = Engine::new(config);
+        let repo2 = engine.register_repo(truth(20_000, 60), NoiseModel::none(), 5);
+        assert_eq!(repo2, repo);
+        let ps = engine.persist_stats().expect("persistence on");
+        assert_eq!(ps.records_loaded, invocations);
+        assert_eq!(ps.preloaded_frames, invocations);
+        assert_eq!(ps.segments_skipped, 0);
+        assert_eq!(engine.cache_stats().warm_loads, invocations);
+        // Beliefs: the first session's final stats are served bit-for-bit.
+        let warm = engine
+            .warm_beliefs(repo, ClassId(0), 16)
+            .expect("snapshot exists");
+        assert_eq!(warm.len(), first.chunk_stats.len());
+        for (a, b) in warm.iter().zip(&first.chunk_stats) {
+            assert_eq!(a.n1.to_bits(), b.n1.to_bits());
+            assert_eq!(a.n, b.n);
+        }
+        // A cold-belief replay of the same query touches only cached
+        // frames: zero detector invocations.
+        let replay = engine.wait(engine.submit(spec).unwrap()).unwrap();
+        assert_eq!(replay.trace.samples(), first.trace.samples());
+        assert_eq!(replay.trace.found(), first.trace.found());
+        assert_eq!(engine.detector_invocations(), 0);
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

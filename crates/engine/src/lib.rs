@@ -18,7 +18,16 @@
 //!   `exsample_store::CostModel`) and the next quantum always goes to the
 //!   cheapest-so-far session per unit priority.
 //! * [`QuerySpec`] / [`SessionId`] / [`SessionSnapshot`] /
-//!   [`SessionReport`] — the session lifecycle vocabulary.
+//!   [`SessionReport`] — the session lifecycle vocabulary, including the
+//!   selectable discriminator ([`DiscriminatorKind`]) and per-query
+//!   belief warm-starting.
+//! * **Durable detection store** — with [`EngineConfig::persist`] set
+//!   (see [`PersistConfig`]), detector output is written behind the cache
+//!   into `exsample_persist`'s segmented log and preloaded on the next
+//!   start, so a restarted engine answers previously-detected frames
+//!   with zero detector invocations; finished sessions snapshot their
+//!   chunk beliefs for cross-session warm-starts. [`Engine::persist_stats`]
+//!   reports what was loaded, skipped (stale fingerprints), or salvaged.
 //! * [`default_threads`] — the workspace-wide `EXSAMPLE_THREADS`
 //!   convention, shared with the experiments harness.
 //!
@@ -64,10 +73,11 @@ pub mod session;
 pub mod threads;
 
 pub use cache::{CacheStats, FrameCache};
-pub use engine::{Engine, EngineConfig, EngineError};
+pub use engine::{Engine, EngineConfig, EngineError, PersistStats};
+pub use exsample_persist::{dataset_fingerprint, detector_fingerprint, PersistConfig};
 pub use scheduler::Scheduler;
 pub use session::{
-    QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport, SessionSnapshot,
-    SessionStatus,
+    DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
+    SessionSnapshot, SessionStatus,
 };
 pub use threads::default_threads;

@@ -1,6 +1,7 @@
 //! Public vocabulary of the engine: queries, sessions, and their
 //! observable state.
 
+use exsample_core::belief::ChunkStats;
 use exsample_core::driver::{SearchTrace, StopCond};
 use exsample_core::exsample::ExSampleConfig;
 use exsample_videosim::ClassId;
@@ -12,6 +13,22 @@ pub struct RepoId(pub u32);
 /// Identifies one submitted search session. Monotonic per engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
+
+/// Which discriminator a session uses to decide "is this detection a new
+/// distinct object?" (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiscriminatorKind {
+    /// Ground-truth identity matching — perfect discrimination, isolating
+    /// the sampling question (the paper's simulation-study setting).
+    #[default]
+    Oracle,
+    /// The SORT-style IoU tracker with emulated forward/backward track
+    /// extension: exercises duplicate/split noise under concurrency.
+    Tracker {
+        /// Seed of the tracker's private drift RNG.
+        seed: u64,
+    },
+}
 
 /// A declarative search request: "find distinct objects of `class` in
 /// `repo` until `stop`", plus knobs for the sampler and the scheduler.
@@ -32,10 +49,19 @@ pub struct QuerySpec {
     pub weight: u32,
     /// Seed for the session's private sampling RNG.
     pub seed: u64,
+    /// Discriminator implementation for this session.
+    pub discriminator: DiscriminatorKind,
+    /// Warm-start chunk beliefs from a persisted snapshot of an earlier
+    /// search over the same `(repo, class, chunks)`, when the engine has
+    /// persistence configured and a snapshot exists. On by default —
+    /// without persistence it is a no-op. Disable for bit-reproducible
+    /// replays of a cold run.
+    pub warm_start: bool,
 }
 
 impl QuerySpec {
-    /// A query with the paper-default sampler over 16 chunks, weight 1.
+    /// A query with the paper-default sampler over 16 chunks, weight 1,
+    /// the oracle discriminator, and warm-starting enabled.
     pub fn new(repo: RepoId, class: ClassId, stop: StopCond) -> Self {
         QuerySpec {
             repo,
@@ -45,6 +71,8 @@ impl QuerySpec {
             config: ExSampleConfig::default(),
             weight: 1,
             seed: 0,
+            discriminator: DiscriminatorKind::default(),
+            warm_start: true,
         }
     }
 
@@ -69,6 +97,19 @@ impl QuerySpec {
     /// Set the sampler configuration.
     pub fn config(mut self, config: ExSampleConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Select the discriminator implementation.
+    pub fn discriminator(mut self, kind: DiscriminatorKind) -> Self {
+        self.discriminator = kind;
+        self
+    }
+
+    /// Enable or disable belief warm-starting (see
+    /// [`QuerySpec::warm_start`]).
+    pub fn warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
         self
     }
 }
@@ -150,6 +191,10 @@ pub struct SessionReport {
     /// 0-based position in the engine's finish order (session 0 finished
     /// first). Useful for observing scheduling effects.
     pub finish_order: u64,
+    /// Final per-chunk `(N1, n)` belief statistics of the session's
+    /// sampler — exactly what a persistence-enabled engine snapshots for
+    /// later warm-starts.
+    pub chunk_stats: Vec<ChunkStats>,
 }
 
 #[cfg(test)]
@@ -161,13 +206,24 @@ mod tests {
         let q = QuerySpec::new(RepoId(3), ClassId(1), StopCond::results(5))
             .chunks(32)
             .weight(4)
-            .seed(99);
+            .seed(99)
+            .discriminator(DiscriminatorKind::Tracker { seed: 5 })
+            .warm_start(false);
         assert_eq!(q.repo, RepoId(3));
         assert_eq!(q.class, ClassId(1));
         assert_eq!(q.chunks, 32);
         assert_eq!(q.weight, 4);
         assert_eq!(q.seed, 99);
         assert_eq!(q.stop.max_results, Some(5));
+        assert_eq!(q.discriminator, DiscriminatorKind::Tracker { seed: 5 });
+        assert!(!q.warm_start);
+    }
+
+    #[test]
+    fn query_spec_defaults_to_oracle_and_warm_start() {
+        let q = QuerySpec::new(RepoId(0), ClassId(0), StopCond::results(1));
+        assert_eq!(q.discriminator, DiscriminatorKind::Oracle);
+        assert!(q.warm_start);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Cold vs. warm engine start over a persisted detection store.
+//!
+//! Quantifies what `exsample-persist` buys a restarted deployment. The
+//! same overlapping query fleet runs through three engine *incarnations*
+//! sharing one persist directory:
+//!
+//! 1. **cold** — empty directory; every sampled frame is a detector
+//!    invocation (write-behind fills the log as a side effect);
+//! 2. **warm replay** — a fresh engine on the same directory re-runs the
+//!    identical fleet (same seeds, cold beliefs). Determinism means it
+//!    samples exactly the same frames, all preloaded: detector
+//!    invocations must be **zero**;
+//! 3. **probe** — a *new* query (unseen seed) runs twice: once on a
+//!    persistence-free engine (beliefs start from the prior, and nothing
+//!    it learns can leak back into the store) and once on a further
+//!    incarnation warm-started from the *fleet's* persisted belief
+//!    snapshots — measuring how much cross-session belief sharing
+//!    shortens exploration.
+
+use crate::engine_cmp::EngineCmpConfig;
+use exsample_core::driver::StopCond;
+use exsample_detect::NoiseModel;
+use exsample_engine::{
+    dataset_fingerprint, detector_fingerprint, CacheStats, Engine, EngineConfig, PersistConfig,
+    QuerySpec, SessionStatus,
+};
+use exsample_videosim::{ClassId, GroundTruth};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Outcome of the cold/warm comparison.
+#[derive(Debug, Clone)]
+pub struct PersistCmpReport {
+    /// Frames sampled by the cold fleet (= its detector invocations).
+    pub cold_invocations: u64,
+    /// Detector invocations of the warm replay (must be 0).
+    pub replay_invocations: u64,
+    /// Records preloaded into the warm engine's cache.
+    pub preloaded_frames: u64,
+    /// Samples the probe query needed starting from the prior.
+    pub probe_cold_samples: u64,
+    /// Samples the probe query needed with warm-started beliefs.
+    pub probe_warm_samples: u64,
+    /// Cache counters of the warm-replay engine.
+    pub warm_cache: CacheStats,
+}
+
+impl PersistCmpReport {
+    /// Fraction of the cold run's detector bill the restart avoided.
+    pub fn restart_savings(&self) -> f64 {
+        if self.cold_invocations == 0 {
+            0.0
+        } else {
+            1.0 - self.replay_invocations as f64 / self.cold_invocations as f64
+        }
+    }
+}
+
+fn engine_on(dir: &PathBuf, cfg: &EngineCmpConfig, fps: f64, fingerprint: u64) -> Engine {
+    Engine::new(EngineConfig {
+        workers: cfg.workers,
+        detector_fps: fps,
+        persist: Some(PersistConfig::new(dir).fingerprint(fingerprint)),
+        ..EngineConfig::default()
+    })
+}
+
+fn run_fleet(engine: &Engine, gt: &Arc<GroundTruth>, cfg: &EngineCmpConfig) -> u64 {
+    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), cfg.seed);
+    let ids: Vec<_> = (0..cfg.queries)
+        .map(|q| {
+            engine
+                .submit(
+                    QuerySpec::new(repo, ClassId(0), StopCond::results(cfg.target))
+                        .chunks(cfg.chunks)
+                        .seed(cfg.seed + q as u64)
+                        .warm_start(false),
+                )
+                .expect("valid spec")
+        })
+        .collect();
+    let mut frames = 0;
+    for id in ids {
+        let report = engine.wait(id).expect("session completes");
+        assert_eq!(report.status, SessionStatus::Done);
+        frames += report.charges.frames;
+    }
+    frames
+}
+
+/// Run the probe query (fresh seed) on `engine` and return its sample
+/// count. `warm` controls belief warm-starting (a no-op on engines
+/// without persistence).
+fn run_probe(engine: &Engine, gt: &Arc<GroundTruth>, cfg: &EngineCmpConfig, warm: bool) -> u64 {
+    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), cfg.seed);
+    let id = engine
+        .submit(
+            QuerySpec::new(repo, ClassId(0), StopCond::results(cfg.target))
+                .chunks(cfg.chunks)
+                .seed(cfg.seed + 1000)
+                .warm_start(warm),
+        )
+        .expect("valid spec");
+    engine.wait(id).expect("probe completes").trace.samples()
+}
+
+/// Run the full comparison in a scratch directory (removed afterwards).
+pub fn run(cfg: &EngineCmpConfig, detector_fps: f64) -> PersistCmpReport {
+    let dir = std::env::temp_dir().join(format!(
+        "exsample-persist-cmp-{}-{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gt = cfg.ground_truth();
+    // Detector config AND footage identity (see `dataset_fingerprint`).
+    let fingerprint =
+        detector_fingerprint(&NoiseModel::none(), cfg.seed) ^ dataset_fingerprint(&gt);
+
+    // Incarnation 1: cold.
+    let cold = engine_on(&dir, cfg, detector_fps, fingerprint);
+    let cold_frames = run_fleet(&cold, &gt, cfg);
+    let cold_invocations = cold.detector_invocations();
+    assert!(cold_frames >= cold_invocations);
+    drop(cold); // flush the detection log
+
+    // Incarnation 2: warm replay of the identical fleet.
+    let warm = engine_on(&dir, cfg, detector_fps, fingerprint);
+    let preloaded = warm
+        .persist_stats()
+        .expect("persistence on")
+        .preloaded_frames;
+    let warm_frames = run_fleet(&warm, &gt, cfg);
+    assert_eq!(warm_frames, cold_frames, "replay must sample identically");
+    let replay_invocations = warm.detector_invocations();
+    let warm_cache = warm.cache_stats();
+    drop(warm);
+
+    // The unseen probe, cold vs. warm beliefs. The cold side runs on a
+    // persistence-free engine so its own learning cannot overwrite the
+    // fleet's snapshot (latest-wins) and hand the "warm" side a snapshot
+    // of the identical query — which would measure self-replay, not
+    // cross-session sharing.
+    let probe_cold_samples = {
+        let engine = Engine::new(EngineConfig {
+            workers: cfg.workers,
+            detector_fps,
+            ..EngineConfig::default()
+        });
+        run_probe(&engine, &gt, cfg, false)
+    };
+    let probe_warm_samples = {
+        let engine = engine_on(&dir, cfg, detector_fps, fingerprint);
+        run_probe(&engine, &gt, cfg, true)
+    };
+
+    let _ = std::fs::remove_dir_all(&dir);
+    PersistCmpReport {
+        cold_invocations,
+        replay_invocations,
+        preloaded_frames: preloaded,
+        probe_cold_samples,
+        probe_warm_samples,
+        warm_cache,
+    }
+}
+
+/// Render a report as a markdown table.
+pub fn to_table(report: &PersistCmpReport) -> crate::report::Table {
+    let mut t = crate::report::Table::new(&["run", "detector invocations", "probe samples"]);
+    t.row(vec![
+        "cold start".into(),
+        report.cold_invocations.to_string(),
+        report.probe_cold_samples.to_string(),
+    ]);
+    t.row(vec![
+        "warm restart".into(),
+        report.replay_invocations.to_string(),
+        report.probe_warm_samples.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_restart_pays_zero_for_replayed_fleet() {
+        let cfg = EngineCmpConfig {
+            frames: 20_000,
+            instances: 40,
+            mean_duration: 40.0,
+            skew: exsample_videosim::SkewSpec::CentralNormal { frac95: 0.15 },
+            queries: 3,
+            target: 25,
+            chunks: 8,
+            seed: 71,
+            workers: 3,
+        };
+        let report = run(&cfg, 20.0);
+        assert!(report.cold_invocations > 0);
+        assert_eq!(report.replay_invocations, 0);
+        assert_eq!(report.preloaded_frames, report.cold_invocations);
+        assert!((report.restart_savings() - 1.0).abs() < 1e-12);
+        // The replay was answered entirely by warm-loaded entries.
+        assert_eq!(report.warm_cache.misses, 0);
+        assert!(report.warm_cache.warm_loads > 0);
+        // Both probes found their targets; sample counts are positive.
+        assert!(report.probe_cold_samples > 0 && report.probe_warm_samples > 0);
+        let md = to_table(&report).to_markdown();
+        assert!(md.contains("warm restart"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Byte-level encoding of the persisted artifacts.
+//!
+//! Two payload kinds live inside [`framing`](exsample_store::framing)
+//! records (all integers little-endian, floats as IEEE-754 bit patterns):
+//!
+//! ```text
+//! detection record : repo u32 | frame u64 | count u32 | count × detection
+//! detection        : x1 f32 | y1 f32 | x2 f32 | y2 f32
+//!                  | class u16 | score f32 | truth_tag u8 [| truth u32]
+//! belief snapshot  : repo u32 | class u16 | chunks u32
+//!                  | chunks × (n1 f64-bits u64 | n u64)
+//! ```
+//!
+//! `ChunkStats::n1` is stored as raw `f64` bits so a warm-started belief
+//! is **bit-identical** to what the writer held — round-tripping through
+//! decimal would silently perturb the Gamma posterior.
+
+use exsample_core::belief::ChunkStats;
+use exsample_detect::Detection;
+use exsample_videosim::{BBox, ClassId, InstanceId};
+
+/// Decode failure: the payload does not parse as the expected shape.
+/// With checksums verified by the framing layer this indicates a writer
+/// bug or version skew, not disk damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed persist payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Full detector output for one frame of one repository.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionRecord {
+    /// Repository id (the engine's registration index).
+    pub repo: u32,
+    /// Frame index within the repository.
+    pub frame: u64,
+    /// All detections on the frame, every class.
+    pub dets: Vec<Detection>,
+}
+
+/// Per-chunk belief statistics of one finished (or cancelled) search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeliefSnapshot {
+    /// Repository id.
+    pub repo: u32,
+    /// Queried class.
+    pub class: u16,
+    /// Per-chunk `(N1, n)` statistics, index = chunk id.
+    pub stats: Vec<ChunkStats>,
+}
+
+impl BeliefSnapshot {
+    /// The `(repo, class, chunks)` key this snapshot warm-starts.
+    pub fn key(&self) -> (u32, u16, u32) {
+        (self.repo, self.class, self.stats.len() as u32)
+    }
+}
+
+/// Little-endian pull parser over a payload slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.data.len() < n {
+            return Err(CodecError("payload too short"));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn finish(&self) -> Result<(), CodecError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError("trailing bytes"))
+        }
+    }
+}
+
+/// Encode one frame's detections into `out` (payload only — framing is the
+/// caller's job).
+pub fn encode_detections(repo: u32, frame: u64, dets: &[Detection], out: &mut Vec<u8>) {
+    out.extend_from_slice(&repo.to_le_bytes());
+    out.extend_from_slice(&frame.to_le_bytes());
+    out.extend_from_slice(&(dets.len() as u32).to_le_bytes());
+    for d in dets {
+        for c in [d.bbox.x1, d.bbox.y1, d.bbox.x2, d.bbox.y2] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&d.class.0.to_le_bytes());
+        out.extend_from_slice(&d.score.to_le_bytes());
+        match d.truth {
+            Some(id) => {
+                out.push(1);
+                out.extend_from_slice(&id.0.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+/// Decode a detection-record payload.
+pub fn decode_detections(payload: &[u8]) -> Result<DetectionRecord, CodecError> {
+    let mut c = Cursor { data: payload };
+    let repo = c.u32()?;
+    let frame = c.u64()?;
+    let count = c.u32()? as usize;
+    // 23 bytes is the minimal per-detection encoding (16 bbox + 2 class +
+    // 4 score + 1 truth tag); reject counts the payload cannot possibly
+    // hold before allocating.
+    if count > payload.len() / 23 {
+        return Err(CodecError("detection count exceeds payload"));
+    }
+    let mut dets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x1 = c.f32()?;
+        let y1 = c.f32()?;
+        let x2 = c.f32()?;
+        let y2 = c.f32()?;
+        let class = ClassId(c.u16()?);
+        let score = c.f32()?;
+        let truth = match c.u8()? {
+            0 => None,
+            1 => Some(InstanceId(c.u32()?)),
+            _ => return Err(CodecError("bad truth tag")),
+        };
+        dets.push(Detection {
+            bbox: BBox { x1, y1, x2, y2 },
+            class,
+            score,
+            truth,
+        });
+    }
+    c.finish()?;
+    Ok(DetectionRecord { repo, frame, dets })
+}
+
+/// Encode a belief snapshot into `out` (payload only).
+pub fn encode_beliefs(snap: &BeliefSnapshot, out: &mut Vec<u8>) {
+    out.extend_from_slice(&snap.repo.to_le_bytes());
+    out.extend_from_slice(&snap.class.to_le_bytes());
+    out.extend_from_slice(&(snap.stats.len() as u32).to_le_bytes());
+    for s in &snap.stats {
+        out.extend_from_slice(&s.n1.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.n.to_le_bytes());
+    }
+}
+
+/// Decode a belief-snapshot payload.
+pub fn decode_beliefs(payload: &[u8]) -> Result<BeliefSnapshot, CodecError> {
+    let mut c = Cursor { data: payload };
+    let repo = c.u32()?;
+    let class = c.u16()?;
+    let chunks = c.u32()? as usize;
+    if chunks > payload.len() / 16 {
+        return Err(CodecError("chunk count exceeds payload"));
+    }
+    let mut stats = Vec::with_capacity(chunks);
+    for _ in 0..chunks {
+        let n1 = f64::from_bits(c.u64()?);
+        let n = c.u64()?;
+        stats.push(ChunkStats { n1, n });
+    }
+    c.finish()?;
+    Ok(BeliefSnapshot { repo, class, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(i: u32, truth: Option<u32>) -> Detection {
+        Detection {
+            bbox: BBox {
+                x1: i as f32 * 0.5,
+                y1: 1.25,
+                x2: i as f32 + 10.0,
+                y2: 42.0,
+            },
+            class: ClassId((i % 3) as u16),
+            score: 0.875,
+            truth: truth.map(InstanceId),
+        }
+    }
+
+    #[test]
+    fn detections_round_trip() {
+        let dets = vec![det(0, Some(7)), det(1, None), det(2, Some(u32::MAX))];
+        let mut buf = Vec::new();
+        encode_detections(3, 99_999, &dets, &mut buf);
+        let rec = decode_detections(&buf).unwrap();
+        assert_eq!(rec.repo, 3);
+        assert_eq!(rec.frame, 99_999);
+        assert_eq!(rec.dets, dets);
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let mut buf = Vec::new();
+        encode_detections(0, 0, &[], &mut buf);
+        let rec = decode_detections(&buf).unwrap();
+        assert!(rec.dets.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        encode_detections(1, 2, &[det(0, Some(1))], &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_detections(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_detections(1, 2, &[], &mut buf);
+        buf.push(0);
+        assert_eq!(decode_detections(&buf), Err(CodecError("trailing bytes")));
+    }
+
+    #[test]
+    fn absurd_count_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_detections(&buf).is_err());
+    }
+
+    #[test]
+    fn beliefs_round_trip_bit_identical() {
+        // Include values that would not survive a decimal round trip.
+        let snap = BeliefSnapshot {
+            repo: 5,
+            class: 2,
+            stats: vec![
+                ChunkStats { n1: 0.0, n: 0 },
+                ChunkStats {
+                    n1: 0.1 + 0.2, // 0.30000000000000004
+                    n: u64::MAX,
+                },
+                ChunkStats { n1: -0.0, n: 17 },
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_beliefs(&snap, &mut buf);
+        let got = decode_beliefs(&buf).unwrap();
+        assert_eq!(got.repo, snap.repo);
+        assert_eq!(got.class, snap.class);
+        assert_eq!(got.stats.len(), snap.stats.len());
+        for (a, b) in got.stats.iter().zip(&snap.stats) {
+            assert_eq!(a.n1.to_bits(), b.n1.to_bits());
+            assert_eq!(a.n, b.n);
+        }
+        assert_eq!(got.key(), (5, 2, 3));
+    }
+}

@@ -18,12 +18,18 @@
 //! converts into seconds; the evaluation harness uses this to charge the
 //! "io+decode" costs the paper reports (scoring at ~100 fps is io+decode
 //! bound, detection at ~20 fps is GPU bound).
+//!
+//! The container's on-disk conventions (magic/version headers,
+//! little-endian integers, CRC-32 checksums) are factored out in
+//! [`framing`] so sibling crates persisting other artifacts — notably
+//! `exsample-persist`'s detection log — share one format vocabulary.
 
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod crc;
 pub mod format;
+pub mod framing;
 
 pub use cost::{CostModel, DecodeStats};
 pub use format::{Container, ContainerWriter, StoreError};

@@ -2,7 +2,7 @@
 //!
 //! A repository is an ordered collection of clips (video files); frames are
 //! addressed by a global index over the concatenation. The
-//! [`Chunking`](exsample_core::chunking::Chunking) type itself lives in
+//! [`Chunking`] type itself lives in
 //! `exsample-core` (it is what the bandit operates on); this module adds
 //! the constructors that need clip layout: fixed-duration chunks that
 //! never span clips (the paper's 20-minute chunks) and one-chunk-per-clip

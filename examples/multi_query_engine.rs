@@ -131,13 +131,7 @@ fn main() {
 
     let stats = engine.cache_stats();
     let engine_invocations = engine.detector_invocations();
-    println!(
-        "\nshared cache: {} hits / {} lookups ({:.1}% hit rate), {} evictions",
-        stats.hits,
-        stats.hits + stats.misses,
-        stats.hit_rate() * 100.0,
-        stats.evictions
-    );
+    println!("\nshared cache: {stats}");
 
     // The counterfactual: the same five queries, each as its own process
     // with a private detector — the classic blocking `run_search`, where

@@ -23,6 +23,10 @@
 //! * [`engine`] — the multi-query serving layer: concurrent search
 //!   sessions over shared repositories, a shared detection cache, and a
 //!   cost-aware scheduler arbitrating the detector budget.
+//! * [`persist`] — the durable detection store: an append-only,
+//!   CRC-checked detection log plus belief snapshots, so a restarted
+//!   engine answers previously-detected frames without re-running the
+//!   detector and new queries warm-start from persisted chunk beliefs.
 //! * [`experiments`] — runners that regenerate every table and figure of
 //!   the paper's evaluation, plus the engine-vs-independent comparison.
 //!
@@ -67,6 +71,7 @@ pub use exsample_detect as detect;
 pub use exsample_engine as engine;
 pub use exsample_experiments as experiments;
 pub use exsample_optimal as optimal;
+pub use exsample_persist as persist;
 pub use exsample_stats as stats;
 pub use exsample_store as store;
 pub use exsample_videosim as videosim;
