@@ -114,6 +114,27 @@ pub struct SearchTrace {
 }
 
 impl SearchTrace {
+    /// Reassemble a trace from its observable parts — the inverse of the
+    /// accessors below, for deserialization layers (notably the
+    /// `exsample-proto` wire codec) that move traces between processes.
+    /// The caller is trusted to supply a consistent curve; nothing is
+    /// recomputed or validated.
+    pub fn from_parts(
+        points: Vec<TracePoint>,
+        samples: u64,
+        found: u64,
+        seconds: f64,
+        exhausted: bool,
+    ) -> Self {
+        SearchTrace {
+            points,
+            samples,
+            found,
+            seconds,
+            exhausted,
+        }
+    }
+
     /// Discovery-curve points (monotone in samples and found).
     pub fn points(&self) -> &[TracePoint] {
         &self.points

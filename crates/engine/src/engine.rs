@@ -43,6 +43,7 @@
 
 use crate::cache::{CacheStats, FrameCache};
 use crate::scheduler::Scheduler;
+use crate::service::{RepoInfo, SearchService, ServiceError, SubmitError};
 use crate::session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
     SessionSnapshot, SessionStatus,
@@ -57,7 +58,10 @@ use exsample_detect::{
     Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
     TrackerDiscriminator,
 };
-use exsample_persist::{scan_detections, BeliefStore, DetectionLog, LoadStats, PersistConfig};
+use exsample_persist::{
+    dataset_fingerprint, scan_detections, BeliefStore, DetectionLog, LoadStats, PersistConfig,
+    RepoCatalog,
+};
 use exsample_stats::{FxHashMap, Rng64};
 use exsample_store::{Container, ContainerWriter, CostModel, DecodeStats};
 use exsample_videosim::GroundTruth;
@@ -142,6 +146,10 @@ pub struct PersistStats {
 struct PersistShared {
     log: Arc<Mutex<DetectionLog>>,
     beliefs: Mutex<BeliefStore>,
+    /// Durable `(name, dataset fingerprint) -> RepoId` assignments, so a
+    /// restarted engine resolves re-registered repositories to the same
+    /// ids its persisted detections and snapshots were written under.
+    catalog: Mutex<RepoCatalog>,
     detections_load: LoadStats,
     preloaded_frames: u64,
 }
@@ -178,6 +186,17 @@ struct RepoData {
     gt: Arc<GroundTruth>,
     detectors: Vec<SimulatedDetector>,
     container: bytes::Bytes,
+}
+
+/// A repository slot in the engine state: catalog entry + live data.
+struct RepoEntry {
+    info: RepoInfo,
+    /// Detector parameters the repository was built with. Re-registering
+    /// the same identity with different parameters is rejected loudly:
+    /// silently serving the original detectors would be wrong detections.
+    noise: NoiseModel,
+    det_seed: u64,
+    data: Arc<RepoData>,
 }
 
 /// The per-session state a worker checks out while stepping.
@@ -217,7 +236,18 @@ struct Slot {
 }
 
 struct EngineState {
-    repos: Vec<Arc<RepoData>>,
+    repos: FxHashMap<RepoId, RepoEntry>,
+    /// `(name, dataset fingerprint) -> id`: in-memory identity index
+    /// (mirrors the durable catalog when persistence is on).
+    repo_ids: FxHashMap<(String, u64), RepoId>,
+    /// Next id for catalog-less allocation (kept past the durable
+    /// catalog's assignments when persistence is on).
+    next_repo: u32,
+    /// `poll_wait` callers currently parked on `done_cv`. Workers notify
+    /// per event batch only when this is nonzero, so plain `wait()`
+    /// callers are not stampeded on every quantum of a streaming-free
+    /// engine.
+    stream_waiters: usize,
     sessions: FxHashMap<SessionId, Slot>,
     scheduler: Scheduler,
     next_session: u64,
@@ -265,14 +295,29 @@ impl Engine {
         let mut cache = FrameCache::new(config.cache_capacity, config.cache_shards);
         let persist = config.persist.as_ref().map(|pc| {
             let beliefs = BeliefStore::open(pc).expect("persist directory unusable");
+            let mut catalog = RepoCatalog::open(&pc.dir).expect("persist directory unusable");
             let log = DetectionLog::open(pc).expect("persist directory unusable");
             let mut preloaded_frames = 0u64;
+            let mut max_artifact_repo: Option<u32> = None;
             let detections_load = scan_detections(&pc.dir, pc.fingerprint, |rec| {
+                max_artifact_repo = Some(max_artifact_repo.map_or(rec.repo, |m| m.max(rec.repo)));
                 if cache.preload((RepoId(rec.repo), rec.frame), rec.dets) {
                     preloaded_frames += 1;
                 }
             })
             .expect("persist directory unusable");
+            // Safety net for a lost or torn catalog: any id observed in a
+            // surviving artifact (preloaded detections, belief snapshots)
+            // must never be *newly* assigned, or those artifacts would be
+            // silently remapped onto whatever footage registers in that
+            // position next. Reserved ids keep meaning their original
+            // footage (when the catalog entry survived) or nothing.
+            for key in beliefs.keys() {
+                max_artifact_repo = Some(max_artifact_repo.map_or(key.0, |m| m.max(key.0)));
+            }
+            if let Some(max) = max_artifact_repo {
+                catalog.reserve_past(max);
+            }
             let log = Arc::new(Mutex::new(log));
             let sink = log.clone();
             cache.set_write_behind(Box::new(move |key, dets| {
@@ -283,6 +328,7 @@ impl Engine {
             PersistShared {
                 log,
                 beliefs: Mutex::new(beliefs),
+                catalog: Mutex::new(catalog),
                 detections_load,
                 preloaded_frames,
             }
@@ -290,7 +336,10 @@ impl Engine {
         let workers = config.workers;
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
-                repos: Vec::new(),
+                repos: FxHashMap::default(),
+                repo_ids: FxHashMap::default(),
+                next_repo: 0,
+                stream_waiters: 0,
                 sessions: FxHashMap::default(),
                 scheduler: Scheduler::new(),
                 next_session: 0,
@@ -315,11 +364,61 @@ impl Engine {
         Engine { shared, workers }
     }
 
-    /// Register a repository. Builds the per-class detector bank (the
-    /// noise stream of class `c` is seeded by `det_seed + c`, so detection
-    /// output is a pure function of `(repo, frame)`) and writes the
-    /// repository's GOP container, which sessions decode through.
-    pub fn register_repo(&self, gt: Arc<GroundTruth>, noise: NoiseModel, det_seed: u64) -> RepoId {
+    /// Register a repository under a caller-supplied `name`. Builds the
+    /// per-class detector bank (the noise stream of class `c` is seeded by
+    /// `det_seed + c`, so detection output is a pure function of
+    /// `(repo, frame)`) and writes the repository's GOP container, which
+    /// sessions decode through.
+    ///
+    /// # Identity
+    ///
+    /// The repository's identity is `(name, dataset fingerprint)` — not
+    /// its registration order. Registering the same identity twice
+    /// returns the same [`RepoId`] (the repository is *not* rebuilt), and
+    /// with [`EngineConfig::persist`] set the assignment is durable: a
+    /// restarted engine resolves the identity to the id its persisted
+    /// detections and belief snapshots were written under, regardless of
+    /// the order repositories are re-registered in. Footage that changes
+    /// under the same name is a *new* identity and gets a fresh id, so
+    /// stale persisted data can never be served for it. The catalog of
+    /// registered repositories is browsable via [`Engine::repos`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the identity is already registered with *different*
+    /// detector parameters (`noise`, `det_seed`): those are not part of
+    /// the identity, and silently serving the original detector bank
+    /// would hand the second caller wrong detections. (Across restarts
+    /// the analogous protection is [`PersistConfig`]'s fingerprint —
+    /// fold `detector_fingerprint(noise, det_seed)` into it so a
+    /// detector upgrade invalidates persisted output.)
+    pub fn register_repo(
+        &self,
+        name: &str,
+        gt: Arc<GroundTruth>,
+        noise: NoiseModel,
+        det_seed: u64,
+    ) -> RepoId {
+        let fingerprint = dataset_fingerprint(&gt);
+        let key = (name.to_string(), fingerprint);
+        // The mismatch assert must run *after* the state guard drops, or
+        // the panic would poison the engine mutex and turn into a
+        // double-panic abort when Drop tries to lock it during unwind.
+        let same_detectors = |existing: (NoiseModel, u64)| {
+            assert!(
+                existing == (noise, det_seed),
+                "repository {name:?} is already registered with different detector parameters"
+            );
+        };
+        {
+            let state = self.lock_state();
+            if let Some(&id) = state.repo_ids.get(&key) {
+                let existing = (state.repos[&id].noise, state.repos[&id].det_seed);
+                drop(state);
+                same_detectors(existing);
+                return id;
+            }
+        }
         let detectors = (0..gt.num_classes())
             .map(|c| {
                 SimulatedDetector::new(
@@ -336,31 +435,86 @@ impl Engine {
         for _ in 0..gt.frames {
             writer.push_frame(&[]);
         }
+        let frames = gt.frames;
+        let classes = gt.num_classes() as u16;
         let repo = Arc::new(RepoData {
             gt,
             detectors,
             container: writer.finish(),
         });
         let mut state = self.lock_state();
-        let id = RepoId(state.repos.len() as u32);
-        state.repos.push(repo);
+        // Raced registration of the same identity: first writer wins, the
+        // duplicate build is discarded.
+        if let Some(&id) = state.repo_ids.get(&key) {
+            let existing = (state.repos[&id].noise, state.repos[&id].det_seed);
+            drop(state);
+            same_detectors(existing);
+            return id;
+        }
+        // The durable file write happens *after* the state lock drops:
+        // workers need this lock between every quantum, and an fsync must
+        // never stall them (same discipline as belief snapshots). A crash
+        // in the window loses only the assignment record, which the
+        // startup `reserve_past` safety net already tolerates.
+        let (id, fresh) = match &self.shared.persist {
+            Some(p) => {
+                let (id, fresh) = p
+                    .catalog
+                    .lock()
+                    .expect("repo catalog poisoned")
+                    .assign(name, fingerprint);
+                (RepoId(id), fresh)
+            }
+            None => (RepoId(state.next_repo), false),
+        };
+        state.next_repo = state.next_repo.max(id.0.saturating_add(1));
+        state.repo_ids.insert(key, id);
+        state.repos.insert(
+            id,
+            RepoEntry {
+                info: RepoInfo {
+                    id,
+                    name: name.to_string(),
+                    frames,
+                    classes,
+                    dataset_fingerprint: fingerprint,
+                },
+                noise,
+                det_seed,
+                data: repo,
+            },
+        );
+        drop(state);
+        if fresh {
+            let p = self.shared.persist.as_ref().expect("fresh implies persist");
+            p.catalog.lock().expect("repo catalog poisoned").persist();
+        }
         id
+    }
+
+    /// The repository catalog: one [`RepoInfo`] per registered repository,
+    /// in id order.
+    pub fn repos(&self) -> Vec<RepoInfo> {
+        let state = self.lock_state();
+        let mut infos: Vec<RepoInfo> = state.repos.values().map(|e| e.info.clone()).collect();
+        infos.sort_by_key(|i| i.id);
+        infos
     }
 
     /// Submit a query; the session immediately competes for detector
     /// budget. Returns its id for `poll` / `cancel` / `wait`.
+    ///
+    /// The spec is validated *here*, not in a worker: a structurally
+    /// invalid spec (zero chunks or weight, degenerate prior, non-finite
+    /// time budget, unknown repository or class) is rejected before it
+    /// can consume any detector budget or panic mid-search.
     pub fn submit(&self, spec: QuerySpec) -> Result<SessionId, EngineError> {
-        if spec.chunks == 0 {
-            return Err(EngineError::InvalidSpec("chunks must be positive"));
-        }
-        if spec.weight == 0 {
-            return Err(EngineError::InvalidSpec("weight must be positive"));
-        }
+        spec.validate().map_err(EngineError::InvalidSpec)?;
         let mut state = self.lock_state();
         let repo = state
             .repos
-            .get(spec.repo.0 as usize)
-            .cloned()
+            .get(&spec.repo)
+            .map(|e| e.data.clone())
             .ok_or(EngineError::UnknownRepo(spec.repo))?;
         if (spec.class.0 as usize) >= repo.gt.num_classes() {
             return Err(EngineError::InvalidSpec("class not present in repository"));
@@ -421,22 +575,60 @@ impl Engine {
     }
 
     /// Non-blocking progress snapshot. `cursor` selects which result
-    /// events to return (pass 0 first, then the returned `next_cursor`).
-    pub fn poll(&self, id: SessionId, cursor: usize) -> Result<SessionSnapshot, EngineError> {
+    /// events to return (pass 0 first, then the returned `next_cursor`);
+    /// see [`SessionSnapshot`] for the full cursor contract — in
+    /// particular, a cursor at or past the end of the event log returns
+    /// an empty snapshot, never an error.
+    pub fn poll(&self, id: SessionId, cursor: u64) -> Result<SessionSnapshot, EngineError> {
+        self.poll_window(id, cursor, None)
+    }
+
+    /// [`Engine::poll`] with a window: at most `window` events are
+    /// returned and `next_cursor` advances only past what was returned,
+    /// so a slow consumer paces the stream (`None` = unbounded).
+    pub fn poll_window(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: Option<u32>,
+    ) -> Result<SessionSnapshot, EngineError> {
         let state = self.lock_state();
         let slot = state
             .sessions
             .get(&id)
             .ok_or(EngineError::UnknownSession(id))?;
-        let cursor = cursor.min(slot.events.len());
-        Ok(SessionSnapshot {
-            status: slot.status,
-            found: slot.found,
-            samples: slot.samples,
-            charges: slot.charges,
-            events: slot.events[cursor..].to_vec(),
-            next_cursor: slot.events.len(),
-        })
+        Ok(snapshot_slot(slot, cursor, window))
+    }
+
+    /// Blocking poll: parks until the session has result events past
+    /// `cursor` *or* has finished, then snapshots like
+    /// [`Engine::poll_window`]. This is what a streaming server loop
+    /// uses — no busy-polling between result batches.
+    pub fn poll_wait(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: Option<u32>,
+    ) -> Result<SessionSnapshot, EngineError> {
+        let mut state = self.lock_state();
+        loop {
+            let slot = state
+                .sessions
+                .get(&id)
+                .ok_or(EngineError::UnknownSession(id))?;
+            if slot.trace.is_some() || (slot.events.len() as u64) > cursor {
+                return Ok(snapshot_slot(slot, cursor, window));
+            }
+            // Registered under the same lock the worker checks before its
+            // per-batch notify, so a wakeup can never be missed.
+            state.stream_waiters += 1;
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .expect("engine state poisoned");
+            state.stream_waiters -= 1;
+        }
     }
 
     /// Request cancellation. Takes effect at the session's next frame
@@ -563,6 +755,56 @@ impl Engine {
 
     fn lock_state(&self) -> MutexGuard<'_, EngineState> {
         self.shared.state.lock().expect("engine state poisoned")
+    }
+}
+
+/// Map lifecycle [`EngineError`]s onto the service vocabulary. Submit
+/// errors are handled separately (they map onto [`SubmitError`]).
+fn service_err(e: EngineError) -> ServiceError {
+    match e {
+        EngineError::UnknownSession(s) => ServiceError::UnknownSession(s),
+        EngineError::SessionRunning(s) => ServiceError::SessionRunning(s),
+        // Unreachable from lifecycle calls; surfaced faithfully anyway.
+        other => ServiceError::Transport(other.to_string()),
+    }
+}
+
+/// The in-process implementation of the client-facing API: calls go
+/// straight to the engine, no serialization. The remote implementation
+/// (`exsample-proto`'s `RemoteClient`) is interchangeable with this one
+/// and produces identical session results.
+impl SearchService for Engine {
+    fn repos(&self) -> Result<Vec<RepoInfo>, ServiceError> {
+        Ok(Engine::repos(self))
+    }
+
+    fn submit(&self, spec: QuerySpec) -> Result<SessionId, SubmitError> {
+        Engine::submit(self, spec).map_err(|e| match e {
+            EngineError::UnknownRepo(r) => SubmitError::UnknownRepo(r),
+            EngineError::InvalidSpec(why) => SubmitError::InvalidSpec(why.to_string()),
+            other => SubmitError::InvalidSpec(other.to_string()),
+        })
+    }
+
+    fn poll(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: Option<u32>,
+    ) -> Result<SessionSnapshot, ServiceError> {
+        Engine::poll_window(self, id, cursor, window).map_err(service_err)
+    }
+
+    fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
+        Engine::cancel(self, id).map_err(service_err)
+    }
+
+    fn wait(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        Engine::wait(self, id).map_err(service_err)
+    }
+
+    fn forget(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        Engine::forget(self, id).map_err(service_err)
     }
 }
 
@@ -700,6 +942,13 @@ fn worker_loop(shared: &Shared) {
                 state = shared.state.lock().expect("engine state poisoned");
             }
         } else {
+            if !outcome.events.is_empty() && state.stream_waiters > 0 {
+                // Streaming consumers (`poll_wait`) park on done_cv until
+                // events land; wake them per batch, not just at finish —
+                // but only when someone is actually streaming, so plain
+                // `wait` callers are not stampeded every quantum.
+                shared.done_cv.notify_all();
+            }
             // The session is runnable again; a parked worker may want it.
             shared.work_cv.notify_one();
         }
@@ -779,6 +1028,26 @@ fn step_quantum(core: &mut SessionCore, shared: &Shared, cancel: &AtomicBool) ->
     out
 }
 
+/// Snapshot a slot's observable state from `cursor`, returning at most
+/// `window` events (the [`SessionSnapshot`] cursor contract: a cursor at
+/// or past the end of the log yields empty events, clamped, never OOB).
+fn snapshot_slot(slot: &Slot, cursor: u64, window: Option<u32>) -> SessionSnapshot {
+    let len = slot.events.len();
+    let start = cursor.min(len as u64) as usize;
+    let end = match window {
+        Some(w) => start.saturating_add(w as usize).min(len),
+        None => len,
+    };
+    SessionSnapshot {
+        status: slot.status,
+        found: slot.found,
+        samples: slot.samples,
+        charges: slot.charges,
+        events: slot.events[start..end].to_vec(),
+        next_cursor: end as u64,
+    }
+}
+
 /// Component-wise `after - before` of two decode tallies.
 fn decode_delta(before: &DecodeStats, after: &DecodeStats) -> DecodeStats {
     DecodeStats {
@@ -817,7 +1086,7 @@ mod tests {
             quantum: 8,
             ..EngineConfig::default()
         });
-        let repo = engine.register_repo(truth(20_000, 60), NoiseModel::none(), 5);
+        let repo = engine.register_repo("test-repo", truth(20_000, 60), NoiseModel::none(), 5);
         (engine, repo)
     }
 
@@ -877,7 +1146,7 @@ mod tests {
             quantum: 8,
             ..EngineConfig::default()
         });
-        let repo = engine.register_repo(truth(500_000, 2), NoiseModel::none(), 5);
+        let repo = engine.register_repo("big-repo", truth(500_000, 2), NoiseModel::none(), 5);
         // Unreachable target: only cancellation (or exhaustion) ends it.
         let id = engine
             .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(1_000_000)).seed(5))
@@ -916,7 +1185,7 @@ mod tests {
             )
             .generate(17),
         );
-        let repo = engine.register_repo(gt, NoiseModel::none(), 5);
+        let repo = engine.register_repo("overlap-repo", gt, NoiseModel::none(), 5);
         let ids: Vec<SessionId> = (0..4)
             .map(|i| {
                 engine
@@ -950,7 +1219,7 @@ mod tests {
             workers: 2,
             ..EngineConfig::default()
         });
-        let repo = engine.register_repo(truth(500, 2), NoiseModel::none(), 6);
+        let repo = engine.register_repo("tiny-repo", truth(500, 2), NoiseModel::none(), 6);
         let id = engine
             .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(1_000)).seed(7))
             .unwrap();
@@ -998,7 +1267,7 @@ mod tests {
             quantum: 4,
             ..EngineConfig::default()
         });
-        let repo = engine.register_repo(truth(50_000, 40), NoiseModel::none(), 8);
+        let repo = engine.register_repo("priority-repo", truth(50_000, 40), NoiseModel::none(), 8);
         let heavy = engine
             .submit(
                 QuerySpec::new(repo, ClassId(0), StopCond::samples(2_000))
@@ -1068,7 +1337,8 @@ mod tests {
             quantum: 8,
             ..EngineConfig::default()
         });
-        let repo = engine.register_repo(truth(20_000, 60), NoiseModel::realistic(), 5);
+        let repo =
+            engine.register_repo("noisy-repo", truth(20_000, 60), NoiseModel::realistic(), 5);
         let tracked = engine
             .submit(
                 QuerySpec::new(repo, ClassId(0), StopCond::results(20))
@@ -1127,7 +1397,7 @@ mod tests {
         };
 
         let engine = Engine::new(config.clone());
-        let repo = engine.register_repo(truth(20_000, 60), NoiseModel::none(), 5);
+        let repo = engine.register_repo("persist-repo", truth(20_000, 60), NoiseModel::none(), 5);
         let spec = QuerySpec::new(repo, ClassId(0), StopCond::results(15))
             .seed(3)
             .warm_start(false);
@@ -1137,7 +1407,7 @@ mod tests {
         drop(engine); // flushes the detection log
 
         let engine = Engine::new(config);
-        let repo2 = engine.register_repo(truth(20_000, 60), NoiseModel::none(), 5);
+        let repo2 = engine.register_repo("persist-repo", truth(20_000, 60), NoiseModel::none(), 5);
         assert_eq!(repo2, repo);
         let ps = engine.persist_stats().expect("persistence on");
         assert_eq!(ps.records_loaded, invocations);
@@ -1161,6 +1431,298 @@ mod tests {
         assert_eq!(engine.detector_invocations(), 0);
         drop(engine);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repo_catalog_lists_and_deduplicates_registrations() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let gt_a = truth(5_000, 10);
+        let gt_b = truth(7_000, 12);
+        let a = engine.register_repo("cam-north", gt_a.clone(), NoiseModel::none(), 1);
+        let b = engine.register_repo("cam-south", gt_b, NoiseModel::none(), 1);
+        assert_ne!(a, b);
+        // Same identity + same detector parameters → same id, no
+        // rebuild, no new catalog row.
+        assert_eq!(
+            engine.register_repo("cam-north", gt_a.clone(), NoiseModel::none(), 1),
+            a
+        );
+        let infos = engine.repos();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].id, a);
+        assert_eq!(infos[0].name, "cam-north");
+        assert_eq!(infos[0].frames, 5_000);
+        assert_eq!(infos[0].classes, 1);
+        assert_eq!(infos[1].id, b);
+        assert_eq!(infos[1].name, "cam-south");
+        // Same name, different footage → different identity, fresh id.
+        let a2 = engine.register_repo("cam-north", truth(5_000, 11), NoiseModel::none(), 1);
+        assert_ne!(a2, a);
+        assert_eq!(engine.repos().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different detector parameters")]
+    fn re_registering_with_different_detector_parameters_panics() {
+        // The detector bank is built once per identity; pretending the
+        // second caller's parameters took effect would silently serve it
+        // wrong detections, so the mismatch is a loud error instead.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let gt = truth(2_000, 5);
+        engine.register_repo("cam", gt.clone(), NoiseModel::none(), 1);
+        engine.register_repo("cam", gt, NoiseModel::realistic(), 1);
+    }
+
+    #[test]
+    fn repo_ids_are_stable_across_restarts_despite_reordering() {
+        let dir = std::env::temp_dir().join(format!(
+            "exsample-engine-repo-id-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persist = exsample_persist::PersistConfig::new(&dir).fingerprint(13);
+        let config = EngineConfig {
+            workers: 2,
+            quantum: 8,
+            persist: Some(persist),
+            ..EngineConfig::default()
+        };
+        let gt_a = truth(6_000, 20);
+        let gt_b = Arc::new(
+            DatasetSpec::single_class(
+                9_000,
+                ClassSpec::new("car", 30, 80.0, SkewSpec::CentralNormal { frac95: 0.3 }),
+            )
+            .generate(99),
+        );
+
+        let engine = Engine::new(config.clone());
+        let a = engine.register_repo("cam-a", gt_a.clone(), NoiseModel::none(), 5);
+        let b = engine.register_repo("cam-b", gt_b.clone(), NoiseModel::none(), 5);
+        let spec = QuerySpec::new(b, ClassId(0), StopCond::results(8))
+            .seed(3)
+            .warm_start(false);
+        let first = engine.wait(engine.submit(spec.clone()).unwrap()).unwrap();
+        let invocations = engine.detector_invocations();
+        assert!(invocations > 0);
+        drop(engine);
+
+        // Restart, registering in the *opposite* order: identities — not
+        // registration order — decide the ids, so persisted detections
+        // and beliefs keep meaning the footage they were computed from.
+        let engine = Engine::new(config);
+        let b2 = engine.register_repo("cam-b", gt_b, NoiseModel::none(), 5);
+        let a2 = engine.register_repo("cam-a", gt_a, NoiseModel::none(), 5);
+        assert_eq!((a2, b2), (a, b));
+        assert!(engine.warm_beliefs(b, ClassId(0), 16).is_some());
+        assert!(engine.warm_beliefs(a, ClassId(0), 16).is_none());
+        // The replay is served entirely from preloaded detections.
+        let replay = engine.wait(engine.submit(spec).unwrap()).unwrap();
+        assert_eq!(replay.trace.samples(), first.trace.samples());
+        assert_eq!(replay.trace.found(), first.trace.found());
+        assert_eq!(engine.detector_invocations(), 0);
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lost_catalog_never_remaps_surviving_artifacts() {
+        // The catalog file is deleted between runs (partial restore, say)
+        // while the detection log survives. Re-registration in a
+        // different order must NOT inherit the orphaned ids — that would
+        // serve one repository's cached detections for another's footage.
+        // Instead the identities get fresh ids past every id observed in
+        // surviving artifacts, and the engine re-pays the detector.
+        let dir = std::env::temp_dir().join(format!(
+            "exsample-engine-lost-catalog-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persist = exsample_persist::PersistConfig::new(&dir).fingerprint(21);
+        let config = EngineConfig {
+            workers: 2,
+            quantum: 8,
+            persist: Some(persist),
+            ..EngineConfig::default()
+        };
+        let gt_a = truth(6_000, 20);
+        let gt_b = Arc::new(
+            DatasetSpec::single_class(
+                9_000,
+                ClassSpec::new("car", 30, 80.0, SkewSpec::CentralNormal { frac95: 0.3 }),
+            )
+            .generate(99),
+        );
+
+        let engine = Engine::new(config.clone());
+        let a = engine.register_repo("cam-a", gt_a.clone(), NoiseModel::none(), 5);
+        let b = engine.register_repo("cam-b", gt_b.clone(), NoiseModel::none(), 5);
+        let spec = QuerySpec::new(b, ClassId(0), StopCond::results(8))
+            .seed(3)
+            .warm_start(false);
+        let first = engine.wait(engine.submit(spec.clone()).unwrap()).unwrap();
+        assert!(engine.detector_invocations() > 0);
+        drop(engine);
+
+        std::fs::remove_file(dir.join("repos.xsr")).expect("catalog written");
+
+        // Restart, reversed order: without the artifact-id reservation,
+        // cam-b would land on cam-a's old id and be served cam-a's
+        // cached detections.
+        let engine = Engine::new(config);
+        let b2 = engine.register_repo("cam-b", gt_b, NoiseModel::none(), 5);
+        let a2 = engine.register_repo("cam-a", gt_a, NoiseModel::none(), 5);
+        assert!(b2 != a && b2 != b, "orphaned ids must not be reassigned");
+        assert!(a2 != a && a2 != b, "orphaned ids must not be reassigned");
+        let spec = QuerySpec { repo: b2, ..spec };
+        let replay = engine.wait(engine.submit(spec).unwrap()).unwrap();
+        // Correct results (same footage, same seed), honestly re-paid.
+        assert_eq!(replay.trace.samples(), first.trace.samples());
+        assert_eq!(replay.trace.found(), first.trace.found());
+        assert!(
+            engine.detector_invocations() > 0,
+            "stale detections must not be served under a fresh id"
+        );
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poll_window_paces_the_stream_and_past_end_cursor_is_empty() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(12)).seed(6))
+            .unwrap();
+        engine.wait(id).unwrap();
+        let all = engine.poll(id, 0).unwrap();
+        assert!(!all.events.is_empty());
+        // Windowed polls return the same events, at most `w` at a time,
+        // advancing the cursor only past what was returned.
+        let mut cursor = 0;
+        let mut paged = Vec::new();
+        loop {
+            let snap = engine.poll_window(id, cursor, Some(1)).unwrap();
+            assert!(snap.events.len() <= 1);
+            if snap.events.is_empty() {
+                break;
+            }
+            assert_eq!(snap.next_cursor, cursor + snap.events.len() as u64);
+            paged.extend(snap.events);
+            cursor = snap.next_cursor;
+        }
+        assert_eq!(paged, all.events);
+        // A cursor past the end is clamped: empty snapshot, not an error.
+        let past = engine.poll(id, u64::MAX).unwrap();
+        assert!(past.events.is_empty());
+        assert_eq!(past.next_cursor, all.events.len() as u64);
+        assert_eq!(past.status, SessionStatus::Done);
+        assert_eq!(past.found, all.found);
+    }
+
+    #[test]
+    fn poll_wait_streams_without_busy_polling() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(15)).seed(8))
+            .unwrap();
+        let mut cursor = 0;
+        let mut streamed = 0u64;
+        loop {
+            let snap = engine.poll_wait(id, cursor, Some(4)).unwrap();
+            assert!(snap.events.len() <= 4);
+            streamed += snap
+                .events
+                .iter()
+                .map(|e| e.new_results as u64)
+                .sum::<u64>();
+            cursor = snap.next_cursor;
+            if snap.status != SessionStatus::Running && snap.events.is_empty() {
+                break;
+            }
+        }
+        let report = engine.wait(id).unwrap();
+        assert_eq!(streamed, report.trace.found());
+        // On a finished session poll_wait returns immediately.
+        let snap = engine.poll_wait(id, cursor, None).unwrap();
+        assert!(snap.events.is_empty());
+        assert_eq!(
+            engine.poll_wait(SessionId(404), 0, None).unwrap_err(),
+            EngineError::UnknownSession(SessionId(404))
+        );
+    }
+
+    #[test]
+    fn submit_validates_specs_before_any_worker_sees_them() {
+        let (engine, repo) = small_engine(1);
+        let base = QuerySpec::new(repo, ClassId(0), StopCond::results(1));
+        let mut degenerate_prior = base.clone();
+        degenerate_prior.config.prior = exsample_core::belief::BeliefPrior {
+            alpha0: 0.0,
+            beta0: 1.0,
+        };
+        assert_eq!(
+            engine.submit(degenerate_prior),
+            Err(EngineError::InvalidSpec(
+                "prior pseudo-counts must be positive and finite"
+            ))
+        );
+        let nan_stop = base.clone().chunks(4);
+        let nan_stop = QuerySpec {
+            stop: StopCond::seconds(f64::NAN),
+            ..nan_stop
+        };
+        assert_eq!(
+            engine.submit(nan_stop),
+            Err(EngineError::InvalidSpec("stop seconds must be finite"))
+        );
+        assert_eq!(
+            engine.submit(base.clone().chunks(0)),
+            Err(EngineError::InvalidSpec("chunks must be positive"))
+        );
+        // A valid spec still goes through after the rejections.
+        let id = engine.submit(base).unwrap();
+        assert_eq!(engine.wait(id).unwrap().status, SessionStatus::Done);
+    }
+
+    #[test]
+    fn engine_serves_the_search_service_trait() {
+        let (engine, repo) = small_engine(2);
+        let svc: &dyn SearchService = &engine;
+        let infos = svc.repos().unwrap();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].id, repo);
+        assert_eq!(
+            svc.submit(QuerySpec::new(RepoId(77), ClassId(0), StopCond::results(1))),
+            Err(SubmitError::UnknownRepo(RepoId(77)))
+        );
+        let id = svc
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(41))
+            .unwrap();
+        let mut cursor = 0;
+        let mut streamed = 0u64;
+        loop {
+            let snap = svc.poll(id, cursor, Some(2)).unwrap();
+            streamed += snap
+                .events
+                .iter()
+                .map(|e| e.new_results as u64)
+                .sum::<u64>();
+            cursor = snap.next_cursor;
+            if snap.status != SessionStatus::Running && snap.events.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let report = svc.wait(id).unwrap();
+        assert_eq!(streamed, report.trace.found());
+        assert_eq!(svc.forget(id).unwrap().trace, report.trace);
+        assert_eq!(svc.wait(id).unwrap_err(), ServiceError::UnknownSession(id));
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //! repositories — where detector outputs can be shared and the GPU budget
 //! must be arbitrated. This crate provides that serving layer:
 //!
-//! * [`Engine`] — the front door: register repositories, [`Engine::submit`]
-//!   queries, [`Engine::poll`] incremental results, [`Engine::cancel`],
-//!   and [`Engine::wait`] for the final `SearchTrace`. Sessions are
-//!   multiplexed over a worker-thread pool.
+//! * [`SearchService`] — the client-facing API every consumer programs
+//!   against: repository catalog, submit, windowed cursor polls, cancel,
+//!   wait, forget. Implemented in-process by [`Engine`] and remotely by
+//!   `exsample-proto`'s `RemoteClient`, interchangeably.
+//! * [`Engine`] — the front door: register repositories under stable
+//!   names, [`Engine::submit`] queries, [`Engine::poll`] incremental
+//!   results (plus [`Engine::poll_wait`] for push-style streaming),
+//!   [`Engine::cancel`], and [`Engine::wait`] for the final
+//!   `SearchTrace`. Sessions are multiplexed over a worker-thread pool.
 //! * [`FrameCache`] — a sharded, thread-safe memo of detector output keyed
 //!   by `(video, frame)`, with hit/miss/eviction statistics. Overlapping
 //!   queries never pay for the same frame twice.
@@ -48,7 +53,7 @@
 //!     .generate(11),
 //! );
 //! let engine = Engine::new(EngineConfig::default());
-//! let repo = engine.register_repo(gt, NoiseModel::none(), 1);
+//! let repo = engine.register_repo("city-cam", gt, NoiseModel::none(), 1);
 //!
 //! // Two overlapping queries race for the same detector budget ...
 //! let a = engine
@@ -69,6 +74,7 @@
 pub mod cache;
 pub mod engine;
 pub mod scheduler;
+pub mod service;
 pub mod session;
 pub mod threads;
 
@@ -76,6 +82,7 @@ pub use cache::{CacheStats, FrameCache};
 pub use engine::{Engine, EngineConfig, EngineError, PersistStats};
 pub use exsample_persist::{dataset_fingerprint, detector_fingerprint, PersistConfig};
 pub use scheduler::Scheduler;
+pub use service::{RepoInfo, SearchService, ServiceError, SubmitError};
 pub use session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
     SessionSnapshot, SessionStatus,

@@ -32,7 +32,11 @@ pub enum DiscriminatorKind {
 
 /// A declarative search request: "find distinct objects of `class` in
 /// `repo` until `stop`", plus knobs for the sampler and the scheduler.
-#[derive(Debug, Clone)]
+///
+/// A spec is pure data with a stable wire encoding (`exsample-proto`), so
+/// the same value drives an in-process engine or a remote search service
+/// identically.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Repository to search.
     pub repo: RepoId,
@@ -112,6 +116,29 @@ impl QuerySpec {
         self.warm_start = warm;
         self
     }
+
+    /// Structural validation, shared by every
+    /// [`SearchService`](crate::SearchService) implementation: every
+    /// problem checkable from the spec alone is rejected *at submit
+    /// time* — a degenerate prior, for instance, would otherwise panic
+    /// deep inside a worker thread's Gamma sampler. Repository and class
+    /// existence are the service's job (they need the catalog).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.chunks == 0 {
+            return Err("chunks must be positive");
+        }
+        if self.weight == 0 {
+            return Err("weight must be positive");
+        }
+        let p = &self.config.prior;
+        if !(p.alpha0 > 0.0 && p.alpha0.is_finite() && p.beta0 > 0.0 && p.beta0.is_finite()) {
+            return Err("prior pseudo-counts must be positive and finite");
+        }
+        if self.stop.max_seconds.is_some_and(|s| !s.is_finite()) {
+            return Err("stop seconds must be finite");
+        }
+        Ok(())
+    }
 }
 
 /// Where a session is in its lifecycle.
@@ -162,7 +189,15 @@ impl SessionCharges {
 
 /// Snapshot returned by [`crate::Engine::poll`]: status, aggregate
 /// counters, and the result events the caller has not yet consumed.
-#[derive(Debug, Clone)]
+///
+/// # Cursor contract
+///
+/// The event log is append-only; `cursor` indexes into it. A poll returns
+/// the events in `cursor..` (optionally capped by a window) and
+/// `next_cursor` set just past the last event returned. A cursor at or
+/// past the end of the log yields an empty `events` with `next_cursor`
+/// equal to the log length — never an error, never out of bounds.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionSnapshot {
     /// Lifecycle state at snapshot time.
     pub status: SessionStatus,
@@ -175,11 +210,11 @@ pub struct SessionSnapshot {
     /// Events `cursor..` (pass `next_cursor` back in to continue).
     pub events: Vec<ResultEvent>,
     /// Cursor to pass to the next poll.
-    pub next_cursor: usize,
+    pub next_cursor: u64,
 }
 
 /// Final report for a finished session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Lifecycle state (Done or Cancelled).
     pub status: SessionStatus,

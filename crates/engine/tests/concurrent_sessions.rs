@@ -28,7 +28,7 @@ fn run_fleet(workers: usize) -> (Vec<SessionReport>, u64, u64) {
         quantum: 8,
         ..EngineConfig::default()
     });
-    let repo = engine.register_repo(repository(), NoiseModel::none(), 3);
+    let repo = engine.register_repo("it-repo", repository(), NoiseModel::none(), 3);
     let specs: Vec<QuerySpec> = (0..6)
         .map(|i| {
             QuerySpec::new(repo, ClassId(0), StopCond::results(40 + 2 * i as u64))

@@ -15,16 +15,27 @@
 //! Per-query results are identical by construction (same seeds, same
 //! deterministic detector), so the comparison isolates the *cost* effect:
 //! invocations saved, cache hit rate, and modelled GPU seconds.
+//!
+//! The engine-shared strategy is driven through the
+//! [`SearchService`] trait, so the *same* harness code can target the
+//! in-process engine or — via [`run_remote`] — a `SearchServer` behind
+//! the wire protocol, which must (and is tested to) produce identical
+//! results.
 
 use crate::parallel::default_threads;
 use exsample_core::driver::{run_search, SearchCost, StopCond};
 use exsample_core::exsample::{ExSample, ExSampleConfig};
 use exsample_core::Chunking;
 use exsample_detect::{NoiseModel, OracleDiscriminator, QueryOracle, SimulatedDetector};
-use exsample_engine::{Engine, EngineConfig, QuerySpec, SessionStatus};
+use exsample_engine::{Engine, EngineConfig, QuerySpec, RepoId, SearchService, SessionStatus};
+use exsample_proto::{duplex, RemoteClient, SearchServer};
 use exsample_stats::Rng64;
 use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
 use std::sync::Arc;
+
+/// Repository name the engine-shared strategies register the footage
+/// under; remote runs resolve it through the service catalog.
+pub const REPO_NAME: &str = "engine-cmp";
 
 /// Workload description: `queries` overlapping searches over one skewed
 /// repository.
@@ -167,46 +178,98 @@ pub fn run_independent(
     (found, cost)
 }
 
-/// Run the batch concurrently through the shared engine.
-pub fn run_engine(
-    gt: &Arc<GroundTruth>,
+/// Run the batch through any [`SearchService`] — the in-process engine
+/// or a remote client, indistinguishably — and collect per-query found
+/// counts plus total frames and detector seconds from the reports.
+pub fn run_on_service(
+    svc: &dyn SearchService,
+    repo: RepoId,
     cfg: &EngineCmpConfig,
-    detector_fps: f64,
-) -> (Vec<u64>, StrategyCost, f64) {
-    let engine = Engine::new(EngineConfig {
-        workers: cfg.workers,
-        detector_fps,
-        ..EngineConfig::default()
-    });
-    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), cfg.seed);
+) -> (Vec<u64>, u64, f64) {
     let ids: Vec<_> = specs(cfg)
         .into_iter()
         .map(|(stop, seed)| {
-            engine
-                .submit(
-                    QuerySpec::new(repo, ClassId(0), stop)
-                        .chunks(cfg.chunks)
-                        .seed(seed),
-                )
-                .expect("valid spec")
+            svc.submit(
+                QuerySpec::new(repo, ClassId(0), stop)
+                    .chunks(cfg.chunks)
+                    .seed(seed),
+            )
+            .expect("valid spec")
         })
         .collect();
     let mut found = Vec::with_capacity(ids.len());
     let mut frames = 0;
     let mut detect_s = 0.0;
     for id in ids {
-        let report = engine.wait(id).expect("session completes");
+        let report = svc.wait(id).expect("session completes");
         assert_eq!(report.status, SessionStatus::Done);
         found.push(report.trace.found());
         frames += report.charges.frames;
         detect_s += report.charges.detect_s;
     }
+    (found, frames, detect_s)
+}
+
+fn engine_config(cfg: &EngineCmpConfig, detector_fps: f64) -> EngineConfig {
+    EngineConfig {
+        workers: cfg.workers,
+        detector_fps,
+        ..EngineConfig::default()
+    }
+}
+
+/// Run the batch concurrently through the shared engine (in-process).
+pub fn run_engine(
+    gt: &Arc<GroundTruth>,
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+) -> (Vec<u64>, StrategyCost, f64) {
+    let engine = Engine::new(engine_config(cfg, detector_fps));
+    let repo = engine.register_repo(REPO_NAME, gt.clone(), NoiseModel::none(), cfg.seed);
+    let (found, frames, detect_s) = run_on_service(&engine, repo, cfg);
     let stats = engine.cache_stats();
     let cost = StrategyCost {
         frames,
         detector_invocations: engine.detector_invocations(),
         detect_s,
     };
+    (found, cost, stats.hit_rate())
+}
+
+/// Run the batch through the wire protocol: the same engine behind a
+/// `SearchServer`, queried by a `RemoteClient` over an in-memory duplex
+/// connection that resolves the repository by *name* from the service
+/// catalog. Must produce results identical to [`run_engine`].
+pub fn run_remote(
+    gt: &Arc<GroundTruth>,
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+) -> (Vec<u64>, StrategyCost, f64) {
+    let engine = Arc::new(Engine::new(engine_config(cfg, detector_fps)));
+    engine.register_repo(REPO_NAME, gt.clone(), NoiseModel::none(), cfg.seed);
+    let server = Arc::new(SearchServer::new(engine.clone()));
+    let (client_io, server_io) = duplex();
+    let srv = server.clone();
+    let conn = std::thread::spawn(move || {
+        let _ = srv.serve_connection(server_io);
+    });
+    let client = RemoteClient::connect(client_io).expect("handshake");
+    let repo = client
+        .repos()
+        .expect("catalog")
+        .into_iter()
+        .find(|r| r.name == REPO_NAME)
+        .expect("repository registered")
+        .id;
+    let (found, frames, detect_s) = run_on_service(&client, repo, cfg);
+    let stats = engine.cache_stats();
+    let cost = StrategyCost {
+        frames,
+        detector_invocations: engine.detector_invocations(),
+        detect_s,
+    };
+    drop(client);
+    let _ = conn.join();
     (found, cost, stats.hit_rate())
 }
 
@@ -288,6 +351,21 @@ mod tests {
         assert!(report.savings() > 0.0);
         // Both strategies sampled the same frames per query.
         assert_eq!(report.engine.frames, report.independent.frames);
+    }
+
+    #[test]
+    fn remote_execution_is_indistinguishable_from_in_process() {
+        // The same workload through the wire protocol: identical found
+        // counts, identical frames, identical detector invocations — a
+        // client cannot tell which side of the socket the engine is on.
+        let cfg = quick_cfg();
+        let gt = cfg.ground_truth();
+        let (found_eng, engine, _) = run_engine(&gt, &cfg, 20.0);
+        let (found_rem, remote, remote_hit_rate) = run_remote(&gt, &cfg, 20.0);
+        assert_eq!(found_eng, found_rem);
+        assert_eq!(engine.frames, remote.frames);
+        assert_eq!(engine.detector_invocations, remote.detector_invocations);
+        assert!(remote_hit_rate > 0.0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn engine_on(dir: &PathBuf, cfg: &EngineCmpConfig, fps: f64, fingerprint: u64) -
 }
 
 fn run_fleet(engine: &Engine, gt: &Arc<GroundTruth>, cfg: &EngineCmpConfig) -> u64 {
-    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), cfg.seed);
+    let repo = engine.register_repo("persist-cmp", gt.clone(), NoiseModel::none(), cfg.seed);
     let ids: Vec<_> = (0..cfg.queries)
         .map(|q| {
             engine
@@ -92,7 +92,7 @@ fn run_fleet(engine: &Engine, gt: &Arc<GroundTruth>, cfg: &EngineCmpConfig) -> u
 /// count. `warm` controls belief warm-starting (a no-op on engines
 /// without persistence).
 fn run_probe(engine: &Engine, gt: &Arc<GroundTruth>, cfg: &EngineCmpConfig, warm: bool) -> u64 {
-    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), cfg.seed);
+    let repo = engine.register_repo("persist-cmp", gt.clone(), NoiseModel::none(), cfg.seed);
     let id = engine
         .submit(
             QuerySpec::new(repo, ClassId(0), StopCond::results(cfg.target))

@@ -184,6 +184,11 @@ impl BeliefStore {
         Ok(())
     }
 
+    /// Keys with a resident snapshot, in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = BeliefKey> + '_ {
+        self.map.keys().copied()
+    }
+
     /// Number of keys with a resident snapshot.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -15,6 +15,10 @@
 //!   search finishes. A new query over an already-explored repository
 //!   warm-starts its Gamma beliefs **bit-identically** to what the prior
 //!   search had learned, instead of starting from the prior.
+//! * [`RepoCatalog`] — stable repository identity: a caller-supplied name
+//!   plus dataset fingerprint resolves to the same `u32` id across
+//!   restarts and registration orders, so the artifacts above can never
+//!   be silently remapped onto the wrong footage.
 //!
 //! Both artifacts reuse `exsample-store`'s on-disk conventions
 //! ([`framing`](exsample_store::framing)): magic/version headers,
@@ -32,10 +36,12 @@
 #![warn(missing_docs)]
 
 pub mod beliefs;
+pub mod catalog;
 pub mod codec;
 pub mod log;
 
 pub use beliefs::{BeliefKey, BeliefStore};
+pub use catalog::{CatalogEntry, RepoCatalog};
 pub use codec::{BeliefSnapshot, CodecError, DetectionRecord};
 pub use log::{scan_detections, DetectionLog, LoadStats};
 

@@ -1,0 +1,259 @@
+//! The remote implementation of the search service API.
+
+use crate::transport::Framed;
+use crate::wire::{Message, WireError};
+use crate::{MAX_POLL_WINDOW, PROTO_VERSION};
+use exsample_engine::{
+    QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, SessionId, SessionReport,
+    SessionSnapshot, SessionStatus, SubmitError,
+};
+use std::io::{Read, Write};
+use std::sync::Mutex;
+
+/// A [`SearchService`] speaking the wire protocol over any
+/// `Read + Write` connection — the drop-in remote counterpart of the
+/// in-process engine. Code written against `&dyn SearchService` cannot
+/// tell which one it holds, and sessions produce identical results
+/// either way.
+///
+/// The client is internally synchronized: calls from many threads
+/// serialize onto the one connection. A blocking call ([`wait`], an
+/// unacknowledged [`stream`]) therefore stalls other callers of the
+/// *same* client — open one connection per concurrent waiter, as the
+/// integration tests do.
+///
+/// [`wait`]: SearchService::wait
+/// [`stream`]: RemoteClient::stream
+pub struct RemoteClient<T> {
+    framed: Mutex<Framed<T>>,
+}
+
+impl<T> std::fmt::Debug for RemoteClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient").finish_non_exhaustive()
+    }
+}
+
+impl<T: Read + Write> RemoteClient<T> {
+    /// Handshake over a fresh connection. The protocol version is
+    /// exchanged both ways before anything else; a peer speaking another
+    /// version yields [`ServiceError::VersionMismatch`] — a clean, typed
+    /// rejection instead of a misparse.
+    pub fn connect(io: T) -> Result<Self, ServiceError> {
+        let mut framed = Framed::new(io);
+        let theirs = framed
+            .handshake(PROTO_VERSION)
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if theirs != PROTO_VERSION {
+            return Err(ServiceError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs,
+            });
+        }
+        Ok(RemoteClient {
+            framed: Mutex::new(framed),
+        })
+    }
+
+    /// One request/response exchange. Transport failures surface as the
+    /// error string; service failures come back as [`Message::Error`].
+    fn call(&self, request: &Message) -> Result<Message, String> {
+        let mut framed = self.framed.lock().expect("remote client poisoned");
+        framed.send(request).map_err(|e| e.to_string())?;
+        framed.recv().map_err(|e| e.to_string())
+    }
+
+    /// One `Poll` round trip (at most one frame of events).
+    fn poll_once(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: Option<u32>,
+    ) -> Result<SessionSnapshot, ServiceError> {
+        let request = Message::Poll {
+            session: id,
+            cursor,
+            window,
+        };
+        match self.call(&request).map_err(ServiceError::Transport)? {
+            Message::Snapshot(snap) => Ok(snap),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Poll".into(),
+            )),
+        }
+    }
+
+    /// Stream a session's results: subscribe from `cursor`, receive
+    /// server-pushed batches of at most `window` events (clamped to
+    /// `1..=MAX_POLL_WINDOW` on both ends), and invoke `on_batch` for each. The next batch is requested
+    /// (cursor acknowledgement) only after `on_batch` returns, so a slow
+    /// consumer receives slowly — backpressure end to end. Returns the
+    /// terminal snapshot: final status, counters, and the session's event
+    /// log fully drained.
+    pub fn stream(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: u32,
+        mut on_batch: impl FnMut(&SessionSnapshot),
+    ) -> Result<SessionSnapshot, ServiceError> {
+        // Clamp exactly as the server does, so both ends agree on the
+        // terminal rule (`events < window` after finish).
+        let window = window.clamp(1, MAX_POLL_WINDOW);
+        let transport = |e: std::io::Error| ServiceError::Transport(e.to_string());
+        let mut framed = self.framed.lock().expect("remote client poisoned");
+        framed
+            .send(&Message::Subscribe {
+                session: id,
+                cursor,
+                window,
+            })
+            .map_err(transport)?;
+        loop {
+            match framed.recv().map_err(transport)? {
+                Message::Snapshot(snap) => {
+                    on_batch(&snap);
+                    // Mirror of the server's terminal rule: a short batch
+                    // from a finished session ends the subscription.
+                    if snap.status != SessionStatus::Running && (snap.events.len() as u32) < window
+                    {
+                        return Ok(snap);
+                    }
+                    framed
+                        .send(&Message::Ack {
+                            cursor: snap.next_cursor,
+                        })
+                        .map_err(transport)?;
+                }
+                Message::Error(err) => return Err(lifecycle_error(err)),
+                _ => {
+                    return Err(ServiceError::Transport(
+                        "unexpected message during subscription".into(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Map a server-reported error onto the lifecycle error vocabulary.
+fn lifecycle_error(err: WireError) -> ServiceError {
+    match err {
+        WireError::UnknownSession(s) => ServiceError::UnknownSession(SessionId(s)),
+        WireError::SessionRunning(s) => ServiceError::SessionRunning(SessionId(s)),
+        other => ServiceError::Transport(format!("server error: {other:?}")),
+    }
+}
+
+/// Map a server-reported error onto the submission error vocabulary.
+fn submit_error(err: WireError) -> SubmitError {
+    match err {
+        WireError::UnknownRepo(r) => SubmitError::UnknownRepo(RepoId(r)),
+        WireError::InvalidSpec(why) => SubmitError::InvalidSpec(why),
+        other => SubmitError::Transport(format!("server error: {other:?}")),
+    }
+}
+
+impl<T: Read + Write> SearchService for RemoteClient<T> {
+    fn repos(&self) -> Result<Vec<RepoInfo>, ServiceError> {
+        match self
+            .call(&Message::Repos)
+            .map_err(ServiceError::Transport)?
+        {
+            Message::RepoList(infos) => Ok(infos),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Repos".into(),
+            )),
+        }
+    }
+
+    fn submit(&self, spec: QuerySpec) -> Result<SessionId, SubmitError> {
+        match self
+            .call(&Message::Submit(spec))
+            .map_err(SubmitError::Transport)?
+        {
+            Message::Submitted(id) => Ok(id),
+            Message::Error(err) => Err(submit_error(err)),
+            _ => Err(SubmitError::Transport(
+                "unexpected response to Submit".into(),
+            )),
+        }
+    }
+
+    fn poll(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: Option<u32>,
+    ) -> Result<SessionSnapshot, ServiceError> {
+        if window.is_some() {
+            return self.poll_once(id, cursor, window);
+        }
+        // The trait contract says `None` = all available events, but the
+        // server bounds each answer to MAX_POLL_WINDOW so responses
+        // always fit a frame. Preserve the contract by paginating here:
+        // full pages mean more may be pending, a short page is the end.
+        let mut snap = self.poll_once(id, cursor, Some(MAX_POLL_WINDOW))?;
+        let mut last = snap.events.len();
+        while last == MAX_POLL_WINDOW as usize {
+            let more = self.poll_once(id, snap.next_cursor, Some(MAX_POLL_WINDOW))?;
+            last = more.events.len();
+            let SessionSnapshot {
+                status,
+                found,
+                samples,
+                charges,
+                events,
+                next_cursor,
+            } = more;
+            snap.events.extend(events);
+            snap.status = status;
+            snap.found = found;
+            snap.samples = samples;
+            snap.charges = charges;
+            snap.next_cursor = next_cursor;
+        }
+        Ok(snap)
+    }
+
+    fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
+        match self
+            .call(&Message::Cancel { session: id })
+            .map_err(ServiceError::Transport)?
+        {
+            Message::CancelOk => Ok(()),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Cancel".into(),
+            )),
+        }
+    }
+
+    fn wait(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        match self
+            .call(&Message::Wait { session: id })
+            .map_err(ServiceError::Transport)?
+        {
+            Message::Report(report) => Ok(report),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Wait".into(),
+            )),
+        }
+    }
+
+    fn forget(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        match self
+            .call(&Message::Forget { session: id })
+            .map_err(ServiceError::Transport)?
+        {
+            Message::Report(report) => Ok(report),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Forget".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Remote access to the search engine: a versioned binary wire protocol.
+//!
+//! The engine crate defines the client-facing API as the
+//! [`SearchService`](exsample_engine::SearchService) trait; this crate
+//! puts that API on the wire so the engine can be deployed as a *query
+//! service* — many remote clients, one shared engine — instead of a
+//! library:
+//!
+//! * [`wire`] — the message vocabulary ([`Message`]) and its stable,
+//!   little-endian binary codec. Floats travel as IEEE-754 bit patterns,
+//!   so a report decoded remotely is **bit-identical** to the in-process
+//!   one.
+//! * [`transport`] — [`Framed`]: length-prefixed, CRC-32-checked frames
+//!   (reusing `exsample-store`'s framing conventions) over any
+//!   `Read + Write` byte stream, plus an in-memory [`duplex`] pipe for
+//!   dependency-free tests. The connection preamble carries magic and
+//!   protocol version; peers speaking a different version are rejected at
+//!   the handshake, before any message could be misparsed.
+//! * [`client`] — [`RemoteClient`], the remote implementation of
+//!   `SearchService`, plus [`RemoteClient::stream`] for push-style result
+//!   streaming with client-acknowledged windows (cursor ack =
+//!   backpressure).
+//! * [`server`] — [`SearchServer`]: multiplexes many client connections
+//!   over one [`Engine`](exsample_engine::Engine), one thread per
+//!   connection, streaming subscriptions served from the engine's
+//!   blocking `poll_wait` (no busy-polling).
+//!
+//! The protocol is transport-agnostic: anything `Read + Write` works.
+//! The tests run it over in-memory pipes and Unix-domain sockets; see
+//! `examples/remote_search.rs` for the socket deployment and
+//! `docs/PROTOCOL.md` for the byte-level layout.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::RemoteClient;
+pub use server::SearchServer;
+pub use transport::{duplex, DuplexStream, Framed};
+pub use wire::{decode_message, encode_message, Message, WireCodecError, WireError};
+
+/// Magic bytes opening every connection ("eXSample Remote Protocol").
+pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
+
+/// The protocol version this build speaks. Bumped on any change to the
+/// message vocabulary or encodings; the handshake rejects mismatched
+/// peers cleanly instead of misparsing them.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload, enforced on both send and
+/// receive: a corrupt or hostile length prefix must not provoke an
+/// unbounded allocation.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Cap on result events per poll answer or streamed batch (~1.8 MiB of
+/// events), keeping every response comfortably under [`MAX_FRAME_LEN`]
+/// no matter how large a session's event log has grown. Applied
+/// symmetrically — the server clamps what it answers, the client clamps
+/// what it requests — so the streaming terminal rule (`events < window`
+/// after finish) agrees on both ends. The cursor contract makes the
+/// clamp transparent to pollers: `next_cursor` advances only past what
+/// was returned, so an unbounded poll simply takes more round trips.
+pub const MAX_POLL_WINDOW: u32 = 65_536;

@@ -1,0 +1,233 @@
+//! The network front end: one engine, many client connections.
+
+use crate::transport::Framed;
+use crate::wire::{Message, WireError};
+use crate::{MAX_POLL_WINDOW, PROTO_VERSION};
+use exsample_engine::{Engine, EngineError, SessionId, SessionStatus};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Serves the wire protocol over any `Read + Write` connection,
+/// multiplexing every client onto one shared [`Engine`] — the deployment
+/// shape the paper's economics assume: overlapping queries from many
+/// users sharing one detector budget and one detection cache.
+///
+/// The server is transport-agnostic and thread-per-connection: call
+/// [`SearchServer::serve_connection`] from one thread per accepted
+/// connection (or use [`SearchServer::serve_unix`] for a Unix-socket
+/// accept loop). Requests on one connection are handled in order;
+/// blocking requests (`Wait`, an unacknowledged subscription) block only
+/// their own connection.
+pub struct SearchServer {
+    engine: Arc<Engine>,
+}
+
+impl SearchServer {
+    /// A server multiplexing connections over `engine`.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        SearchServer { engine }
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Serve one client connection to completion (client disconnect).
+    ///
+    /// Opens with the version handshake: a peer announcing a different
+    /// protocol version is rejected by closing the connection — it has
+    /// our preamble and can report the mismatch precisely; no message is
+    /// ever parsed under version skew. Returns `Err` only for transport
+    /// failures or protocol violations; service-level failures travel to
+    /// the client as [`Message::Error`].
+    pub fn serve_connection<T: Read + Write>(&self, io: T) -> io::Result<()> {
+        let mut framed = Framed::new(io);
+        let theirs = framed.handshake(PROTO_VERSION)?;
+        if theirs != PROTO_VERSION {
+            return Ok(());
+        }
+        loop {
+            let msg = match framed.recv() {
+                Ok(msg) => msg,
+                Err(e) if is_disconnect(&e) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            match msg {
+                Message::Repos => framed.send(&Message::RepoList(self.engine.repos()))?,
+                Message::Submit(spec) => {
+                    let reply = match self.engine.submit(spec) {
+                        Ok(id) => Message::Submitted(id),
+                        Err(e) => Message::Error(engine_error(e)),
+                    };
+                    framed.send(&reply)?;
+                }
+                Message::Poll {
+                    session,
+                    cursor,
+                    window,
+                } => {
+                    let window = Some(window.unwrap_or(MAX_POLL_WINDOW).min(MAX_POLL_WINDOW));
+                    let reply = match self.engine.poll_window(session, cursor, window) {
+                        Ok(snap) => Message::Snapshot(snap),
+                        Err(e) => Message::Error(engine_error(e)),
+                    };
+                    framed.send(&reply)?;
+                }
+                Message::Cancel { session } => {
+                    let reply = match self.engine.cancel(session) {
+                        Ok(()) => Message::CancelOk,
+                        Err(e) => Message::Error(engine_error(e)),
+                    };
+                    framed.send(&reply)?;
+                }
+                Message::Wait { session } => {
+                    let reply = match self.engine.wait(session) {
+                        Ok(report) => Message::Report(report),
+                        Err(e) => Message::Error(engine_error(e)),
+                    };
+                    framed.send(&reply)?;
+                }
+                Message::Forget { session } => {
+                    let reply = match self.engine.forget(session) {
+                        Ok(report) => Message::Report(report),
+                        Err(e) => Message::Error(engine_error(e)),
+                    };
+                    framed.send(&reply)?;
+                }
+                Message::Subscribe {
+                    session,
+                    cursor,
+                    window,
+                } => self.serve_subscription(&mut framed, session, cursor, window)?,
+                _ => {
+                    // A response tag, or an Ack outside a subscription:
+                    // the peer is confused; tell it and hang up rather
+                    // than guess at its state.
+                    framed.send(&Message::Error(WireError::Malformed(
+                        "expected a request".into(),
+                    )))?;
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "protocol violation: expected a request",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Push result batches for one session until it finishes and its
+    /// event log is drained. Each batch carries at most `window` events;
+    /// the next batch is produced only after the client acknowledges the
+    /// cursor — the client's consumption rate *is* the flow control.
+    /// Batches come from the engine's blocking `poll_wait`, so an idle
+    /// session costs no busy-polling.
+    fn serve_subscription<T: Read + Write>(
+        &self,
+        framed: &mut Framed<T>,
+        session: SessionId,
+        mut cursor: u64,
+        window: u32,
+    ) -> io::Result<()> {
+        let window = window.clamp(1, MAX_POLL_WINDOW);
+        loop {
+            let snap = match self.engine.poll_wait(session, cursor, Some(window)) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    framed.send(&Message::Error(engine_error(e)))?;
+                    return Ok(());
+                }
+            };
+            // A short batch from a finished session means the log is
+            // drained: that batch is terminal, no ack expected. (A full
+            // terminal batch costs one extra empty round to notice.)
+            let terminal =
+                snap.status != SessionStatus::Running && (snap.events.len() as u32) < window;
+            framed.send(&Message::Snapshot(snap))?;
+            if terminal {
+                return Ok(());
+            }
+            match framed.recv() {
+                Ok(Message::Ack { cursor: acked }) => cursor = acked,
+                Ok(_) => {
+                    framed.send(&Message::Error(WireError::Malformed(
+                        "expected Ack during subscription".into(),
+                    )))?;
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "protocol violation: expected Ack during subscription",
+                    ));
+                }
+                Err(e) if is_disconnect(&e) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Accept-loop convenience for Unix-domain sockets: spawns a thread
+    /// that accepts connections for the server's lifetime, serving each
+    /// on its own thread. Connection-level errors are logged, not fatal.
+    #[cfg(unix)]
+    pub fn serve_unix(
+        self: &Arc<Self>,
+        listener: std::os::unix::net::UnixListener,
+    ) -> std::thread::JoinHandle<()> {
+        let server = self.clone();
+        std::thread::Builder::new()
+            .name("exsample-proto-accept".into())
+            .spawn(move || {
+                let mut consecutive_errors = 0u32;
+                for conn in listener.incoming() {
+                    let conn = match conn {
+                        Ok(conn) => conn,
+                        Err(e) => {
+                            // Transient accept failures (fd exhaustion, an
+                            // aborted connection) must not kill the accept
+                            // loop; a permanently broken listener must not
+                            // spin it either.
+                            eprintln!("exsample-proto: accept error: {e}");
+                            consecutive_errors += 1;
+                            if consecutive_errors >= 100 {
+                                eprintln!("exsample-proto: listener unusable, giving up");
+                                return;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            continue;
+                        }
+                    };
+                    consecutive_errors = 0;
+                    let server = server.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("exsample-proto-conn".into())
+                        .spawn(move || {
+                            if let Err(e) = server.serve_connection(conn) {
+                                eprintln!("exsample-proto: connection error: {e}");
+                            }
+                        });
+                }
+            })
+            .expect("spawn accept thread")
+    }
+}
+
+/// True for error kinds that mean "the peer went away" — a clean end of
+/// service, not a failure.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// Engine errors crossing the wire keep their exact meaning.
+fn engine_error(e: EngineError) -> WireError {
+    match e {
+        EngineError::UnknownRepo(r) => WireError::UnknownRepo(r.0),
+        EngineError::UnknownSession(s) => WireError::UnknownSession(s.0),
+        EngineError::InvalidSpec(why) => WireError::InvalidSpec(why.to_string()),
+        EngineError::SessionRunning(s) => WireError::SessionRunning(s.0),
+    }
+}

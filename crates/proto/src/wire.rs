@@ -1,0 +1,770 @@
+//! The message vocabulary and its binary codec.
+//!
+//! Every value crossing the wire is encoded little-endian; floats travel
+//! as IEEE-754 bit patterns (never decimal), so remote results are
+//! bit-identical to in-process ones. Each message is one tag byte
+//! followed by its body; see `docs/PROTOCOL.md` for the byte-level
+//! layout. Decoding is total: any payload that does not parse exactly —
+//! short, trailing bytes, unknown tag, bad UTF-8, absurd counts —
+//! is a [`WireCodecError`], never a panic or an over-allocation.
+
+use exsample_core::belief::{BeliefPrior, ChunkStats, Selector};
+use exsample_core::driver::{SearchTrace, StopCond, TracePoint};
+use exsample_core::within::WithinKind;
+use exsample_engine::{
+    DiscriminatorKind, QuerySpec, RepoId, RepoInfo, ResultEvent, SessionCharges, SessionId,
+    SessionReport, SessionSnapshot, SessionStatus,
+};
+use exsample_videosim::ClassId;
+
+/// Decode failure: the payload does not parse as a protocol message.
+/// With frame checksums verified by the transport this indicates a peer
+/// bug or version skew, not line noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCodecError(pub &'static str);
+
+impl std::fmt::Display for WireCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed protocol message: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireCodecError {}
+
+/// A service-level failure reported by the server. Mirrors the
+/// `SubmitError` / `ServiceError` split of the `SearchService` trait;
+/// the client maps it back onto those types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Submit named a repository the server does not know.
+    UnknownRepo(u32),
+    /// The session id was never submitted (or was forgotten).
+    UnknownSession(u64),
+    /// `forget` on a session that is still running.
+    SessionRunning(u64),
+    /// Submit carried a structurally invalid spec.
+    InvalidSpec(String),
+    /// The peer violated the protocol (e.g. an `Ack` outside a
+    /// subscription, or a response tag sent as a request).
+    Malformed(String),
+}
+
+/// One protocol message, either direction. Requests are client → server;
+/// responses are server → client; `Ack` flows client → server inside a
+/// subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // ---- requests ----
+    /// Fetch the repository catalog.
+    Repos,
+    /// Submit a query for execution.
+    Submit(QuerySpec),
+    /// Cursor poll: events in `cursor..`, at most `window` of them
+    /// (`None` = all available).
+    Poll {
+        /// Session to poll.
+        session: SessionId,
+        /// Event-log cursor (see the `SearchService` poll contract).
+        cursor: u64,
+        /// Maximum events to return.
+        window: Option<u32>,
+    },
+    /// Request cancellation (idempotent).
+    Cancel {
+        /// Session to cancel.
+        session: SessionId,
+    },
+    /// Block until the session finishes; answered with [`Message::Report`].
+    Wait {
+        /// Session to wait for.
+        session: SessionId,
+    },
+    /// Drop a finished session, answered with its final report.
+    Forget {
+        /// Session to forget.
+        session: SessionId,
+    },
+    /// Enter streaming mode: the server pushes [`Message::Snapshot`]
+    /// batches of at most `window` events each, pausing for an
+    /// [`Message::Ack`] between batches (cursor acknowledgement =
+    /// backpressure).
+    Subscribe {
+        /// Session to stream.
+        session: SessionId,
+        /// Starting event-log cursor.
+        cursor: u64,
+        /// Events per pushed batch (clamped to `1..=MAX_POLL_WINDOW`
+        /// on both ends).
+        window: u32,
+    },
+    /// Acknowledge a streamed batch up to `cursor`, opening the window
+    /// for the next one.
+    Ack {
+        /// The `next_cursor` of the batch being acknowledged.
+        cursor: u64,
+    },
+
+    // ---- responses ----
+    /// The repository catalog, in id order.
+    RepoList(Vec<RepoInfo>),
+    /// Submission accepted.
+    Submitted(SessionId),
+    /// Poll answer or streamed batch.
+    Snapshot(SessionSnapshot),
+    /// Final report ([`Message::Wait`] / [`Message::Forget`] answer).
+    Report(SessionReport),
+    /// Cancellation acknowledged.
+    CancelOk,
+    /// The request failed.
+    Error(WireError),
+}
+
+// Message tags. Requests live below 0x40, responses at or above it.
+const TAG_REPOS: u8 = 0x01;
+const TAG_SUBMIT: u8 = 0x02;
+const TAG_POLL: u8 = 0x03;
+const TAG_CANCEL: u8 = 0x04;
+const TAG_WAIT: u8 = 0x05;
+const TAG_FORGET: u8 = 0x06;
+const TAG_SUBSCRIBE: u8 = 0x07;
+const TAG_ACK: u8 = 0x08;
+const TAG_REPO_LIST: u8 = 0x41;
+const TAG_SUBMITTED: u8 = 0x42;
+const TAG_SNAPSHOT: u8 = 0x43;
+const TAG_REPORT: u8 = 0x44;
+const TAG_CANCEL_OK: u8 = 0x45;
+const TAG_ERROR: u8 = 0x46;
+
+/// Little-endian pull parser over a payload slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireCodecError> {
+        if self.data.len() < n {
+            return Err(WireCodecError("payload too short"));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireCodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireCodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireCodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireCodecError("bad bool tag")),
+        }
+    }
+
+    /// Guard a decoded element count against the bytes actually present:
+    /// rejects absurd counts before any allocation.
+    fn count(&mut self, min_elem_size: usize) -> Result<usize, WireCodecError> {
+        let n = self.u32()? as usize;
+        if n > self.data.len() / min_elem_size {
+            return Err(WireCodecError("element count exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, WireCodecError> {
+        let len = self.u32()? as usize;
+        if len > self.data.len() {
+            return Err(WireCodecError("string length exceeds payload"));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| WireCodecError("string not UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), WireCodecError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(WireCodecError("trailing bytes"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_opt_u64(c: &mut Cursor) -> Result<Option<u64>, WireCodecError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(c.u64()?)),
+        _ => Err(WireCodecError("bad option tag")),
+    }
+}
+
+// ---- component encodings ----
+
+fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
+    put_u32(out, spec.repo.0);
+    out.extend_from_slice(&spec.class.0.to_le_bytes());
+    put_opt_u64(out, spec.stop.max_results);
+    put_opt_u64(out, spec.stop.max_samples);
+    put_opt_u64(out, spec.stop.max_seconds.map(f64::to_bits));
+    put_u64(out, spec.chunks as u64);
+    put_f64(out, spec.config.prior.alpha0);
+    put_f64(out, spec.config.prior.beta0);
+    out.push(match spec.config.selector {
+        Selector::Thompson => 0,
+        Selector::BayesUcb => 1,
+        Selector::Greedy => 2,
+    });
+    out.push(match spec.config.within {
+        WithinKind::Stratified => 0,
+        WithinKind::Random => 1,
+    });
+    put_u32(out, spec.weight);
+    put_u64(out, spec.seed);
+    match spec.discriminator {
+        DiscriminatorKind::Oracle => out.push(0),
+        DiscriminatorKind::Tracker { seed } => {
+            out.push(1);
+            put_u64(out, seed);
+        }
+    }
+    out.push(spec.warm_start as u8);
+}
+
+fn get_spec(c: &mut Cursor) -> Result<QuerySpec, WireCodecError> {
+    let repo = RepoId(c.u32()?);
+    let class = ClassId(c.u16()?);
+    let stop = StopCond {
+        max_results: get_opt_u64(c)?,
+        max_samples: get_opt_u64(c)?,
+        max_seconds: get_opt_u64(c)?.map(f64::from_bits),
+    };
+    let chunks = c.u64()? as usize;
+    let prior = BeliefPrior {
+        alpha0: c.f64()?,
+        beta0: c.f64()?,
+    };
+    let selector = match c.u8()? {
+        0 => Selector::Thompson,
+        1 => Selector::BayesUcb,
+        2 => Selector::Greedy,
+        _ => return Err(WireCodecError("bad selector tag")),
+    };
+    let within = match c.u8()? {
+        0 => WithinKind::Stratified,
+        1 => WithinKind::Random,
+        _ => return Err(WireCodecError("bad within tag")),
+    };
+    let weight = c.u32()?;
+    let seed = c.u64()?;
+    let discriminator = match c.u8()? {
+        0 => DiscriminatorKind::Oracle,
+        1 => DiscriminatorKind::Tracker { seed: c.u64()? },
+        _ => return Err(WireCodecError("bad discriminator tag")),
+    };
+    let warm_start = c.bool()?;
+    let mut spec = QuerySpec::new(repo, class, stop)
+        .chunks(chunks)
+        .weight(weight)
+        .seed(seed)
+        .discriminator(discriminator)
+        .warm_start(warm_start);
+    spec.config.prior = prior;
+    spec.config.selector = selector;
+    spec.config.within = within;
+    Ok(spec)
+}
+
+fn put_status(out: &mut Vec<u8>, status: SessionStatus) {
+    out.push(match status {
+        SessionStatus::Running => 0,
+        SessionStatus::Done => 1,
+        SessionStatus::Cancelled => 2,
+    });
+}
+
+fn get_status(c: &mut Cursor) -> Result<SessionStatus, WireCodecError> {
+    match c.u8()? {
+        0 => Ok(SessionStatus::Running),
+        1 => Ok(SessionStatus::Done),
+        2 => Ok(SessionStatus::Cancelled),
+        _ => Err(WireCodecError("bad status tag")),
+    }
+}
+
+fn put_charges(out: &mut Vec<u8>, ch: &SessionCharges) {
+    put_f64(out, ch.detect_s);
+    put_f64(out, ch.io_s);
+    put_u64(out, ch.frames);
+    put_u64(out, ch.cache_hits);
+    put_u64(out, ch.detector_invocations);
+}
+
+fn get_charges(c: &mut Cursor) -> Result<SessionCharges, WireCodecError> {
+    Ok(SessionCharges {
+        detect_s: c.f64()?,
+        io_s: c.f64()?,
+        frames: c.u64()?,
+        cache_hits: c.u64()?,
+        detector_invocations: c.u64()?,
+    })
+}
+
+/// Byte size of one encoded [`ResultEvent`] (count-guard granularity).
+const EVENT_SIZE: usize = 8 + 4 + 8 + 8;
+
+fn put_events(out: &mut Vec<u8>, events: &[ResultEvent]) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        put_u64(out, e.frame);
+        put_u32(out, e.new_results);
+        put_u64(out, e.samples);
+        put_f64(out, e.seconds);
+    }
+}
+
+fn get_events(c: &mut Cursor) -> Result<Vec<ResultEvent>, WireCodecError> {
+    let n = c.count(EVENT_SIZE)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(ResultEvent {
+            frame: c.u64()?,
+            new_results: c.u32()?,
+            samples: c.u64()?,
+            seconds: c.f64()?,
+        });
+    }
+    Ok(events)
+}
+
+fn put_snapshot(out: &mut Vec<u8>, snap: &SessionSnapshot) {
+    put_status(out, snap.status);
+    put_u64(out, snap.found);
+    put_u64(out, snap.samples);
+    put_charges(out, &snap.charges);
+    put_u64(out, snap.next_cursor);
+    put_events(out, &snap.events);
+}
+
+fn get_snapshot(c: &mut Cursor) -> Result<SessionSnapshot, WireCodecError> {
+    Ok(SessionSnapshot {
+        status: get_status(c)?,
+        found: c.u64()?,
+        samples: c.u64()?,
+        charges: get_charges(c)?,
+        next_cursor: c.u64()?,
+        events: get_events(c)?,
+    })
+}
+
+fn put_report(out: &mut Vec<u8>, report: &SessionReport) {
+    put_status(out, report.status);
+    put_u64(out, report.finish_order);
+    put_charges(out, &report.charges);
+    put_u32(out, report.chunk_stats.len() as u32);
+    for s in &report.chunk_stats {
+        put_f64(out, s.n1);
+        put_u64(out, s.n);
+    }
+    let trace = &report.trace;
+    put_u64(out, trace.samples());
+    put_u64(out, trace.found());
+    put_f64(out, trace.seconds());
+    out.push(trace.exhausted() as u8);
+    put_u32(out, trace.points().len() as u32);
+    for p in trace.points() {
+        put_u64(out, p.samples);
+        put_u64(out, p.found);
+        put_f64(out, p.seconds);
+    }
+}
+
+fn get_report(c: &mut Cursor) -> Result<SessionReport, WireCodecError> {
+    let status = get_status(c)?;
+    let finish_order = c.u64()?;
+    let charges = get_charges(c)?;
+    let n_chunks = c.count(16)?;
+    let mut chunk_stats = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        chunk_stats.push(ChunkStats {
+            n1: c.f64()?,
+            n: c.u64()?,
+        });
+    }
+    let samples = c.u64()?;
+    let found = c.u64()?;
+    let seconds = c.f64()?;
+    let exhausted = c.bool()?;
+    let n_points = c.count(24)?;
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        points.push(TracePoint {
+            samples: c.u64()?,
+            found: c.u64()?,
+            seconds: c.f64()?,
+        });
+    }
+    Ok(SessionReport {
+        status,
+        trace: SearchTrace::from_parts(points, samples, found, seconds, exhausted),
+        charges,
+        finish_order,
+        chunk_stats,
+    })
+}
+
+fn put_repo_info(out: &mut Vec<u8>, info: &RepoInfo) {
+    put_u32(out, info.id.0);
+    put_u64(out, info.frames);
+    out.extend_from_slice(&info.classes.to_le_bytes());
+    put_u64(out, info.dataset_fingerprint);
+    put_string(out, &info.name);
+}
+
+fn get_repo_info(c: &mut Cursor) -> Result<RepoInfo, WireCodecError> {
+    Ok(RepoInfo {
+        id: RepoId(c.u32()?),
+        frames: c.u64()?,
+        classes: c.u16()?,
+        dataset_fingerprint: c.u64()?,
+        name: c.string()?,
+    })
+}
+
+fn put_wire_error(out: &mut Vec<u8>, err: &WireError) {
+    match err {
+        WireError::UnknownRepo(r) => {
+            out.push(1);
+            put_u32(out, *r);
+        }
+        WireError::UnknownSession(s) => {
+            out.push(2);
+            put_u64(out, *s);
+        }
+        WireError::SessionRunning(s) => {
+            out.push(3);
+            put_u64(out, *s);
+        }
+        WireError::InvalidSpec(why) => {
+            out.push(4);
+            put_string(out, why);
+        }
+        WireError::Malformed(why) => {
+            out.push(5);
+            put_string(out, why);
+        }
+    }
+}
+
+fn get_wire_error(c: &mut Cursor) -> Result<WireError, WireCodecError> {
+    Ok(match c.u8()? {
+        1 => WireError::UnknownRepo(c.u32()?),
+        2 => WireError::UnknownSession(c.u64()?),
+        3 => WireError::SessionRunning(c.u64()?),
+        4 => WireError::InvalidSpec(c.string()?),
+        5 => WireError::Malformed(c.string()?),
+        _ => return Err(WireCodecError("bad error tag")),
+    })
+}
+
+/// Encode one message (tag byte + body) into `out`. Framing (length
+/// prefix, checksum) is the transport's job.
+pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
+    match msg {
+        Message::Repos => out.push(TAG_REPOS),
+        Message::Submit(spec) => {
+            out.push(TAG_SUBMIT);
+            put_spec(out, spec);
+        }
+        Message::Poll {
+            session,
+            cursor,
+            window,
+        } => {
+            out.push(TAG_POLL);
+            put_u64(out, session.0);
+            put_u64(out, *cursor);
+            match window {
+                Some(w) => {
+                    out.push(1);
+                    put_u32(out, *w);
+                }
+                None => out.push(0),
+            }
+        }
+        Message::Cancel { session } => {
+            out.push(TAG_CANCEL);
+            put_u64(out, session.0);
+        }
+        Message::Wait { session } => {
+            out.push(TAG_WAIT);
+            put_u64(out, session.0);
+        }
+        Message::Forget { session } => {
+            out.push(TAG_FORGET);
+            put_u64(out, session.0);
+        }
+        Message::Subscribe {
+            session,
+            cursor,
+            window,
+        } => {
+            out.push(TAG_SUBSCRIBE);
+            put_u64(out, session.0);
+            put_u64(out, *cursor);
+            put_u32(out, *window);
+        }
+        Message::Ack { cursor } => {
+            out.push(TAG_ACK);
+            put_u64(out, *cursor);
+        }
+        Message::RepoList(infos) => {
+            out.push(TAG_REPO_LIST);
+            put_u32(out, infos.len() as u32);
+            for info in infos {
+                put_repo_info(out, info);
+            }
+        }
+        Message::Submitted(id) => {
+            out.push(TAG_SUBMITTED);
+            put_u64(out, id.0);
+        }
+        Message::Snapshot(snap) => {
+            out.push(TAG_SNAPSHOT);
+            put_snapshot(out, snap);
+        }
+        Message::Report(report) => {
+            out.push(TAG_REPORT);
+            put_report(out, report);
+        }
+        Message::CancelOk => out.push(TAG_CANCEL_OK),
+        Message::Error(err) => {
+            out.push(TAG_ERROR);
+            put_wire_error(out, err);
+        }
+    }
+}
+
+/// Decode one message payload (as produced by [`encode_message`]).
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
+    let mut c = Cursor { data: payload };
+    let msg = match c.u8()? {
+        TAG_REPOS => Message::Repos,
+        TAG_SUBMIT => Message::Submit(get_spec(&mut c)?),
+        TAG_POLL => Message::Poll {
+            session: SessionId(c.u64()?),
+            cursor: c.u64()?,
+            window: match c.u8()? {
+                0 => None,
+                1 => Some(c.u32()?),
+                _ => return Err(WireCodecError("bad option tag")),
+            },
+        },
+        TAG_CANCEL => Message::Cancel {
+            session: SessionId(c.u64()?),
+        },
+        TAG_WAIT => Message::Wait {
+            session: SessionId(c.u64()?),
+        },
+        TAG_FORGET => Message::Forget {
+            session: SessionId(c.u64()?),
+        },
+        TAG_SUBSCRIBE => Message::Subscribe {
+            session: SessionId(c.u64()?),
+            cursor: c.u64()?,
+            window: c.u32()?,
+        },
+        TAG_ACK => Message::Ack { cursor: c.u64()? },
+        TAG_REPO_LIST => {
+            // Minimal RepoInfo: fixed fields + empty name.
+            let n = c.count(4 + 8 + 2 + 8 + 4)?;
+            let mut infos = Vec::with_capacity(n);
+            for _ in 0..n {
+                infos.push(get_repo_info(&mut c)?);
+            }
+            Message::RepoList(infos)
+        }
+        TAG_SUBMITTED => Message::Submitted(SessionId(c.u64()?)),
+        TAG_SNAPSHOT => Message::Snapshot(get_snapshot(&mut c)?),
+        TAG_REPORT => Message::Report(get_report(&mut c)?),
+        TAG_CANCEL_OK => Message::CancelOk,
+        TAG_ERROR => Message::Error(get_wire_error(&mut c)?),
+        _ => return Err(WireCodecError("unknown message tag")),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        encode_message(msg, &mut buf);
+        decode_message(&buf).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn simple_messages_round_trip() {
+        for msg in [
+            Message::Repos,
+            Message::Cancel {
+                session: SessionId(7),
+            },
+            Message::Wait {
+                session: SessionId(u64::MAX),
+            },
+            Message::Forget {
+                session: SessionId(0),
+            },
+            Message::Ack { cursor: 99 },
+            Message::Submitted(SessionId(3)),
+            Message::CancelOk,
+            Message::Poll {
+                session: SessionId(1),
+                cursor: 5,
+                window: None,
+            },
+            Message::Poll {
+                session: SessionId(1),
+                cursor: 5,
+                window: Some(32),
+            },
+            Message::Subscribe {
+                session: SessionId(2),
+                cursor: 0,
+                window: 16,
+            },
+        ] {
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn spec_with_every_knob_round_trips() {
+        let mut spec = QuerySpec::new(
+            RepoId(9),
+            ClassId(3),
+            StopCond::results(10).or_samples(5_000),
+        )
+        .chunks(48)
+        .weight(4)
+        .seed(0xDEAD_BEEF)
+        .discriminator(DiscriminatorKind::Tracker { seed: 11 })
+        .warm_start(false);
+        spec.config.selector = Selector::BayesUcb;
+        spec.config.within = WithinKind::Random;
+        spec.config.prior = BeliefPrior {
+            alpha0: 0.25,
+            beta0: 2.5,
+        };
+        spec.stop.max_seconds = Some(0.1 + 0.2); // not decimal-representable
+        assert_eq!(
+            roundtrip(&Message::Submit(spec.clone())),
+            Message::Submit(spec)
+        );
+    }
+
+    #[test]
+    fn error_messages_round_trip() {
+        for err in [
+            WireError::UnknownRepo(4),
+            WireError::UnknownSession(10),
+            WireError::SessionRunning(2),
+            WireError::InvalidSpec("chunks must be positive".into()),
+            WireError::Malformed("unexpected Ack".into()),
+        ] {
+            assert_eq!(roundtrip(&Message::Error(err.clone())), Message::Error(err));
+        }
+    }
+
+    #[test]
+    fn truncation_always_rejected() {
+        let mut spec = QuerySpec::new(RepoId(1), ClassId(0), StopCond::results(5));
+        spec.stop.max_seconds = Some(1.5);
+        let mut buf = Vec::new();
+        encode_message(&Message::Submit(spec), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_message(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_message(&Message::Repos, &mut buf);
+        buf.push(0);
+        assert_eq!(decode_message(&buf), Err(WireCodecError("trailing bytes")));
+    }
+
+    #[test]
+    fn absurd_counts_rejected_before_allocation() {
+        // A RepoList claiming u32::MAX entries in a 9-byte payload.
+        let mut buf = vec![TAG_REPO_LIST];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 4]);
+        assert!(decode_message(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(
+            decode_message(&[0x3F]),
+            Err(WireCodecError("unknown message tag"))
+        );
+        assert!(decode_message(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = vec![TAG_ERROR, 4];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            decode_message(&buf),
+            Err(WireCodecError("string not UTF-8"))
+        );
+    }
+}

@@ -59,7 +59,7 @@ fn main() {
     let pedestrian = ClassId(1);
 
     let engine = Engine::new(EngineConfig::default());
-    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), 7);
+    let repo = engine.register_repo("city-cam", gt.clone(), NoiseModel::none(), 7);
 
     // Five concurrent queries; the analyst with weight 3 paid for a bigger
     // slice of the GPU.
@@ -89,7 +89,7 @@ fn main() {
 
     // Poll while they run: incremental results stream out per session.
     println!("\nstreaming incremental results (first event per poll shown):");
-    let mut cursors = vec![0usize; ids.len()];
+    let mut cursors = vec![0u64; ids.len()];
     loop {
         let mut running = false;
         for (i, &(id, label)) in ids.iter().enumerate() {

@@ -89,7 +89,7 @@ fn main() {
         "engine 1 up: {} records preloaded, {} segments skipped, {} belief snapshots",
         stats.preloaded_frames, stats.segments_skipped, stats.beliefs_resident
     );
-    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), DET_SEED);
+    let repo = engine.register_repo("restartable-cam", gt.clone(), NoiseModel::none(), DET_SEED);
     let fleet1 = run_fleet(&engine, repo);
     println!("fleet of 4 queries: {fleet1} detector invocations");
     println!("cache: {}", engine.cache_stats());
@@ -103,7 +103,7 @@ fn main() {
         "engine 2 up: {} records preloaded, {} segments skipped, {} belief snapshots",
         stats.preloaded_frames, stats.segments_skipped, stats.beliefs_resident
     );
-    let repo = engine.register_repo(gt.clone(), NoiseModel::none(), DET_SEED);
+    let repo = engine.register_repo("restartable-cam", gt.clone(), NoiseModel::none(), DET_SEED);
     let replay = run_fleet(&engine, repo);
     println!("replayed fleet: {replay} detector invocations");
     assert_eq!(

@@ -92,6 +92,13 @@ impl Strategy for Range<f64> {
     }
 }
 
+impl Strategy for Range<u8> {
+    type Value = u8;
+    fn generate(&self, rng: &mut TestRng) -> u8 {
+        self.start + rng.u64_below((self.end - self.start) as u64) as u8
+    }
+}
+
 impl Strategy for Range<u32> {
     type Value = u32;
     fn generate(&self, rng: &mut TestRng) -> u32 {
@@ -210,9 +217,31 @@ pub mod prop {
         }
     }
 
-    /// Sampling helpers (`prop::sample::Index`).
+    /// Fixed-size array strategies (`prop::array::uniform6`). Upstream
+    /// offers `uniform0` through `uniform32`; only the arities this
+    /// workspace uses are provided.
+    pub mod array {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy generating `[S::Value; 6]` from one element strategy.
+        pub struct UniformArray6<S>(S);
+
+        /// Six independent draws from `elem`, as an array.
+        pub fn uniform6<S: Strategy>(elem: S) -> UniformArray6<S> {
+            UniformArray6(elem)
+        }
+
+        impl<S: Strategy> Strategy for UniformArray6<S> {
+            type Value = [S::Value; 6];
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; 6] {
+                std::array::from_fn(|_| self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Sampling helpers (`prop::sample::Index`, `prop::sample::select`).
     pub mod sample {
-        use super::super::{Arbitrary, TestRng};
+        use super::super::{Arbitrary, Strategy, TestRng};
 
         /// An index into a collection whose length is only known inside the
         /// test body.
@@ -233,6 +262,27 @@ pub mod prop {
         impl Arbitrary for Index {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 Index(rng.next_u64())
+            }
+        }
+
+        /// Strategy drawing uniformly from a fixed set of values.
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        /// `select(values)`: one of the given values per case.
+        ///
+        /// # Panics
+        /// Panics if `values` is empty.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select needs at least one value");
+            Select { values }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.values[rng.u64_below(self.values.len() as u64) as usize].clone()
             }
         }
     }

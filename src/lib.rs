@@ -27,6 +27,10 @@
 //!   CRC-checked detection log plus belief snapshots, so a restarted
 //!   engine answers previously-detected frames without re-running the
 //!   detector and new queries warm-start from persisted chunk beliefs.
+//! * [`proto`] — the serving layer's wire protocol: a versioned,
+//!   length-prefixed binary framing with a remote `SearchService` client
+//!   and a server multiplexing many connections over one engine, so the
+//!   engine deploys as a query *service* with streaming results.
 //! * [`experiments`] — runners that regenerate every table and figure of
 //!   the paper's evaluation, plus the engine-vs-independent comparison.
 //!
@@ -72,6 +76,7 @@ pub use exsample_engine as engine;
 pub use exsample_experiments as experiments;
 pub use exsample_optimal as optimal;
 pub use exsample_persist as persist;
+pub use exsample_proto as proto;
 pub use exsample_stats as stats;
 pub use exsample_store as store;
 pub use exsample_videosim as videosim;

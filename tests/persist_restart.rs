@@ -45,7 +45,7 @@ fn engine_on(dir: &PathBuf, fingerprint: u64) -> (Engine, RepoId) {
         persist: Some(PersistConfig::new(dir).fingerprint(fingerprint)),
         ..EngineConfig::default()
     });
-    let repo = engine.register_repo(repository(), NoiseModel::none(), DET_SEED);
+    let repo = engine.register_repo("restart-repo", repository(), NoiseModel::none(), DET_SEED);
     (engine, repo)
 }
 
