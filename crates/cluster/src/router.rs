@@ -1,0 +1,523 @@
+//! The [`ShardRouter`]: one [`SearchService`] over many backend shards.
+//!
+//! # Id namespacing
+//!
+//! Each shard allocates its own repository and session ids, so two
+//! shards routinely both own a `RepoId(0)`. The router exposes
+//! *namespaced* ids instead: the shard's slot (its position in the
+//! router's name-sorted shard list) travels in the high bits, the
+//! shard-local id in the low bits. Routing a call is therefore pure bit
+//! arithmetic — no id table, no global lock — and because slots are
+//! assigned by sorted shard *name*, a router rebuilt from the same shard
+//! set in any order exposes the same ids.
+//!
+//! ```text
+//! RepoId    (u32):  [ slot : 8 bits ][ shard-local id : 24 bits ]
+//! SessionId (u64):  [ slot : 16 bits ][ shard-local id : 48 bits ]
+//! ```
+//!
+//! # Health
+//!
+//! A shard whose call fails at the connection level (a transport error
+//! or a version mismatch) is marked **down**: the failing call and every
+//! later call routed to it return the typed
+//! [`ServiceError::ShardDown`] / [`SubmitError::ShardDown`] immediately
+//! instead of panicking or hammering a dead link. Calls routed to other
+//! shards are unaffected. After repairing the backend (e.g.
+//! `RemoteClient::reconnect`), [`ShardRouter::revive`] puts the shard
+//! back in rotation.
+
+use crate::placement;
+use exsample_engine::{
+    CacheStats, PersistStats, QuerySpec, RepoId, RepoInfo, SearchService, ServiceError,
+    ServiceStats, SessionId, SessionReport, SessionSnapshot, SubmitError,
+};
+use std::sync::{Arc, Mutex};
+
+/// Hard cap on shards per router: the slot must fit the 8 bits reserved
+/// in a namespaced [`RepoId`].
+pub const MAX_SHARDS: usize = 256;
+
+const REPO_SLOT_SHIFT: u32 = 24;
+const REPO_LOCAL_MASK: u32 = (1 << REPO_SLOT_SHIFT) - 1;
+const SESSION_SLOT_SHIFT: u32 = 48;
+const SESSION_LOCAL_MASK: u64 = (1 << SESSION_SLOT_SHIFT) - 1;
+
+/// Namespace a shard-local repository id under `slot`.
+pub fn global_repo(slot: usize, local: RepoId) -> RepoId {
+    RepoId(((slot as u32) << REPO_SLOT_SHIFT) | local.0)
+}
+
+/// Split a namespaced repository id into `(slot, shard-local id)`.
+pub fn split_repo(id: RepoId) -> (usize, RepoId) {
+    (
+        (id.0 >> REPO_SLOT_SHIFT) as usize,
+        RepoId(id.0 & REPO_LOCAL_MASK),
+    )
+}
+
+/// Namespace a shard-local session id under `slot`.
+pub fn global_session(slot: usize, local: SessionId) -> SessionId {
+    SessionId(((slot as u64) << SESSION_SLOT_SHIFT) | local.0)
+}
+
+/// Split a namespaced session id into `(slot, shard-local id)`.
+pub fn split_session(id: SessionId) -> (usize, SessionId) {
+    (
+        (id.0 >> SESSION_SLOT_SHIFT) as usize,
+        SessionId(id.0 & SESSION_LOCAL_MASK),
+    )
+}
+
+/// One backend of the router: anything speaking [`SearchService`] — an
+/// in-process `Engine` or a `RemoteClient`. (Not another router: its
+/// ids already carry slot bits, which do not fit this router's local-id
+/// namespace — the catalog and submit paths reject them loudly.)
+pub type ShardService = Arc<dyn SearchService + Send + Sync>;
+
+struct Shard {
+    name: String,
+    svc: ShardService,
+    /// `Some(cause)` while the shard is marked down.
+    down: Mutex<Option<String>>,
+}
+
+/// Health of one shard as reported by [`ShardRouter::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard name.
+    pub name: String,
+    /// False when the shard is marked down.
+    pub up: bool,
+    /// The failure that marked it down, when down.
+    pub cause: Option<String>,
+}
+
+/// Fleet-wide statistics: per-shard [`ServiceStats`] plus their sums.
+/// Produced by [`ShardRouter::cluster_stats`], which keeps working in a
+/// degraded fleet — unreachable shards are reported as `None` and left
+/// out of the sums instead of failing the whole call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// `(shard name, stats)` per shard, in slot order; `None` when the
+    /// shard is down or its stats call failed (which marks it down).
+    pub shards: Vec<(String, Option<ServiceStats>)>,
+    /// Cache counters summed over reachable shards (includes
+    /// `warm_loads`, so fleet-wide cold/warm behaviour is one read).
+    pub cache: CacheStats,
+    /// Durable-store counters summed over reachable persisting shards;
+    /// `None` when no reachable shard persists.
+    pub persist: Option<PersistStats>,
+    /// Resident sessions summed over reachable shards.
+    pub live_sessions: u64,
+}
+
+impl ClusterStats {
+    /// Number of shards that did not report (down or failing).
+    pub fn shards_down(&self) -> usize {
+        self.shards.iter().filter(|(_, s)| s.is_none()).count()
+    }
+}
+
+fn add_cache(a: &mut CacheStats, b: &CacheStats) {
+    a.hits += b.hits;
+    a.misses += b.misses;
+    a.evictions += b.evictions;
+    a.entries += b.entries;
+    a.warm_loads += b.warm_loads;
+}
+
+fn add_persist(a: &mut PersistStats, b: &PersistStats) {
+    a.segments_loaded += b.segments_loaded;
+    a.segments_skipped += b.segments_skipped;
+    a.records_loaded += b.records_loaded;
+    a.damaged_tails += b.damaged_tails;
+    a.preloaded_frames += b.preloaded_frames;
+    a.snapshots_loaded += b.snapshots_loaded;
+    a.snapshots_skipped += b.snapshots_skipped;
+    a.beliefs_resident += b.beliefs_resident;
+    a.log_write_errors += b.log_write_errors;
+    a.snapshot_write_errors += b.snapshot_write_errors;
+}
+
+/// True for errors that mean "this shard's link is broken", as opposed
+/// to ordinary per-request failures a healthy shard can return.
+fn is_connection_failure(e: &ServiceError) -> bool {
+    matches!(
+        e,
+        ServiceError::Transport(_) | ServiceError::VersionMismatch { .. }
+    )
+}
+
+/// A [`SearchService`] that shards repositories across N backend
+/// services and routes every call to the owner — the deployment shape
+/// where the corpus outgrows one machine's GPU and cache.
+///
+/// Existing `SearchService` callers work unchanged against a fleet:
+/// [`repos`](SearchService::repos) scatter-gathers the shard catalogs
+/// (ids namespaced, see the [module docs](self)), submit routes by the
+/// spec's repository id, and session calls route by the session id's
+/// slot bits. Per-session results are bit-identical to running the same
+/// spec on the owning shard directly — the router moves calls, not
+/// computation.
+///
+/// New repositories are *placed* with [`ShardRouter::place`]: rendezvous
+/// hashing over the durable `(name, dataset fingerprint)` identity, so
+/// the owner survives router restarts and shard-list reordering, and
+/// adding or removing a shard relocates only the repositories it gains
+/// or loses.
+pub struct ShardRouter {
+    /// Sorted by name; a shard's index here is its slot.
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.shard_names())
+            .finish()
+    }
+}
+
+impl ShardRouter {
+    /// A router over `shards` (`(name, service)` pairs). Names identify
+    /// shards durably — placement and slot assignment depend only on the
+    /// name *set*, never on the order given here.
+    ///
+    /// # Panics
+    /// Panics on an empty list, more than [`MAX_SHARDS`] shards, or a
+    /// duplicate name.
+    pub fn new(shards: Vec<(String, ShardService)>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(
+            shards.len() <= MAX_SHARDS,
+            "at most {MAX_SHARDS} shards per router"
+        );
+        let mut shards: Vec<Shard> = shards
+            .into_iter()
+            .map(|(name, svc)| Shard {
+                name,
+                svc,
+                down: Mutex::new(None),
+            })
+            .collect();
+        // Slot = rank by name: stable under any input permutation.
+        shards.sort_by(|a, b| a.name.cmp(&b.name));
+        for pair in shards.windows(2) {
+            assert!(
+                pair[0].name != pair[1].name,
+                "duplicate shard name {:?}",
+                pair[0].name
+            );
+        }
+        ShardRouter { shards }
+    }
+
+    /// Shard names in slot order (sorted).
+    pub fn shard_names(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The shard owning the repository identity
+    /// `(repo_name, dataset_fingerprint)` — where a new repository of
+    /// that identity should be registered. Rendezvous hashing over the
+    /// shard names: deterministic, order-free, minimally disruptive
+    /// under shard addition/removal.
+    pub fn place(&self, repo_name: &str, dataset_fingerprint: u64) -> &str {
+        let names = self.shard_names();
+        let i = placement::place(&names, repo_name, dataset_fingerprint)
+            .expect("router has at least one shard");
+        &self.shards[i].name
+    }
+
+    /// The shard a namespaced repository id routes to, if its slot is
+    /// valid.
+    pub fn shard_of_repo(&self, id: RepoId) -> Option<&str> {
+        let (slot, _) = split_repo(id);
+        self.shards.get(slot).map(|s| s.name.as_str())
+    }
+
+    /// The shard a namespaced session id routes to, if its slot is
+    /// valid.
+    pub fn shard_of_session(&self, id: SessionId) -> Option<&str> {
+        let (slot, _) = split_session(id);
+        self.shards.get(slot).map(|s| s.name.as_str())
+    }
+
+    /// The scatter-gather catalog with its origin tagging intact: each
+    /// shard's name alongside its repositories (ids namespaced). Fails
+    /// with a typed error if any shard is unreachable — a merged catalog
+    /// silently missing a shard's repositories would misinform placement
+    /// decisions.
+    pub fn repos_by_shard(&self) -> Result<Vec<(String, Vec<RepoInfo>)>, ServiceError> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (slot, shard) in self.shards.iter().enumerate() {
+            self.check_up(shard)?;
+            let infos = self
+                .observe(shard, shard.svc.repos())?
+                .into_iter()
+                .map(|info| self.globalize_repo_info(shard, slot, info))
+                .collect::<Result<Vec<_>, _>>()?;
+            out.push((shard.name.clone(), infos));
+        }
+        Ok(out)
+    }
+
+    /// Health of every shard, in slot order.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let cause = s.down.lock().expect("shard health poisoned").clone();
+                ShardHealth {
+                    name: s.name.clone(),
+                    up: cause.is_none(),
+                    cause,
+                }
+            })
+            .collect()
+    }
+
+    /// Put a down-marked shard back in rotation (after repairing its
+    /// backend, e.g. `RemoteClient::reconnect`). Returns false for an
+    /// unknown name. Idempotent.
+    pub fn revive(&self, name: &str) -> bool {
+        match self.shards.iter().find(|s| s.name == name) {
+            Some(shard) => {
+                *shard.down.lock().expect("shard health poisoned") = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fleet-wide statistics, degraded-tolerant: per-shard stats plus
+    /// their sums over every *reachable* shard. A shard failing its
+    /// stats call is marked down and reported as `None` — observability
+    /// must keep working exactly when part of the fleet does not.
+    pub fn cluster_stats(&self) -> ClusterStats {
+        let mut out = ClusterStats::default();
+        for shard in &self.shards {
+            let stats = match self.check_up(shard) {
+                Ok(()) => self.observe(shard, shard.svc.stats()).ok(),
+                Err(_) => None,
+            };
+            if let Some(s) = &stats {
+                add_cache(&mut out.cache, &s.cache);
+                if let Some(p) = &s.persist {
+                    add_persist(out.persist.get_or_insert_with(PersistStats::default), p);
+                }
+                out.live_sessions += s.live_sessions;
+            }
+            out.shards.push((shard.name.clone(), stats));
+        }
+        out
+    }
+
+    // ---- routing internals ----
+
+    /// Fail fast when the shard is marked down.
+    fn check_up(&self, shard: &Shard) -> Result<(), ServiceError> {
+        match &*shard.down.lock().expect("shard health poisoned") {
+            Some(cause) => Err(ServiceError::ShardDown {
+                shard: shard.name.clone(),
+                cause: cause.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Pass a shard call's result through health tracking: a
+    /// connection-level failure marks the shard down and is rewritten to
+    /// the typed [`ServiceError::ShardDown`]; anything else passes
+    /// through untouched.
+    fn observe<T>(&self, shard: &Shard, r: Result<T, ServiceError>) -> Result<T, ServiceError> {
+        r.map_err(|e| {
+            if is_connection_failure(&e) {
+                let cause = e.to_string();
+                *shard.down.lock().expect("shard health poisoned") = Some(cause.clone());
+                ServiceError::ShardDown {
+                    shard: shard.name.clone(),
+                    cause,
+                }
+            } else {
+                e
+            }
+        })
+    }
+
+    /// Resolve a namespaced session id to its shard, or the typed
+    /// unknown-session error (an out-of-range slot cannot exist).
+    fn session_shard(&self, id: SessionId) -> Result<(&Shard, SessionId), ServiceError> {
+        let (slot, local) = split_session(id);
+        let shard = self
+            .shards
+            .get(slot)
+            .ok_or(ServiceError::UnknownSession(id))?;
+        Ok((shard, local))
+    }
+
+    /// Namespace the ids inside a shard's catalog entry. A shard-local
+    /// id beyond the 24-bit namespace cannot be represented — surfaced
+    /// as a typed error rather than aliased onto another shard's range.
+    fn globalize_repo_info(
+        &self,
+        shard: &Shard,
+        slot: usize,
+        mut info: RepoInfo,
+    ) -> Result<RepoInfo, ServiceError> {
+        if info.id.0 > REPO_LOCAL_MASK {
+            return Err(ServiceError::Transport(format!(
+                "shard {:?} repo id {} exceeds the router's 24-bit namespace",
+                shard.name, info.id.0
+            )));
+        }
+        info.id = global_repo(slot, info.id);
+        Ok(info)
+    }
+
+    /// Remap shard-local session ids inside a lifecycle error back into
+    /// the router's namespace, so callers see the ids they hold.
+    fn globalize_session_err(&self, slot: usize, e: ServiceError) -> ServiceError {
+        match e {
+            ServiceError::UnknownSession(s) => {
+                ServiceError::UnknownSession(global_session(slot, s))
+            }
+            ServiceError::SessionRunning(s) => {
+                ServiceError::SessionRunning(global_session(slot, s))
+            }
+            other => other,
+        }
+    }
+
+    /// One routed session-lifecycle call: resolve the shard, fail fast
+    /// if it is down, run the call with the shard-local id, track health
+    /// on the way out, and re-namespace any ids in the error.
+    fn route<T>(
+        &self,
+        id: SessionId,
+        call: impl FnOnce(&dyn SearchService, SessionId) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let (shard, local) = self.session_shard(id)?;
+        self.check_up(shard)?;
+        let (slot, _) = split_session(id);
+        self.observe(shard, call(shard.svc.as_ref(), local))
+            .map_err(|e| self.globalize_session_err(slot, e))
+    }
+}
+
+impl SearchService for ShardRouter {
+    /// The merged fleet catalog: every shard's repositories with
+    /// namespaced ids, in id order (slot-major). See
+    /// [`ShardRouter::repos_by_shard`] for the origin-tagged form.
+    fn repos(&self) -> Result<Vec<RepoInfo>, ServiceError> {
+        let mut all: Vec<RepoInfo> = self
+            .repos_by_shard()?
+            .into_iter()
+            .flat_map(|(_, infos)| infos)
+            .collect();
+        all.sort_by_key(|i| i.id);
+        Ok(all)
+    }
+
+    fn submit(&self, spec: QuerySpec) -> Result<SessionId, SubmitError> {
+        let global = spec.repo;
+        let (slot, local) = split_repo(global);
+        let Some(shard) = self.shards.get(slot) else {
+            return Err(SubmitError::UnknownRepo(global));
+        };
+        if let Err(ServiceError::ShardDown { shard, cause }) = self.check_up(shard) {
+            return Err(SubmitError::ShardDown { shard, cause });
+        }
+        let spec = QuerySpec {
+            repo: local,
+            ..spec
+        };
+        match shard.svc.submit(spec) {
+            // A shard-local id beyond the 48-bit namespace (an engine
+            // never allocates one; a nested router's slot bits would)
+            // must not be silently OR-merged into the slot — that would
+            // route every later call for this session to the wrong shard.
+            Ok(session) if session.0 > SESSION_LOCAL_MASK => Err(SubmitError::Transport(format!(
+                "shard {:?} session id {} exceeds the router's 48-bit namespace \
+                 (the session runs on the shard but cannot be addressed through this router)",
+                shard.name, session.0
+            ))),
+            Ok(session) => Ok(global_session(slot, session)),
+            Err(SubmitError::UnknownRepo(_)) => Err(SubmitError::UnknownRepo(global)),
+            Err(SubmitError::Transport(cause)) => {
+                *shard.down.lock().expect("shard health poisoned") = Some(cause.clone());
+                Err(SubmitError::ShardDown {
+                    shard: shard.name.clone(),
+                    cause,
+                })
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    fn poll(
+        &self,
+        id: SessionId,
+        cursor: u64,
+        window: Option<u32>,
+    ) -> Result<SessionSnapshot, ServiceError> {
+        self.route(id, |svc, local| svc.poll(local, cursor, window))
+    }
+
+    fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
+        self.route(id, |svc, local| svc.cancel(local))
+    }
+
+    fn wait(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        self.route(id, |svc, local| svc.wait(local))
+    }
+
+    fn forget(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        self.route(id, |svc, local| svc.forget(local))
+    }
+
+    /// Fleet-wide sums over every shard. Unlike
+    /// [`ShardRouter::cluster_stats`], this is strict: an unreachable
+    /// shard fails the call with its typed error, because a silent
+    /// partial sum reads as "the fleet did less work than it did".
+    fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        let mut out = ServiceStats::default();
+        for shard in &self.shards {
+            self.check_up(shard)?;
+            let s = self.observe(shard, shard.svc.stats())?;
+            add_cache(&mut out.cache, &s.cache);
+            if let Some(p) = &s.persist {
+                add_persist(out.persist.get_or_insert_with(PersistStats::default), p);
+            }
+            out.live_sessions += s.live_sessions;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_namespacing_round_trips() {
+        for slot in [0usize, 1, 7, 255] {
+            let r = global_repo(slot, RepoId(12345));
+            assert_eq!(split_repo(r), (slot, RepoId(12345)));
+            let s = global_session(slot, SessionId(1 << 40));
+            assert_eq!(split_session(s), (slot, SessionId(1 << 40)));
+        }
+        // Slot 0 ids coincide with the shard-local ids (no offset).
+        assert_eq!(global_repo(0, RepoId(3)), RepoId(3));
+        assert_eq!(global_session(0, SessionId(9)), SessionId(9));
+    }
+
+    #[test]
+    fn cluster_stats_sums_are_empty_by_default() {
+        let stats = ClusterStats::default();
+        assert_eq!(stats.shards_down(), 0);
+        assert_eq!(stats.cache, CacheStats::default());
+        assert!(stats.persist.is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for rendezvous placement: deterministic, balanced
+//! within ±20% over 1k synthetic repositories, stable under shard-list
+//! permutation, and minimally disruptive under shard addition/removal —
+//! only the repositories the changed shard gains or loses move.
+
+use exsample_cluster::place;
+use proptest::prelude::*;
+
+/// SplitMix64 step: deterministic synthetic dataset fingerprints.
+fn fingerprint(seed: u64, j: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(j.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// 1k synthetic repository identities, as the durable
+/// `(name, dataset fingerprint)` pairs placement hashes.
+fn synthetic_repos(salt: u64) -> Vec<(String, u64)> {
+    (0..1_000u64)
+        .map(|j| (format!("repo-{j}"), fingerprint(salt, j)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn placement_is_deterministic_and_uniform(
+        nshards in 3usize..7,
+        salt in any::<u64>(),
+    ) {
+        let shards: Vec<String> = (0..nshards)
+            .map(|i| format!("shard-{:x}-{i}", salt & 0xFFFF))
+            .collect();
+        let repos = synthetic_repos(salt);
+        let mut counts = vec![0u64; nshards];
+        for (name, fp) in &repos {
+            let owner = place(&shards, name, *fp).expect("nonempty shard list");
+            // Deterministic: the same identity always lands on the same
+            // shard.
+            prop_assert_eq!(place(&shards, name, *fp), Some(owner));
+            counts[owner] += 1;
+        }
+        // Uniform within ±20% of the fair share over 1k repositories.
+        let fair = repos.len() as f64 / nshards as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) >= 0.8 * fair && (c as f64) <= 1.2 * fair,
+                "shard {} owns {} of {} repos (fair share {:.0} ±20%): {:?}",
+                shards[i], c, repos.len(), fair, counts
+            );
+        }
+    }
+
+    #[test]
+    fn placement_ignores_shard_list_order(
+        nshards in 3usize..7,
+        salt in any::<u64>(),
+        rot in 1usize..6,
+    ) {
+        let shards: Vec<String> = (0..nshards)
+            .map(|i| format!("shard-{:x}-{i}", salt & 0xFFFF))
+            .collect();
+        let mut permuted = shards.clone();
+        permuted.rotate_left(rot % nshards);
+        permuted.reverse();
+        for (name, fp) in synthetic_repos(salt) {
+            let a = place(&shards, &name, fp).unwrap();
+            let b = place(&permuted, &name, fp).unwrap();
+            prop_assert_eq!(&shards[a], &permuted[b], "owner depends on list order");
+        }
+    }
+
+    #[test]
+    fn only_the_changed_shards_repos_move(
+        nshards in 3usize..7,
+        salt in any::<u64>(),
+        removed in 0usize..6,
+    ) {
+        let shards: Vec<String> = (0..nshards)
+            .map(|i| format!("shard-{:x}-{i}", salt & 0xFFFF))
+            .collect();
+        let removed = removed % nshards;
+        let mut without: Vec<String> = shards.clone();
+        let gone = without.remove(removed);
+        let repos = synthetic_repos(salt);
+
+        // Removal: a repository not owned by the removed shard keeps its
+        // owner; the removed shard's repositories redistribute.
+        let mut moved = 0u64;
+        for (name, fp) in &repos {
+            let before = &shards[place(&shards, name, *fp).unwrap()];
+            let after = &without[place(&without, name, *fp).unwrap()];
+            if before == &gone {
+                moved += 1;
+                prop_assert_ne!(after, &gone);
+            } else {
+                prop_assert_eq!(before, after, "unaffected repo moved on removal");
+            }
+        }
+        prop_assert!(moved > 0, "the removed shard owned nothing out of 1k repos");
+
+        // Addition (the inverse view): going from `without` back to
+        // `shards`, every mover lands exactly on the re-added shard.
+        for (name, fp) in &repos {
+            let small = &without[place(&without, name, *fp).unwrap()];
+            let big = &shards[place(&shards, name, *fp).unwrap()];
+            if small != big {
+                prop_assert_eq!(big, &gone, "a mover landed somewhere other than the new shard");
+            }
+        }
+    }
+}

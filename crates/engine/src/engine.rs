@@ -43,7 +43,7 @@
 
 use crate::cache::{CacheStats, FrameCache};
 use crate::scheduler::Scheduler;
-use crate::service::{RepoInfo, SearchService, ServiceError, SubmitError};
+use crate::service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 use crate::session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
     SessionSnapshot, SessionStatus,
@@ -65,9 +65,11 @@ use exsample_persist::{
 use exsample_stats::{FxHashMap, Rng64};
 use exsample_store::{Container, ContainerWriter, CostModel, DecodeStats};
 use exsample_videosim::GroundTruth;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -94,6 +96,17 @@ pub struct EngineConfig {
     /// session's chunk beliefs for later warm-starts. `None` (the
     /// default) keeps the engine fully in-memory.
     pub persist: Option<PersistConfig>,
+    /// Orphan-session garbage collection. Sessions deliberately outlive
+    /// connections (so remote clients can reconnect and resume), which
+    /// means an abandoned session's event log and trace are otherwise
+    /// retained until `forget`. With a TTL set, a *finished* session that
+    /// has not been polled, waited on, or forgotten for this long is
+    /// reaped as if forgotten; every poll/wait refreshes its liveness,
+    /// and `forget` stays immediate. Reaping is piggybacked on engine
+    /// activity (API calls and session finalization), so an idle engine
+    /// reaps at its next touch. Pick a TTL comfortably above the slowest
+    /// client's poll interval. `None` (the default) never reaps.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +120,7 @@ impl Default for EngineConfig {
             gop_size: 20,
             cost_model: CostModel::default(),
             persist: None,
+            session_ttl: None,
         }
     }
 }
@@ -233,6 +247,9 @@ struct Slot {
     chunk_stats: Vec<ChunkStats>,
     /// Position in the engine-wide finish order, set at finalization.
     finish_order: u64,
+    /// Last client touch (submit/poll/wait); drives TTL-based reaping of
+    /// finished sessions when [`EngineConfig::session_ttl`] is set.
+    last_access: Instant,
 }
 
 struct EngineState {
@@ -252,6 +269,12 @@ struct EngineState {
     scheduler: Scheduler,
     next_session: u64,
     finished_sessions: u64,
+    /// Finished sessions awaiting TTL expiry, roughly ordered by their
+    /// earliest possible reap time. Entries whose session was forgotten
+    /// in the meantime are skipped; entries whose session was touched
+    /// since are re-queued at their refreshed deadline. Empty unless
+    /// [`EngineConfig::session_ttl`] is set.
+    reap_queue: VecDeque<(SessionId, Instant)>,
 }
 
 struct Shared {
@@ -344,6 +367,7 @@ impl Engine {
                 scheduler: Scheduler::new(),
                 next_session: 0,
                 finished_sessions: 0,
+                reap_queue: VecDeque::new(),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -566,6 +590,7 @@ impl Engine {
                 trace: None,
                 chunk_stats: Vec::new(),
                 finish_order: 0,
+                last_access: Instant::now(),
             },
         );
         state.scheduler.register(id, spec.weight);
@@ -592,11 +617,12 @@ impl Engine {
         cursor: u64,
         window: Option<u32>,
     ) -> Result<SessionSnapshot, EngineError> {
-        let state = self.lock_state();
+        let mut state = self.lock_state();
         let slot = state
             .sessions
-            .get(&id)
+            .get_mut(&id)
             .ok_or(EngineError::UnknownSession(id))?;
+        slot.last_access = Instant::now();
         Ok(snapshot_slot(slot, cursor, window))
     }
 
@@ -614,8 +640,9 @@ impl Engine {
         loop {
             let slot = state
                 .sessions
-                .get(&id)
+                .get_mut(&id)
                 .ok_or(EngineError::UnknownSession(id))?;
+            slot.last_access = Instant::now();
             if slot.trace.is_some() || (slot.events.len() as u64) > cursor {
                 return Ok(snapshot_slot(slot, cursor, window));
             }
@@ -656,8 +683,9 @@ impl Engine {
         loop {
             let slot = state
                 .sessions
-                .get(&id)
+                .get_mut(&id)
                 .ok_or(EngineError::UnknownSession(id))?;
+            slot.last_access = Instant::now();
             if let Some(trace) = &slot.trace {
                 return Ok(SessionReport {
                     status: slot.status,
@@ -753,8 +781,52 @@ impl Engine {
             .map(<[_]>::to_vec)
     }
 
+    /// Aggregate service counters: cache behaviour, durable-store
+    /// activity, and resident session count — the per-shard unit a
+    /// cluster router sums into fleet-wide statistics.
+    pub fn service_stats(&self) -> ServiceStats {
+        let live_sessions = {
+            let state = self.lock_state();
+            state.sessions.len() as u64
+        };
+        ServiceStats {
+            cache: self.cache_stats(),
+            persist: self.persist_stats(),
+            live_sessions,
+        }
+    }
+
     fn lock_state(&self) -> MutexGuard<'_, EngineState> {
-        self.shared.state.lock().expect("engine state poisoned")
+        let mut state = self.shared.state.lock().expect("engine state poisoned");
+        // Orphan-session GC piggybacks on every API touch: cheap (a front
+        // peek) when nothing is due, and no dedicated timer thread.
+        if let Some(ttl) = self.shared.config.session_ttl {
+            reap_expired(&mut state, ttl);
+        }
+        state
+    }
+}
+
+/// Reap finished sessions whose TTL elapsed without a client touch.
+/// Entries are queued at finalization; a session polled or waited on
+/// since then is re-queued at its refreshed deadline, and one forgotten
+/// in the meantime is simply skipped.
+fn reap_expired(state: &mut EngineState, ttl: Duration) {
+    let now = Instant::now();
+    while let Some(&(id, due)) = state.reap_queue.front() {
+        if due > now {
+            break;
+        }
+        state.reap_queue.pop_front();
+        let Some(slot) = state.sessions.get(&id) else {
+            continue; // forgotten before its TTL ran out
+        };
+        let deadline = slot.last_access + ttl;
+        if deadline <= now {
+            state.sessions.remove(&id);
+        } else {
+            state.reap_queue.push_back((id, deadline));
+        }
     }
 }
 
@@ -805,6 +877,10 @@ impl SearchService for Engine {
 
     fn forget(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
         Engine::forget(self, id).map_err(service_err)
+    }
+
+    fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        Ok(Engine::service_stats(self))
     }
 }
 
@@ -899,6 +975,7 @@ fn worker_loop(shared: &Shared) {
                 slot.trace = Some(core.stepper.clone().finish());
                 slot.chunk_stats = core.policy.chunk_stats().to_vec();
                 slot.finish_order = finish_order;
+                slot.last_access = Instant::now();
                 Some(core)
             } else {
                 slot.core = Some(core);
@@ -908,6 +985,12 @@ fn worker_loop(shared: &Shared) {
         if let Some(core) = retired {
             state.finished_sessions += 1;
             state.scheduler.deactivate(id);
+            // The TTL clock starts at finalization; reap opportunistically
+            // so a busy engine collects orphans even with no API traffic.
+            if let Some(ttl) = shared.config.session_ttl {
+                state.reap_queue.push_back((id, Instant::now() + ttl));
+                reap_expired(&mut state, ttl);
+            }
             // Make the belief snapshot visible (in memory) *before*
             // waiters learn the session finished: a warm_start query
             // submitted the instant `wait` returns must find it. Only the
@@ -1723,6 +1806,79 @@ mod tests {
         assert_eq!(streamed, report.trace.found());
         assert_eq!(svc.forget(id).unwrap().trace, report.trace);
         assert_eq!(svc.wait(id).unwrap_err(), ServiceError::UnknownSession(id));
+    }
+
+    #[test]
+    fn session_ttl_reaps_unpolled_finished_sessions() {
+        let ttl = Duration::from_millis(200);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            quantum: 8,
+            session_ttl: Some(ttl),
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo("ttl-repo", truth(20_000, 60), NoiseModel::none(), 5);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(3))
+            .unwrap();
+        engine.wait(id).unwrap();
+        // Within the TTL the session is still readable.
+        assert!(engine.poll(id, 0).is_ok());
+        std::thread::sleep(ttl * 2);
+        // The next API touch reaps it — as if forgotten.
+        assert_eq!(
+            engine.poll(id, 0).unwrap_err(),
+            EngineError::UnknownSession(id)
+        );
+        assert_eq!(
+            engine.wait(id).unwrap_err(),
+            EngineError::UnknownSession(id)
+        );
+        assert_eq!(engine.service_stats().live_sessions, 0);
+    }
+
+    #[test]
+    fn session_ttl_polling_refreshes_liveness() {
+        let ttl = Duration::from_millis(250);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            quantum: 8,
+            session_ttl: Some(ttl),
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo("ttl-repo", truth(20_000, 60), NoiseModel::none(), 5);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(4))
+            .unwrap();
+        engine.wait(id).unwrap();
+        // Keep touching it for well over one TTL: every poll refreshes
+        // the deadline, so the session must survive.
+        for _ in 0..8 {
+            std::thread::sleep(ttl / 3);
+            assert!(engine.poll(id, 0).is_ok(), "poll must refresh liveness");
+        }
+        // `forget` stays immediate — no TTL involved.
+        assert!(engine.forget(id).is_ok());
+        assert_eq!(
+            engine.poll(id, 0).unwrap_err(),
+            EngineError::UnknownSession(id)
+        );
+    }
+
+    #[test]
+    fn service_stats_aggregates_cache_and_sessions() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(9))
+            .unwrap();
+        engine.wait(id).unwrap();
+        let stats = engine.service_stats();
+        assert_eq!(stats.cache, engine.cache_stats());
+        assert!(stats.cache.misses > 0);
+        assert!(stats.persist.is_none());
+        assert_eq!(stats.live_sessions, 1);
+        engine.forget(id).unwrap();
+        assert_eq!(engine.service_stats().live_sessions, 0);
     }
 
     #[test]

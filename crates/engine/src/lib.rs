@@ -82,7 +82,7 @@ pub use cache::{CacheStats, FrameCache};
 pub use engine::{Engine, EngineConfig, EngineError, PersistStats};
 pub use exsample_persist::{dataset_fingerprint, detector_fingerprint, PersistConfig};
 pub use scheduler::Scheduler;
-pub use service::{RepoInfo, SearchService, ServiceError, SubmitError};
+pub use service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 pub use session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
     SessionSnapshot, SessionStatus,

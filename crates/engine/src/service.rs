@@ -26,6 +26,8 @@
 //! `Transport` variant used only by remote implementations; the in-process
 //! engine never returns it.
 
+use crate::cache::CacheStats;
+use crate::engine::PersistStats;
 use crate::session::{QuerySpec, RepoId, SessionId, SessionReport, SessionSnapshot};
 
 /// Everything a client can know about a registered repository, returned
@@ -50,6 +52,22 @@ pub struct RepoInfo {
     pub dataset_fingerprint: u64,
 }
 
+/// Operational counters of one search service: what its detection cache
+/// and durable store have been doing. Returned by
+/// [`SearchService::stats`], and the unit a cluster router sums per shard
+/// into fleet-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Shared detection cache counters (hits, misses, evictions,
+    /// residency, warm loads).
+    pub cache: CacheStats,
+    /// Durable-store counters; `None` when the service runs without
+    /// persistence.
+    pub persist: Option<PersistStats>,
+    /// Sessions currently resident (running or finished-but-not-forgotten).
+    pub live_sessions: u64,
+}
+
 /// Why a submission was rejected. Raised at submit time over both
 /// implementations — an invalid spec never reaches a worker thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +77,14 @@ pub enum SubmitError {
     /// The spec is structurally invalid (zero chunks or weight, class not
     /// present, non-positive prior, non-finite stop condition, …).
     InvalidSpec(String),
+    /// The cluster shard owning the spec's repository is marked down.
+    /// Only returned by routing implementations (`exsample-cluster`).
+    ShardDown {
+        /// Name of the unreachable shard.
+        shard: String,
+        /// The failure that marked it down.
+        cause: String,
+    },
     /// The remote transport failed (connection, framing, or protocol
     /// error). Never returned by the in-process engine.
     Transport(String),
@@ -69,6 +95,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::UnknownRepo(r) => write!(f, "unknown repository {r:?}"),
             SubmitError::InvalidSpec(why) => write!(f, "invalid query spec: {why}"),
+            SubmitError::ShardDown { shard, cause } => {
+                write!(f, "shard {shard:?} is down: {cause}")
+            }
             SubmitError::Transport(why) => write!(f, "transport error: {why}"),
         }
     }
@@ -83,6 +112,15 @@ pub enum ServiceError {
     UnknownSession(SessionId),
     /// The session is still running (e.g. `forget` before completion).
     SessionRunning(SessionId),
+    /// The cluster shard owning the addressed session or resource is
+    /// marked down. Only returned by routing implementations
+    /// (`exsample-cluster`); calls to healthy shards are unaffected.
+    ShardDown {
+        /// Name of the unreachable shard.
+        shard: String,
+        /// The failure that marked it down.
+        cause: String,
+    },
     /// The peer speaks a different protocol version; the connection was
     /// rejected at the handshake, before any message could be misparsed.
     VersionMismatch {
@@ -101,6 +139,9 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownSession(s) => write!(f, "unknown session {s:?}"),
             ServiceError::SessionRunning(s) => write!(f, "session {s:?} is still running"),
+            ServiceError::ShardDown { shard, cause } => {
+                write!(f, "shard {shard:?} is down: {cause}")
+            }
             ServiceError::VersionMismatch { ours, theirs } => write!(
                 f,
                 "protocol version mismatch: we speak v{ours}, peer speaks v{theirs}"
@@ -158,6 +199,11 @@ pub trait SearchService {
     /// Drop all state of a *finished* session, returning the final report
     /// one last time.
     fn forget(&self, id: SessionId) -> Result<SessionReport, ServiceError>;
+
+    /// Operational counters: cache behaviour, durable-store activity, and
+    /// resident session count. Cheap (no detector work); a cluster router
+    /// sums this per shard into fleet-wide statistics.
+    fn stats(&self) -> Result<ServiceStats, ServiceError>;
 }
 
 #[cfg(test)]
@@ -181,5 +227,21 @@ mod tests {
         assert!(ServiceError::UnknownSession(SessionId(9))
             .to_string()
             .contains("SessionId(9)"));
+        assert_eq!(
+            ServiceError::ShardDown {
+                shard: "shard-b".into(),
+                cause: "transport error: broken pipe".into(),
+            }
+            .to_string(),
+            "shard \"shard-b\" is down: transport error: broken pipe"
+        );
+        assert_eq!(
+            SubmitError::ShardDown {
+                shard: "shard-b".into(),
+                cause: "gone".into(),
+            }
+            .to_string(),
+            "shard \"shard-b\" is down: gone"
+        );
     }
 }

@@ -18,16 +18,20 @@
 //!
 //! The engine-shared strategy is driven through the
 //! [`SearchService`] trait, so the *same* harness code can target the
-//! in-process engine or — via [`run_remote`] — a `SearchServer` behind
-//! the wire protocol, which must (and is tested to) produce identical
-//! results.
+//! in-process engine, a `SearchServer` behind the wire protocol (via
+//! [`run_remote`]), or a whole fleet behind an
+//! [`exsample_cluster::ShardRouter`] (via [`run_on_cluster`]) — all of
+//! which must (and are tested to) produce identical results.
 
 use crate::parallel::default_threads;
+use exsample_cluster::{ShardRouter, ShardService};
 use exsample_core::driver::{run_search, SearchCost, StopCond};
 use exsample_core::exsample::{ExSample, ExSampleConfig};
 use exsample_core::Chunking;
 use exsample_detect::{NoiseModel, OracleDiscriminator, QueryOracle, SimulatedDetector};
-use exsample_engine::{Engine, EngineConfig, QuerySpec, RepoId, SearchService, SessionStatus};
+use exsample_engine::{
+    dataset_fingerprint, Engine, EngineConfig, QuerySpec, RepoId, SearchService, SessionStatus,
+};
 use exsample_proto::{duplex, RemoteClient, SearchServer};
 use exsample_stats::Rng64;
 use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
@@ -92,6 +96,29 @@ impl EngineCmpConfig {
             )
             .generate(self.seed ^ 0xD5),
         )
+    }
+
+    /// `n` *distinct* repositories of this workload's shape (repository
+    /// `i` is generated from a different seed, so each has its own
+    /// footage and dataset fingerprint) — the multi-repo corpus the
+    /// cluster comparison shards across engines.
+    pub fn ground_truths(&self, n: usize) -> Vec<Arc<GroundTruth>> {
+        (0..n)
+            .map(|i| {
+                Arc::new(
+                    DatasetSpec::single_class(
+                        self.frames,
+                        ClassSpec::new(
+                            "object",
+                            self.instances,
+                            self.mean_duration,
+                            self.skew.clone(),
+                        ),
+                    )
+                    .generate(self.seed ^ 0xD5 ^ ((i as u64) << 16)),
+                )
+            })
+            .collect()
     }
 }
 
@@ -186,11 +213,23 @@ pub fn run_on_service(
     repo: RepoId,
     cfg: &EngineCmpConfig,
 ) -> (Vec<u64>, u64, f64) {
+    run_on_service_multi(svc, &[repo], cfg)
+}
+
+/// [`run_on_service`] over several repositories: query `q` searches
+/// `repos[q % repos.len()]` with seed `cfg.seed + q`. With one repo this
+/// is exactly `run_on_service`.
+pub fn run_on_service_multi(
+    svc: &dyn SearchService,
+    repos: &[RepoId],
+    cfg: &EngineCmpConfig,
+) -> (Vec<u64>, u64, f64) {
     let ids: Vec<_> = specs(cfg)
         .into_iter()
-        .map(|(stop, seed)| {
+        .enumerate()
+        .map(|(q, (stop, seed))| {
             svc.submit(
-                QuerySpec::new(repo, ClassId(0), stop)
+                QuerySpec::new(repos[q % repos.len()], ClassId(0), stop)
                     .chunks(cfg.chunks)
                     .seed(seed),
             )
@@ -208,6 +247,103 @@ pub fn run_on_service(
         detect_s += report.charges.detect_s;
     }
     (found, frames, detect_s)
+}
+
+/// Name repository `i` of the multi-repo corpus is registered under.
+fn multi_repo_name(i: usize) -> String {
+    format!("{REPO_NAME}-{i}")
+}
+
+/// Resolve the multi-repo corpus ids through a service's catalog, in
+/// corpus order — works identically against one engine (local ids) and a
+/// router (namespaced ids).
+fn resolve_repos(svc: &dyn SearchService, n: usize) -> Vec<RepoId> {
+    let catalog = svc.repos().expect("catalog");
+    (0..n)
+        .map(|i| {
+            let name = multi_repo_name(i);
+            catalog
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("repository {name:?} registered"))
+                .id
+        })
+        .collect()
+}
+
+/// Reference for the cluster comparison: one engine owning the whole
+/// multi-repo corpus, the same batch of queries spread round-robin over
+/// the repositories.
+pub fn run_multi_repo_engine(
+    gts: &[Arc<GroundTruth>],
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+) -> (Vec<u64>, StrategyCost, f64) {
+    let engine = Engine::new(engine_config(cfg, detector_fps));
+    for (i, gt) in gts.iter().enumerate() {
+        engine.register_repo(
+            &multi_repo_name(i),
+            gt.clone(),
+            NoiseModel::none(),
+            cfg.seed,
+        );
+    }
+    let repos = resolve_repos(&engine, gts.len());
+    let (found, frames, detect_s) = run_on_service_multi(&engine, &repos, cfg);
+    let stats = engine.cache_stats();
+    let cost = StrategyCost {
+        frames,
+        detector_invocations: engine.detector_invocations(),
+        detect_s,
+    };
+    (found, cost, stats.hit_rate())
+}
+
+/// Run the batch against a *fleet*: `shards` in-process engines behind
+/// an [`ShardRouter`], each repository registered on its
+/// rendezvous-placed shard, queries routed by namespaced repository id,
+/// and detector spend read from the router's fleet-wide statistics.
+/// Must produce traces bit-identical to [`run_multi_repo_engine`] for
+/// the same per-repo seeds — sharding moves queries, not results.
+pub fn run_on_cluster(
+    gts: &[Arc<GroundTruth>],
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+    shards: usize,
+) -> (Vec<u64>, StrategyCost, f64) {
+    let named: Vec<(String, Arc<Engine>)> = (0..shards)
+        .map(|s| {
+            (
+                format!("shard-{s}"),
+                Arc::new(Engine::new(engine_config(cfg, detector_fps))),
+            )
+        })
+        .collect();
+    let router = ShardRouter::new(
+        named
+            .iter()
+            .map(|(n, e)| (n.clone(), e.clone() as ShardService))
+            .collect(),
+    );
+    for (i, gt) in gts.iter().enumerate() {
+        let name = multi_repo_name(i);
+        let owner = router.place(&name, dataset_fingerprint(gt)).to_string();
+        let engine = &named
+            .iter()
+            .find(|(n, _)| *n == owner)
+            .expect("owner exists")
+            .1;
+        engine.register_repo(&name, gt.clone(), NoiseModel::none(), cfg.seed);
+    }
+    let repos = resolve_repos(&router, gts.len());
+    let (found, frames, detect_s) = run_on_service_multi(&router, &repos, cfg);
+    let stats = router.stats().expect("all shards reachable");
+    let cost = StrategyCost {
+        frames,
+        detector_invocations: stats.cache.misses,
+        detect_s,
+    };
+    (found, cost, stats.cache.hit_rate())
 }
 
 fn engine_config(cfg: &EngineCmpConfig, detector_fps: f64) -> EngineConfig {
@@ -366,6 +502,28 @@ mod tests {
         assert_eq!(engine.frames, remote.frames);
         assert_eq!(engine.detector_invocations, remote.detector_invocations);
         assert!(remote_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn cluster_execution_is_bit_identical_to_single_engine() {
+        // The same multi-repo batch twice: one engine owning all three
+        // repositories vs. three shards behind a router. Results, frames,
+        // and — because the shards partition the corpus — even the total
+        // detector bill must agree exactly.
+        let cfg = quick_cfg();
+        let gts = cfg.ground_truths(3);
+        let (found_single, single, _) = run_multi_repo_engine(&gts, &cfg, 20.0);
+        let (found_cluster, cluster, cluster_hit_rate) = run_on_cluster(&gts, &cfg, 20.0, 3);
+        assert_eq!(found_single, found_cluster);
+        assert_eq!(single.frames, cluster.frames);
+        assert_eq!(
+            single.detector_invocations, cluster.detector_invocations,
+            "sharding a partitioned corpus must not change the detector bill"
+        );
+        assert!(
+            cluster_hit_rate > 0.0,
+            "overlapping queries share within shards"
+        );
     }
 
     #[test]

@@ -4,9 +4,10 @@ use crate::transport::Framed;
 use crate::wire::{Message, WireError};
 use crate::{MAX_POLL_WINDOW, PROTO_VERSION};
 use exsample_engine::{
-    QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, SessionId, SessionReport,
-    SessionSnapshot, SessionStatus, SubmitError,
+    QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, ServiceStats, SessionId,
+    SessionReport, SessionSnapshot, SessionStatus, SubmitError,
 };
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::Mutex;
 
@@ -26,6 +27,18 @@ use std::sync::Mutex;
 /// [`stream`]: RemoteClient::stream
 pub struct RemoteClient<T> {
     framed: Mutex<Framed<T>>,
+    /// Per-session cursor most recently acknowledged by [`stream`] (and
+    /// the subscription point it started from). Sessions deliberately
+    /// outlive connections on the server, so after a transport failure a
+    /// caller can [`reconnect`] and [`resume_stream`] from here without
+    /// losing or double-counting results. Entries are dropped on a
+    /// successful `forget`, keeping the map bounded on long-lived
+    /// clients.
+    ///
+    /// [`stream`]: RemoteClient::stream
+    /// [`reconnect`]: RemoteClient::reconnect
+    /// [`resume_stream`]: RemoteClient::resume_stream
+    acked: Mutex<HashMap<u64, u64>>,
 }
 
 impl<T> std::fmt::Debug for RemoteClient<T> {
@@ -52,7 +65,64 @@ impl<T: Read + Write> RemoteClient<T> {
         }
         Ok(RemoteClient {
             framed: Mutex::new(framed),
+            acked: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Replace a failed connection: handshake over a fresh transport and
+    /// swap it in, keeping all per-session cursor state. The server
+    /// retains sessions across disconnects, so an interrupted
+    /// [`stream`](RemoteClient::stream) continues — without gaps — via
+    /// [`resume_stream`](RemoteClient::resume_stream). On error the old
+    /// connection is kept (still broken, but unchanged).
+    pub fn reconnect(&self, io: T) -> Result<(), ServiceError> {
+        let mut framed = Framed::new(io);
+        let theirs = framed
+            .handshake(PROTO_VERSION)
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        if theirs != PROTO_VERSION {
+            return Err(ServiceError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs,
+            });
+        }
+        *self.framed.lock().expect("remote client poisoned") = framed;
+        Ok(())
+    }
+
+    /// The event-log cursor this client last acknowledged for `id` (0 if
+    /// the session was never streamed from this client). Everything
+    /// before it has been fully consumed by an `on_batch` callback;
+    /// everything at or after it is what a resumed stream will deliver.
+    pub fn last_acked(&self, id: SessionId) -> u64 {
+        *self
+            .acked
+            .lock()
+            .expect("remote client poisoned")
+            .get(&id.0)
+            .unwrap_or(&0)
+    }
+
+    /// Continue a stream interrupted by a transport failure: exactly
+    /// [`stream`](RemoteClient::stream) starting from
+    /// [`last_acked`](RemoteClient::last_acked). Call after
+    /// [`reconnect`](RemoteClient::reconnect); events acknowledged before
+    /// the failure are not re-delivered, and none are skipped.
+    pub fn resume_stream(
+        &self,
+        id: SessionId,
+        window: u32,
+        on_batch: impl FnMut(&SessionSnapshot),
+    ) -> Result<SessionSnapshot, ServiceError> {
+        let cursor = self.last_acked(id);
+        self.stream(id, cursor, window, on_batch)
+    }
+
+    fn note_acked(&self, id: SessionId, cursor: u64) {
+        self.acked
+            .lock()
+            .expect("remote client poisoned")
+            .insert(id.0, cursor);
     }
 
     /// One request/response exchange. Transport failures surface as the
@@ -103,6 +173,7 @@ impl<T: Read + Write> RemoteClient<T> {
         let window = window.clamp(1, MAX_POLL_WINDOW);
         let transport = |e: std::io::Error| ServiceError::Transport(e.to_string());
         let mut framed = self.framed.lock().expect("remote client poisoned");
+        self.note_acked(id, cursor);
         framed
             .send(&Message::Subscribe {
                 session: id,
@@ -118,6 +189,7 @@ impl<T: Read + Write> RemoteClient<T> {
                     // from a finished session ends the subscription.
                     if snap.status != SessionStatus::Running && (snap.events.len() as u32) < window
                     {
+                        self.note_acked(id, snap.next_cursor);
                         return Ok(snap);
                     }
                     framed
@@ -125,6 +197,7 @@ impl<T: Read + Write> RemoteClient<T> {
                             cursor: snap.next_cursor,
                         })
                         .map_err(transport)?;
+                    self.note_acked(id, snap.next_cursor);
                 }
                 Message::Error(err) => return Err(lifecycle_error(err)),
                 _ => {
@@ -249,10 +322,31 @@ impl<T: Read + Write> SearchService for RemoteClient<T> {
             .call(&Message::Forget { session: id })
             .map_err(ServiceError::Transport)?
         {
-            Message::Report(report) => Ok(report),
+            Message::Report(report) => {
+                // The session is gone server-side; dropping its cursor
+                // entry keeps the map bounded on long-lived clients.
+                self.acked
+                    .lock()
+                    .expect("remote client poisoned")
+                    .remove(&id.0);
+                Ok(report)
+            }
             Message::Error(err) => Err(lifecycle_error(err)),
             _ => Err(ServiceError::Transport(
                 "unexpected response to Forget".into(),
+            )),
+        }
+    }
+
+    fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        match self
+            .call(&Message::Stats)
+            .map_err(ServiceError::Transport)?
+        {
+            Message::StatsReply(stats) => Ok(stats),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Stats".into(),
             )),
         }
     }

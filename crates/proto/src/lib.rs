@@ -47,8 +47,10 @@ pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
 
 /// The protocol version this build speaks. Bumped on any change to the
 /// message vocabulary or encodings; the handshake rejects mismatched
-/// peers cleanly instead of misparsing them.
-pub const PROTO_VERSION: u16 = 1;
+/// peers cleanly instead of misparsing them. v2 added the
+/// `Stats`/`StatsReply` exchange serving fleet-wide statistics
+/// aggregation in the cluster layer.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload, enforced on both send and
 /// receive: a corrupt or hostile length prefix must not provoke an

@@ -6,6 +6,7 @@ use crate::{MAX_POLL_WINDOW, PROTO_VERSION};
 use exsample_engine::{Engine, EngineError, SessionId, SessionStatus};
 use std::io::{self, Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Serves the wire protocol over any `Read + Write` connection,
 /// multiplexing every client onto one shared [`Engine`] — the deployment
@@ -20,12 +21,32 @@ use std::sync::Arc;
 /// their own connection.
 pub struct SearchServer {
     engine: Arc<Engine>,
+    handshake_timeout: Duration,
 }
+
+/// Default deadline for a connected peer to complete the version
+/// handshake (see [`SearchServer::handshake_timeout`]).
+pub const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 impl SearchServer {
     /// A server multiplexing connections over `engine`.
     pub fn new(engine: Arc<Engine>) -> Self {
-        SearchServer { engine }
+        SearchServer {
+            engine,
+            handshake_timeout: DEFAULT_HANDSHAKE_TIMEOUT,
+        }
+    }
+
+    /// How long [`SearchServer::serve_unix`] gives a freshly accepted
+    /// connection to complete the version handshake before dropping it.
+    /// A peer that connects and then goes silent (or sends a truncated
+    /// preamble and stalls) would otherwise pin its connection thread —
+    /// and that thread's buffers — until process exit. The deadline is
+    /// cleared once the handshake completes: an *established* connection
+    /// may legitimately idle between requests indefinitely.
+    pub fn handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = timeout;
+        self
     }
 
     /// The engine this server fronts.
@@ -47,6 +68,11 @@ impl SearchServer {
         if theirs != PROTO_VERSION {
             return Ok(());
         }
+        self.serve_framed(&mut framed)
+    }
+
+    /// The request loop of an already-handshaken connection.
+    fn serve_framed<T: Read + Write>(&self, framed: &mut Framed<T>) -> io::Result<()> {
         loop {
             let msg = match framed.recv() {
                 Ok(msg) => msg,
@@ -95,11 +121,12 @@ impl SearchServer {
                     };
                     framed.send(&reply)?;
                 }
+                Message::Stats => framed.send(&Message::StatsReply(self.engine.service_stats()))?,
                 Message::Subscribe {
                     session,
                     cursor,
                     window,
-                } => self.serve_subscription(&mut framed, session, cursor, window)?,
+                } => self.serve_subscription(framed, session, cursor, window)?,
                 _ => {
                     // A response tag, or an Ack outside a subscription:
                     // the peer is confused; tell it and hang up rather
@@ -167,6 +194,12 @@ impl SearchServer {
     /// Accept-loop convenience for Unix-domain sockets: spawns a thread
     /// that accepts connections for the server's lifetime, serving each
     /// on its own thread. Connection-level errors are logged, not fatal.
+    ///
+    /// The handshake runs under [`SearchServer::handshake_timeout`]: a
+    /// half-open peer — connected but silent, or a truncated preamble —
+    /// is dropped at the deadline instead of retaining its connection
+    /// thread and buffers for the life of the process. The deadline is
+    /// lifted once the handshake completes.
     #[cfg(unix)]
     pub fn serve_unix(
         self: &Arc<Self>,
@@ -200,13 +233,33 @@ impl SearchServer {
                     let _ = std::thread::Builder::new()
                         .name("exsample-proto-conn".into())
                         .spawn(move || {
-                            if let Err(e) = server.serve_connection(conn) {
+                            if let Err(e) = server.serve_unix_connection(conn) {
                                 eprintln!("exsample-proto: connection error: {e}");
                             }
                         });
                 }
             })
             .expect("spawn accept thread")
+    }
+
+    /// Serve one accepted Unix-socket connection: handshake under the
+    /// deadline, then the regular request loop with the deadline lifted.
+    /// A failed or timed-out handshake is a silent drop (`Ok`), not an
+    /// error — scanners and stalled peers are routine, and their state
+    /// must be released, not logged as server failures.
+    #[cfg(unix)]
+    fn serve_unix_connection(&self, conn: std::os::unix::net::UnixStream) -> io::Result<()> {
+        conn.set_read_timeout(Some(self.handshake_timeout))?;
+        let mut framed = Framed::new(conn);
+        let theirs = match framed.handshake(PROTO_VERSION) {
+            Ok(theirs) => theirs,
+            Err(_) => return Ok(()),
+        };
+        if theirs != PROTO_VERSION {
+            return Ok(());
+        }
+        framed.get_ref().set_read_timeout(None)?;
+        self.serve_framed(&mut framed)
     }
 }
 

@@ -41,6 +41,17 @@ impl<T: Read + Write> Framed<T> {
         }
     }
 
+    /// The underlying byte stream — e.g. to adjust socket options such as
+    /// read timeouts around the handshake.
+    pub fn get_ref(&self) -> &T {
+        &self.io
+    }
+
+    /// Mutable access to the underlying byte stream.
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.io
+    }
+
     /// Exchange protocol preambles: write ours (announcing `version`),
     /// read the peer's, and return the version the peer announced.
     /// Callers decide the compatibility policy; mismatched magic is

@@ -12,8 +12,8 @@ use exsample_core::belief::{BeliefPrior, ChunkStats, Selector};
 use exsample_core::driver::{SearchTrace, StopCond, TracePoint};
 use exsample_core::within::WithinKind;
 use exsample_engine::{
-    DiscriminatorKind, QuerySpec, RepoId, RepoInfo, ResultEvent, SessionCharges, SessionId,
-    SessionReport, SessionSnapshot, SessionStatus,
+    CacheStats, DiscriminatorKind, PersistStats, QuerySpec, RepoId, RepoInfo, ResultEvent,
+    ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot, SessionStatus,
 };
 use exsample_videosim::ClassId;
 
@@ -103,6 +103,10 @@ pub enum Message {
         /// The `next_cursor` of the batch being acknowledged.
         cursor: u64,
     },
+    /// Fetch the service's operational counters (cache, durable store,
+    /// resident sessions); answered with [`Message::StatsReply`]. This is
+    /// what a cluster router scatter-gathers into fleet-wide statistics.
+    Stats,
 
     // ---- responses ----
     /// The repository catalog, in id order.
@@ -115,6 +119,8 @@ pub enum Message {
     Report(SessionReport),
     /// Cancellation acknowledged.
     CancelOk,
+    /// The service's operational counters ([`Message::Stats`] answer).
+    StatsReply(ServiceStats),
     /// The request failed.
     Error(WireError),
 }
@@ -128,12 +134,14 @@ const TAG_WAIT: u8 = 0x05;
 const TAG_FORGET: u8 = 0x06;
 const TAG_SUBSCRIBE: u8 = 0x07;
 const TAG_ACK: u8 = 0x08;
+const TAG_STATS: u8 = 0x09;
 const TAG_REPO_LIST: u8 = 0x41;
 const TAG_SUBMITTED: u8 = 0x42;
 const TAG_SNAPSHOT: u8 = 0x43;
 const TAG_REPORT: u8 = 0x44;
 const TAG_CANCEL_OK: u8 = 0x45;
 const TAG_ERROR: u8 = 0x46;
+const TAG_STATS_REPLY: u8 = 0x47;
 
 /// Little-endian pull parser over a payload slice.
 struct Cursor<'a> {
@@ -454,6 +462,62 @@ fn get_report(c: &mut Cursor) -> Result<SessionReport, WireCodecError> {
     })
 }
 
+fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
+    put_u64(out, stats.cache.hits);
+    put_u64(out, stats.cache.misses);
+    put_u64(out, stats.cache.evictions);
+    put_u64(out, stats.cache.entries);
+    put_u64(out, stats.cache.warm_loads);
+    match &stats.persist {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            put_u64(out, p.segments_loaded);
+            put_u64(out, p.segments_skipped);
+            put_u64(out, p.records_loaded);
+            put_u64(out, p.damaged_tails);
+            put_u64(out, p.preloaded_frames);
+            put_u64(out, p.snapshots_loaded);
+            put_u64(out, p.snapshots_skipped);
+            put_u64(out, p.beliefs_resident);
+            put_u64(out, p.log_write_errors);
+            put_u64(out, p.snapshot_write_errors);
+        }
+    }
+    put_u64(out, stats.live_sessions);
+}
+
+fn get_service_stats(c: &mut Cursor) -> Result<ServiceStats, WireCodecError> {
+    let cache = CacheStats {
+        hits: c.u64()?,
+        misses: c.u64()?,
+        evictions: c.u64()?,
+        entries: c.u64()?,
+        warm_loads: c.u64()?,
+    };
+    let persist = match c.u8()? {
+        0 => None,
+        1 => Some(PersistStats {
+            segments_loaded: c.u64()?,
+            segments_skipped: c.u64()?,
+            records_loaded: c.u64()?,
+            damaged_tails: c.u64()?,
+            preloaded_frames: c.u64()?,
+            snapshots_loaded: c.u64()?,
+            snapshots_skipped: c.u64()?,
+            beliefs_resident: c.u64()?,
+            log_write_errors: c.u64()?,
+            snapshot_write_errors: c.u64()?,
+        }),
+        _ => return Err(WireCodecError("bad option tag")),
+    };
+    Ok(ServiceStats {
+        cache,
+        persist,
+        live_sessions: c.u64()?,
+    })
+}
+
 fn put_repo_info(out: &mut Vec<u8>, info: &RepoInfo) {
     put_u32(out, info.id.0);
     put_u64(out, info.frames);
@@ -559,6 +623,7 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             out.push(TAG_ACK);
             put_u64(out, *cursor);
         }
+        Message::Stats => out.push(TAG_STATS),
         Message::RepoList(infos) => {
             out.push(TAG_REPO_LIST);
             put_u32(out, infos.len() as u32);
@@ -579,6 +644,10 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             put_report(out, report);
         }
         Message::CancelOk => out.push(TAG_CANCEL_OK),
+        Message::StatsReply(stats) => {
+            out.push(TAG_STATS_REPLY);
+            put_service_stats(out, stats);
+        }
         Message::Error(err) => {
             out.push(TAG_ERROR);
             put_wire_error(out, err);
@@ -616,6 +685,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
             window: c.u32()?,
         },
         TAG_ACK => Message::Ack { cursor: c.u64()? },
+        TAG_STATS => Message::Stats,
         TAG_REPO_LIST => {
             // Minimal RepoInfo: fixed fields + empty name.
             let n = c.count(4 + 8 + 2 + 8 + 4)?;
@@ -629,6 +699,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
         TAG_SNAPSHOT => Message::Snapshot(get_snapshot(&mut c)?),
         TAG_REPORT => Message::Report(get_report(&mut c)?),
         TAG_CANCEL_OK => Message::CancelOk,
+        TAG_STATS_REPLY => Message::StatsReply(get_service_stats(&mut c)?),
         TAG_ERROR => Message::Error(get_wire_error(&mut c)?),
         _ => return Err(WireCodecError("unknown message tag")),
     };
@@ -677,9 +748,50 @@ mod tests {
                 cursor: 0,
                 window: 16,
             },
+            Message::Stats,
         ] {
             assert_eq!(roundtrip(&msg), msg);
         }
+    }
+
+    #[test]
+    fn stats_reply_round_trips_with_and_without_persistence() {
+        let cache = CacheStats {
+            hits: 10,
+            misses: 7,
+            evictions: 1,
+            entries: 6,
+            warm_loads: 3,
+        };
+        let memory_only = ServiceStats {
+            cache,
+            persist: None,
+            live_sessions: 4,
+        };
+        assert_eq!(
+            roundtrip(&Message::StatsReply(memory_only)),
+            Message::StatsReply(memory_only)
+        );
+        let durable = ServiceStats {
+            cache,
+            persist: Some(PersistStats {
+                segments_loaded: 2,
+                segments_skipped: 1,
+                records_loaded: 500,
+                damaged_tails: 1,
+                preloaded_frames: 499,
+                snapshots_loaded: 3,
+                snapshots_skipped: 0,
+                beliefs_resident: 3,
+                log_write_errors: 0,
+                snapshot_write_errors: 1,
+            }),
+            live_sessions: u64::MAX,
+        };
+        assert_eq!(
+            roundtrip(&Message::StatsReply(durable)),
+            Message::StatsReply(durable)
+        );
     }
 
     #[test]

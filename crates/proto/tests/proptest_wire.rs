@@ -7,8 +7,8 @@ use exsample_core::belief::{BeliefPrior, ChunkStats, Selector};
 use exsample_core::driver::{SearchTrace, StopCond, TracePoint};
 use exsample_core::within::WithinKind;
 use exsample_engine::{
-    DiscriminatorKind, QuerySpec, RepoId, RepoInfo, ResultEvent, SessionCharges, SessionId,
-    SessionReport, SessionSnapshot, SessionStatus,
+    CacheStats, DiscriminatorKind, PersistStats, QuerySpec, RepoId, RepoInfo, ResultEvent,
+    ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot, SessionStatus,
 };
 use exsample_proto::wire::{decode_message, encode_message};
 use exsample_proto::{Framed, Message, WireError};
@@ -168,6 +168,29 @@ fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
         10 => Message::Snapshot(make_snapshot(w[0], aux)),
         11 => Message::Report(make_report(w[0], aux, &w[1..])),
         12 => Message::CancelOk,
+        14 => Message::Stats,
+        15 => Message::StatsReply(ServiceStats {
+            cache: CacheStats {
+                hits: w[0],
+                misses: w[1],
+                evictions: w[2],
+                entries: w[3],
+                warm_loads: w[4],
+            },
+            persist: (w[5] & 1 != 0).then(|| PersistStats {
+                segments_loaded: w[0].rotate_left(11),
+                segments_skipped: w[1].rotate_left(13),
+                records_loaded: w[2].rotate_left(17),
+                damaged_tails: w[3].rotate_left(19),
+                preloaded_frames: w[4].rotate_left(23),
+                snapshots_loaded: w[5].rotate_left(29),
+                snapshots_skipped: w[0].rotate_left(31),
+                beliefs_resident: w[1].rotate_left(37),
+                log_write_errors: w[2].rotate_left(41),
+                snapshot_write_errors: w[3].rotate_left(43),
+            }),
+            live_sessions: w[5],
+        }),
         _ => Message::Error(match w[0] % 5 {
             0 => WireError::UnknownRepo(w[1] as u32),
             1 => WireError::UnknownSession(w[1]),
@@ -187,7 +210,7 @@ proptest! {
     /// bit patterns.
     #[test]
     fn every_message_kind_round_trips_bytewise(
-        kind in 0u8..14,
+        kind in 0u8..16,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..24),
     ) {
@@ -203,7 +226,7 @@ proptest! {
     /// Messages without raw-bit floats also satisfy structural equality.
     #[test]
     fn structural_equality_round_trip(
-        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13]),
+        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15]),
         w in prop::array::uniform6(any::<u64>()),
     ) {
         let msg = make_message(kind, &w, &[]);
@@ -217,7 +240,7 @@ proptest! {
     /// silently shorter message.
     #[test]
     fn truncated_payloads_never_decode(
-        kind in 0u8..14,
+        kind in 0u8..16,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 1..12),
         cut in any::<prop::sample::Index>(),
@@ -233,7 +256,7 @@ proptest! {
     /// checksum, or payload — is always detected by the transport.
     #[test]
     fn framed_bit_flips_always_detected(
-        kind in 0u8..14,
+        kind in 0u8..16,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..8),
         victim in any::<prop::sample::Index>(),

@@ -242,6 +242,201 @@ fn version_mismatch_is_rejected_cleanly_both_ways() {
 }
 
 #[test]
+fn stats_travel_the_wire() {
+    let eng = engine();
+    let repo = eng.register_repo("stats-cam", truth(20_000, 60), NoiseModel::none(), 5);
+    let server = Arc::new(SearchServer::new(eng.clone()));
+    let client = connect(&server);
+    let id = client.submit(spec(repo, 5)).unwrap();
+    client.wait(id).unwrap();
+    let remote = client.stats().expect("stats over the wire");
+    // Nothing runs between the calls, so the remote answer must equal
+    // the engine's own counters exactly.
+    assert_eq!(remote, eng.service_stats());
+    assert!(remote.cache.misses > 0);
+    assert_eq!(remote.live_sessions, 1);
+    assert!(remote.persist.is_none());
+}
+
+/// A transport that can be severed from the outside: reads and writes
+/// fail with `ConnectionReset` once `broken` is set, and the peer is
+/// EOF'd when it drops — the shape of a mid-stream network failure.
+struct Breakable {
+    inner: DuplexStream,
+    broken: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl std::io::Read for Breakable {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.broken.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "link severed",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl std::io::Write for Breakable {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.broken.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "link severed",
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[test]
+fn reconnect_resumes_stream_after_transport_failure() {
+    use exsample_engine::ResultEvent;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let eng = engine();
+    let repo = eng.register_repo("resume-cam", truth(20_000, 60), NoiseModel::none(), 5);
+    let server = Arc::new(SearchServer::new(eng.clone()));
+
+    let serve = |io: DuplexStream| {
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            let _ = srv.serve_connection(io);
+        });
+    };
+
+    // Connection 1, over a severable link.
+    let (client_io, server_io) = duplex();
+    serve(server_io);
+    let broken = Arc::new(AtomicBool::new(false));
+    let client = RemoteClient::connect(Breakable {
+        inner: client_io,
+        broken: broken.clone(),
+    })
+    .expect("handshake");
+    let id = client.submit(spec(repo, 55)).expect("valid spec");
+
+    // Cursor-indexed event log, written idempotently: a batch that was
+    // delivered but unacknowledged before the failure is re-delivered on
+    // resume and simply overwrites its own slots — no gaps, no
+    // double-counting.
+    let mut log: Vec<Option<ResultEvent>> = Vec::new();
+    let mut record = |snap: &exsample_engine::SessionSnapshot| {
+        let start = snap.next_cursor as usize - snap.events.len();
+        if log.len() < snap.next_cursor as usize {
+            log.resize(snap.next_cursor as usize, None);
+        }
+        for (i, e) in snap.events.iter().enumerate() {
+            log[start + i] = Some(*e);
+        }
+    };
+
+    // Sever the link after the third batch: the ack for it can never be
+    // sent, so the stream call must fail with a transport error.
+    let mut batches = 0;
+    let mut delivered = 0u64;
+    let err = client
+        .stream(id, 0, 2, |snap| {
+            record(snap);
+            delivered = snap.next_cursor;
+            batches += 1;
+            if batches == 3 {
+                broken.store(true, Ordering::Relaxed);
+            }
+        })
+        .expect_err("severed link must surface as an error");
+    assert!(matches!(err, ServiceError::Transport(_)), "got {err:?}");
+    // Batch 3 was delivered but its ack never left: the acked cursor
+    // trails what we saw by exactly that unacknowledged batch.
+    let acked = client.last_acked(id);
+    assert!(acked > 0, "two batches were acknowledged before the cut");
+    assert!(
+        acked < delivered,
+        "the third batch's ack must not have been recorded"
+    );
+
+    // The session survived on the server; reconnect and resume from the
+    // last acknowledged cursor.
+    let (client_io, server_io) = duplex();
+    serve(server_io);
+    client
+        .reconnect(Breakable {
+            inner: client_io,
+            broken: Arc::new(AtomicBool::new(false)),
+        })
+        .expect("re-handshake");
+    let terminal = client
+        .resume_stream(id, 2, |snap| record(snap))
+        .expect("resumed stream completes");
+    assert_ne!(terminal.status, SessionStatus::Running);
+
+    // The stitched-together stream is identical to the session's full
+    // event log: the failure moved bytes, not results.
+    let full = client.poll(id, 0, None).expect("full log").events;
+    let resumed: Vec<ResultEvent> = log
+        .into_iter()
+        .map(|e| e.expect("no gaps in the resumed stream"))
+        .collect();
+    assert_eq!(resumed, full);
+    let report = client.wait(id).expect("final report");
+    assert_eq!(
+        resumed.iter().map(|e| e.new_results as u64).sum::<u64>(),
+        report.trace.found()
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn truncated_handshake_is_dropped_and_server_keeps_serving() {
+    use std::io::{Read, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::time::Duration;
+
+    let eng = engine();
+    let repo = eng.register_repo("half-open-cam", truth(2_000, 10), NoiseModel::none(), 5);
+    let server =
+        Arc::new(SearchServer::new(eng.clone()).handshake_timeout(Duration::from_millis(200)));
+    let socket = std::env::temp_dir().join(format!(
+        "exsample-proto-half-open-{}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&socket);
+    server.serve_unix(UnixListener::bind(&socket).expect("bind unix socket"));
+
+    // A half-open peer: four preamble bytes, then silence — the
+    // connection stays open. Before the handshake deadline existed this
+    // pinned the connection thread (and its buffers) until process exit.
+    let mut half_open = UnixStream::connect(&socket).expect("connect");
+    half_open.write_all(b"XSRP").expect("truncated preamble");
+    half_open
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The server wrote its own 14-byte preamble immediately; at the
+    // deadline it must hang up, so the read ends in EOF — a timeout here
+    // would mean the half-open connection is being retained.
+    let mut received = Vec::new();
+    half_open
+        .read_to_end(&mut received)
+        .expect("server must drop the half-open connection, not retain it");
+    assert_eq!(received.len(), 14, "exactly the server preamble");
+
+    // The accept loop is unharmed: a well-formed client still gets served.
+    let client =
+        RemoteClient::connect(UnixStream::connect(&socket).expect("connect")).expect("handshake");
+    let id = client.submit(spec(repo, 3).chunks(4)).expect("valid spec");
+    assert_ne!(
+        client.wait(id).expect("report").status,
+        SessionStatus::Running
+    );
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
 fn subscription_streams_identical_events_to_polling() {
     let eng = engine();
     let repo = eng.register_repo("stream-cam", truth(20_000, 60), NoiseModel::none(), 5);

@@ -31,6 +31,11 @@
 //!   length-prefixed binary framing with a remote `SearchService` client
 //!   and a server multiplexing many connections over one engine, so the
 //!   engine deploys as a query *service* with streaming results.
+//! * [`cluster`] — the scale-out layer: a `ShardRouter` implementing the
+//!   same `SearchService` over a fleet of shards (in-process engines or
+//!   remote clients, mixed), with rendezvous placement of repositories,
+//!   namespaced session routing, fleet-wide statistics, and typed
+//!   shard-failure errors.
 //! * [`experiments`] — runners that regenerate every table and figure of
 //!   the paper's evaluation, plus the engine-vs-independent comparison.
 //!
@@ -70,6 +75,7 @@
 //! ```
 
 pub use exsample_baselines as baselines;
+pub use exsample_cluster as cluster;
 pub use exsample_core as core;
 pub use exsample_detect as detect;
 pub use exsample_engine as engine;
