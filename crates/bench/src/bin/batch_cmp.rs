@@ -1,0 +1,49 @@
+//! Quantifies §III-F batched detector dispatch: the same exhaustive
+//! workload through the engine with one dispatch per cache miss
+//! (per-frame, the status quo) and with one dispatch per batch of misses,
+//! under a modelled per-dispatch overhead
+//! (`exsample_store::CostModel::dispatch_s`). Both strategies find the
+//! complete, identical result set; batching pays strictly fewer modelled
+//! dispatch-seconds.
+
+use exsample_bench::results_dir;
+use exsample_experiments::{engine_cmp, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut cfg = engine_cmp::EngineCmpConfig::default_workload();
+    if scale == Scale::Quick {
+        cfg.frames = 10_000;
+        cfg.instances = 30;
+        cfg.queries = 3;
+    } else {
+        cfg.frames = 50_000;
+    }
+    let (dispatch_overhead_s, batch) = (0.02, 16);
+    eprintln!(
+        "batch_cmp: {} exhaustive queries over {} frames, dispatch overhead {dispatch_overhead_s}s, B={batch} ({scale:?}) …",
+        cfg.queries, cfg.frames
+    );
+    let t0 = std::time::Instant::now();
+    let report = engine_cmp::run_batched_cmp(&cfg, 20.0, dispatch_overhead_s, batch);
+    println!("\n# Batched vs. per-frame detector dispatch (§III-F)\n");
+    println!("{}", engine_cmp::to_batch_table(&report).to_markdown());
+    println!(
+        "batching avoided {:.0}% of dispatch overhead ({} → {} dispatches, {:.1}s → {:.1}s) for an identical result set",
+        report.dispatch_savings() * 100.0,
+        report.per_frame.dispatches,
+        report.batched.dispatches,
+        report.per_frame.dispatch_s,
+        report.batched.dispatch_s,
+    );
+    let out = results_dir().join("batch_cmp.csv");
+    engine_cmp::to_batch_table(&report)
+        .write_csv(&out)
+        .expect("write CSV");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

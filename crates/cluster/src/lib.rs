@@ -39,6 +39,6 @@ pub mod router;
 
 pub use placement::{place, rendezvous_score};
 pub use router::{
-    global_repo, global_session, split_repo, split_session, ClusterStats, ShardHealth, ShardRouter,
-    ShardService, MAX_SHARDS,
+    global_repo, global_session, split_repo, split_session, ClusterStats, IdKind, IdOverflow,
+    ShardHealth, ShardRouter, ShardService, MAX_SHARDS,
 };

@@ -40,12 +40,68 @@ pub const MAX_SHARDS: usize = 256;
 
 const REPO_SLOT_SHIFT: u32 = 24;
 const REPO_LOCAL_MASK: u32 = (1 << REPO_SLOT_SHIFT) - 1;
+const REPO_MAX_SLOT: usize = (u32::MAX >> REPO_SLOT_SHIFT) as usize;
 const SESSION_SLOT_SHIFT: u32 = 48;
 const SESSION_LOCAL_MASK: u64 = (1 << SESSION_SLOT_SHIFT) - 1;
+const SESSION_MAX_SLOT: usize = (u64::MAX >> SESSION_SLOT_SHIFT) as usize;
 
-/// Namespace a shard-local repository id under `slot`.
-pub fn global_repo(slot: usize, local: RepoId) -> RepoId {
-    RepoId(((slot as u32) << REPO_SLOT_SHIFT) | local.0)
+/// Which id namespace an [`IdOverflow`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdKind {
+    /// Repository ids: 8 slot bits over a 24-bit shard-local id.
+    Repo,
+    /// Session ids: 16 slot bits over a 48-bit shard-local id.
+    Session,
+}
+
+/// A shard-local id (or slot) that does not fit its reserved bit field.
+///
+/// Namespacing is pure bit arithmetic, so an out-of-range value OR-merged
+/// without this check would silently corrupt the slot bits and route
+/// every later call for that id to the *wrong shard* — the typed error
+/// exists so callers surface the impossibility instead of aliasing ids.
+/// An engine never allocates such ids (they'd take 2⁴⁸ submits); in
+/// practice this means a misbehaving backend or an attempt to nest one
+/// router behind another (whose ids already carry slot bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// Namespace that overflowed.
+    pub kind: IdKind,
+    /// The shard slot the id was being namespaced under.
+    pub slot: usize,
+    /// The shard-local id that does not fit (widened to `u64`).
+    pub local: u64,
+}
+
+impl std::fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (kind, slot_bits, local_bits) = match self.kind {
+            IdKind::Repo => ("repo", 32 - REPO_SLOT_SHIFT, REPO_SLOT_SHIFT),
+            IdKind::Session => ("session", 64 - SESSION_SLOT_SHIFT, SESSION_SLOT_SHIFT),
+        };
+        write!(
+            f,
+            "{kind} id {} under slot {} does not fit the router namespace \
+             ({slot_bits}-bit slot over a {local_bits}-bit local id)",
+            self.local, self.slot
+        )
+    }
+}
+
+impl std::error::Error for IdOverflow {}
+
+/// Namespace a shard-local repository id under `slot`, or a typed
+/// [`IdOverflow`] when the slot exceeds its 8 bits or the local id its
+/// 24 — OR-merging such a value would silently route to the wrong shard.
+pub fn global_repo(slot: usize, local: RepoId) -> Result<RepoId, IdOverflow> {
+    if slot > REPO_MAX_SLOT || local.0 > REPO_LOCAL_MASK {
+        return Err(IdOverflow {
+            kind: IdKind::Repo,
+            slot,
+            local: local.0 as u64,
+        });
+    }
+    Ok(RepoId(((slot as u32) << REPO_SLOT_SHIFT) | local.0))
 }
 
 /// Split a namespaced repository id into `(slot, shard-local id)`.
@@ -56,9 +112,18 @@ pub fn split_repo(id: RepoId) -> (usize, RepoId) {
     )
 }
 
-/// Namespace a shard-local session id under `slot`.
-pub fn global_session(slot: usize, local: SessionId) -> SessionId {
-    SessionId(((slot as u64) << SESSION_SLOT_SHIFT) | local.0)
+/// Namespace a shard-local session id under `slot`, or a typed
+/// [`IdOverflow`] when the slot exceeds its 16 bits or the local id its
+/// 48 (see [`global_repo`]).
+pub fn global_session(slot: usize, local: SessionId) -> Result<SessionId, IdOverflow> {
+    if slot > SESSION_MAX_SLOT || local.0 > SESSION_LOCAL_MASK {
+        return Err(IdOverflow {
+            kind: IdKind::Session,
+            slot,
+            local: local.0,
+        });
+    }
+    Ok(SessionId(((slot as u64) << SESSION_SLOT_SHIFT) | local.0))
 }
 
 /// Split a namespaced session id into `(slot, shard-local id)`.
@@ -366,26 +431,32 @@ impl ShardRouter {
         slot: usize,
         mut info: RepoInfo,
     ) -> Result<RepoInfo, ServiceError> {
-        if info.id.0 > REPO_LOCAL_MASK {
-            return Err(ServiceError::Transport(format!(
-                "shard {:?} repo id {} exceeds the router's 24-bit namespace",
-                shard.name, info.id.0
-            )));
-        }
-        info.id = global_repo(slot, info.id);
+        info.id = global_repo(slot, info.id)
+            .map_err(|e| ServiceError::Transport(format!("shard {:?}: {e}", shard.name)))?;
         Ok(info)
     }
 
     /// Remap shard-local session ids inside a lifecycle error back into
-    /// the router's namespace, so callers see the ids they hold.
+    /// the router's namespace, so callers see the ids they hold. A
+    /// shard echoing an id that does not fit the namespace (it could not
+    /// have come from this router) is reported as a transport-level
+    /// inconsistency rather than silently aliased.
     fn globalize_session_err(&self, slot: usize, e: ServiceError) -> ServiceError {
+        let globalize = |s| match global_session(slot, s) {
+            Ok(g) => Ok(g),
+            Err(overflow) => Err(ServiceError::Transport(format!(
+                "shard at slot {slot} echoed a foreign session id: {overflow}"
+            ))),
+        };
         match e {
-            ServiceError::UnknownSession(s) => {
-                ServiceError::UnknownSession(global_session(slot, s))
-            }
-            ServiceError::SessionRunning(s) => {
-                ServiceError::SessionRunning(global_session(slot, s))
-            }
+            ServiceError::UnknownSession(s) => match globalize(s) {
+                Ok(g) => ServiceError::UnknownSession(g),
+                Err(t) => t,
+            },
+            ServiceError::SessionRunning(s) => match globalize(s) {
+                Ok(g) => ServiceError::SessionRunning(g),
+                Err(t) => t,
+            },
             other => other,
         }
     }
@@ -438,12 +509,13 @@ impl SearchService for ShardRouter {
             // never allocates one; a nested router's slot bits would)
             // must not be silently OR-merged into the slot — that would
             // route every later call for this session to the wrong shard.
-            Ok(session) if session.0 > SESSION_LOCAL_MASK => Err(SubmitError::Transport(format!(
-                "shard {:?} session id {} exceeds the router's 48-bit namespace \
-                 (the session runs on the shard but cannot be addressed through this router)",
-                shard.name, session.0
-            ))),
-            Ok(session) => Ok(global_session(slot, session)),
+            Ok(session) => global_session(slot, session).map_err(|e| {
+                SubmitError::Transport(format!(
+                    "shard {:?}: {e} (the session runs on the shard but cannot be \
+                     addressed through this router)",
+                    shard.name
+                ))
+            }),
             Err(SubmitError::UnknownRepo(_)) => Err(SubmitError::UnknownRepo(global)),
             Err(SubmitError::Transport(cause)) => {
                 *shard.down.lock().expect("shard health poisoned") = Some(cause.clone());
@@ -503,14 +575,68 @@ mod tests {
     #[test]
     fn id_namespacing_round_trips() {
         for slot in [0usize, 1, 7, 255] {
-            let r = global_repo(slot, RepoId(12345));
+            let r = global_repo(slot, RepoId(12345)).unwrap();
             assert_eq!(split_repo(r), (slot, RepoId(12345)));
-            let s = global_session(slot, SessionId(1 << 40));
+            let s = global_session(slot, SessionId(1 << 40)).unwrap();
             assert_eq!(split_session(s), (slot, SessionId(1 << 40)));
         }
         // Slot 0 ids coincide with the shard-local ids (no offset).
-        assert_eq!(global_repo(0, RepoId(3)), RepoId(3));
-        assert_eq!(global_session(0, SessionId(9)), SessionId(9));
+        assert_eq!(global_repo(0, RepoId(3)), Ok(RepoId(3)));
+        assert_eq!(global_session(0, SessionId(9)), Ok(SessionId(9)));
+    }
+
+    #[test]
+    fn id_namespacing_rejects_out_of_range_values_at_the_boundary() {
+        // Regression: these used to OR the local id straight into the
+        // slot field, so a local id one past the boundary silently
+        // corrupted the slot and routed to the wrong shard.
+        assert!(global_repo(0, RepoId((1 << 24) - 1)).is_ok());
+        assert_eq!(
+            global_repo(0, RepoId(1 << 24)),
+            Err(IdOverflow {
+                kind: IdKind::Repo,
+                slot: 0,
+                local: 1 << 24,
+            })
+        );
+        assert!(global_repo(255, RepoId(0)).is_ok());
+        assert_eq!(
+            global_repo(256, RepoId(0)),
+            Err(IdOverflow {
+                kind: IdKind::Repo,
+                slot: 256,
+                local: 0,
+            })
+        );
+        assert!(global_session(0, SessionId((1 << 48) - 1)).is_ok());
+        assert_eq!(
+            global_session(0, SessionId(1 << 48)),
+            Err(IdOverflow {
+                kind: IdKind::Session,
+                slot: 0,
+                local: 1 << 48,
+            })
+        );
+        assert!(global_session(65_535, SessionId(0)).is_ok());
+        assert_eq!(
+            global_session(65_536, SessionId(0)),
+            Err(IdOverflow {
+                kind: IdKind::Session,
+                slot: 65_536,
+                local: 0,
+            })
+        );
+        // What the old OR-merge under slot 0 would have produced for
+        // local id 2^24: an id that routes to slot 1 — another shard.
+        let aliased = RepoId(1 << 24);
+        assert_eq!(split_repo(aliased).0, 1, "the silent corruption");
+        // The error formats with enough context to debug a misbehaving
+        // backend.
+        let msg = global_session(0, SessionId(u64::MAX))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("session id"), "{msg}");
+        assert!(msg.contains("slot 0"), "{msg}");
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! The loop is factored through [`SearchStepper`], which exposes the same
 //! state machine one frame at a time so external drivers (notably the
 //! `exsample-engine` multi-query scheduler) can interleave many searches
-//! and charge each its measured cost.
+//! and charge each its measured cost. The stepper also speaks the paper's
+//! batched-inference mode (§III-F): [`SearchStepper::next_batch`] draws a
+//! whole detector batch before any feedback, and [`run_search_batched`]
+//! is the blocking loop over it — `run_search` itself is the `batch = 1`
+//! special case.
 
 use crate::policy::{Feedback, SamplingPolicy};
 use crate::FrameIdx;
@@ -270,6 +274,39 @@ impl SearchStepper {
         }
     }
 
+    /// Draw up to `batch` frames to process *before* seeing any of their
+    /// outcomes — the paper's batched-inference mode (§III-F), where the
+    /// sampler is granted a whole detector batch per decision so dispatch
+    /// overhead amortizes the way real GPU inference does.
+    ///
+    /// `out` is cleared and filled with the drawn frames in draw order;
+    /// the caller processes them and reports each outcome through
+    /// [`SearchStepper::record`] *in that same order*, so batched traces
+    /// are deterministic and `batch = 1` is bit-identical to the
+    /// per-frame protocol. An empty `out` means the search was already
+    /// done or the policy is exhausted (which marks the search done and
+    /// the trace exhausted, exactly like a `None` from
+    /// [`SearchStepper::next_frame`]). A *short* batch is not yet
+    /// exhaustion: the drawn frames are still processed, and the next
+    /// call discovers the dry policy.
+    pub fn next_batch(
+        &mut self,
+        policy: &mut dyn SamplingPolicy,
+        rng: &mut Rng64,
+        batch: usize,
+        out: &mut Vec<FrameIdx>,
+    ) {
+        out.clear();
+        if self.done {
+            return;
+        }
+        policy.next_batch(batch, rng, out);
+        if out.is_empty() {
+            self.trace.exhausted = true;
+            self.done = true;
+        }
+    }
+
     /// Report the outcome of processing `frame`: routes `fb` back to the
     /// policy, advances the sample count, sets the clock to `seconds_now`
     /// (absolute, not a delta), and evaluates the stop condition.
@@ -327,14 +364,42 @@ pub fn run_search<O>(
 where
     O: FnMut(FrameIdx) -> Feedback,
 {
+    run_search_batched(policy, oracle, cost, stop, rng, 1)
+}
+
+/// [`run_search`] in the paper's batched-inference mode (§III-F): frames
+/// are drawn `batch` at a time with no intermediate feedback, processed,
+/// and their outcomes replayed to the policy in draw order. `batch = 1`
+/// is bit-identical to [`run_search`] (which delegates here). When the
+/// stop condition fires mid-batch, the remaining drawn frames are
+/// discarded unprocessed — the speculative draws real batched inference
+/// wastes at the end of a search.
+///
+/// # Panics
+/// Panics if `batch` is zero.
+pub fn run_search_batched<O>(
+    policy: &mut dyn SamplingPolicy,
+    oracle: &mut O,
+    cost: &SearchCost,
+    stop: &StopCond,
+    rng: &mut Rng64,
+    batch: usize,
+) -> SearchTrace
+where
+    O: FnMut(FrameIdx) -> Feedback,
+{
+    assert!(batch > 0, "batch must be positive");
     let mut stepper = SearchStepper::new(*stop, cost.seconds(0));
+    let mut frames = Vec::with_capacity(batch);
     while !stepper.done() {
-        let Some(frame) = stepper.next_frame(policy, rng) else {
-            break;
-        };
-        let fb = oracle(frame);
-        let seconds = cost.seconds(stepper.samples() + 1);
-        stepper.record(policy, frame, fb, seconds);
+        stepper.next_batch(policy, rng, batch, &mut frames);
+        for &frame in &frames {
+            let fb = oracle(frame);
+            let seconds = cost.seconds(stepper.samples() + 1);
+            if stepper.record(policy, frame, fb, seconds) {
+                break;
+            }
+        }
     }
     stepper.finish()
 }
@@ -564,6 +629,81 @@ mod tests {
         assert!(st.seconds() >= 1.0);
         // Cumulative clock: .01, .41, .42, .82, .83, 1.23 — stops at 6.
         assert_eq!(frames, 6);
+    }
+
+    #[test]
+    fn batched_run_at_batch_one_is_bit_identical_to_run_search() {
+        let oracle = |f: u64| {
+            if f.is_multiple_of(11) {
+                Feedback::new(1, 0)
+            } else {
+                Feedback::NONE
+            }
+        };
+        let cost = SearchCost::per_sample(0.05);
+        let stop = StopCond::results(9).or_samples(300);
+        let mut p1 = policy();
+        let mut rng1 = Rng64::new(87);
+        let mut o1 = oracle;
+        let per_frame = run_search(&mut p1, &mut o1, &cost, &stop, &mut rng1);
+        let mut p2 = policy();
+        let mut rng2 = Rng64::new(87);
+        let mut o2 = oracle;
+        let batched = run_search_batched(&mut p2, &mut o2, &cost, &stop, &mut rng2, 1);
+        assert_eq!(per_frame, batched);
+    }
+
+    #[test]
+    fn batched_run_draws_without_repeats_and_stops_mid_batch() {
+        // Every frame is a result, so an 8-frame batch overshoots the
+        // limit mid-batch: the tail must be discarded, not recorded.
+        let mut p = policy();
+        let mut rng = Rng64::new(88);
+        let mut seen = std::collections::HashSet::new();
+        let mut oracle = |f: u64| {
+            assert!(seen.insert(f), "frame {f} processed twice");
+            Feedback::new(1, 0)
+        };
+        let t = run_search_batched(
+            &mut p,
+            &mut oracle,
+            &SearchCost::per_sample(1.0),
+            &StopCond::results(5),
+            &mut rng,
+            8,
+        );
+        assert_eq!(t.samples(), 5);
+        assert_eq!(t.found(), 5);
+        for w in t.points().windows(2) {
+            assert!(w[0].samples <= w[1].samples);
+            assert!(w[0].found <= w[1].found);
+        }
+    }
+
+    #[test]
+    fn stepper_next_batch_reports_exhaustion() {
+        let mut p = ExSample::new(Chunking::even(10, 2), ExSampleConfig::default());
+        let mut rng = Rng64::new(89);
+        let mut st = SearchStepper::new(StopCond::results(99), 0.0);
+        let mut frames = Vec::new();
+        let mut processed = 0u64;
+        loop {
+            st.next_batch(&mut p, &mut rng, 4, &mut frames);
+            if frames.is_empty() {
+                break;
+            }
+            for &f in &frames {
+                processed += 1;
+                st.record(&mut p, f, Feedback::NONE, processed as f64);
+            }
+        }
+        assert!(st.done());
+        assert!(st.exhausted());
+        assert_eq!(st.samples(), 10);
+        // Once done, further batch draws stay empty without touching the
+        // policy.
+        st.next_batch(&mut p, &mut rng, 4, &mut frames);
+        assert!(frames.is_empty());
     }
 
     #[test]

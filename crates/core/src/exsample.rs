@@ -368,6 +368,38 @@ impl SamplingPolicy for ExSample {
         self.groups.update(j as u32, &self.stats[j]);
     }
 
+    /// The §III-F batched mode: `batch` Thompson draws with **no**
+    /// intermediate feedback — every draw scores the chunk groups under
+    /// the same beliefs, exactly as if the detector results were still in
+    /// flight. Frames come from the same without-replacement within-chunk
+    /// streams as [`SamplingPolicy::next_frame`], so at `batch = 1` the
+    /// RNG consumption (and therefore the whole trace) is bit-identical
+    /// to per-frame stepping, and exhausted chunks are retired eagerly so
+    /// a draw never lands on an empty chunk. A frame can never appear
+    /// twice in flight: chunks partition the frame range and each chunk's
+    /// within-stream samples without replacement (asserted in debug
+    /// builds, and enforced by the batch proptests).
+    fn next_batch(&mut self, batch: usize, rng: &mut Rng64, out: &mut Vec<FrameIdx>) {
+        out.clear();
+        out.reserve(batch);
+        while out.len() < batch {
+            let Some(j) = self.pick_chunk(rng) else {
+                break;
+            };
+            match self.within[j as usize].draw(rng) {
+                Some(frame) => {
+                    self.steps += 1;
+                    if self.within[j as usize].remaining() == 0 {
+                        self.groups.retire(j);
+                    }
+                    debug_assert!(!out.contains(&frame), "duplicate frame {frame} in batch");
+                    out.push(frame);
+                }
+                None => self.groups.retire(j),
+            }
+        }
+    }
+
     fn name(&self) -> String {
         format!(
             "exsample(M={},{},{})",
@@ -504,6 +536,59 @@ mod tests {
         assert_eq!(out.len(), 64);
         let set: std::collections::HashSet<u64> = out.iter().copied().collect();
         assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn next_batch_of_one_matches_next_frame_bit_for_bit() {
+        // The engine's batched stepping at batch = 1 must reproduce
+        // per-frame traces exactly, which requires identical RNG
+        // consumption between the two draw paths.
+        let mk = || ExSample::new(Chunking::even(500, 8), ExSampleConfig::default());
+        let mut a = mk();
+        let mut rng_a = Rng64::new(101);
+        let mut b = mk();
+        let mut rng_b = Rng64::new(101);
+        let mut out = Vec::new();
+        for step in 0..=500 {
+            let fa = a.next_frame(&mut rng_a);
+            b.next_batch(1, &mut rng_b, &mut out);
+            assert_eq!(fa, out.first().copied(), "step {step}");
+            let Some(f) = fa else {
+                break;
+            };
+            let r = if f % 7 == 0 {
+                Feedback::new(1, 0)
+            } else {
+                Feedback::NONE
+            };
+            a.feedback(f, r);
+            b.feedback(f, r);
+        }
+    }
+
+    #[test]
+    fn batches_drain_exhausted_chunks_cleanly() {
+        // Chunks far smaller than the batch: every batch spans several
+        // chunk retirements, and the union of batches must be exactly the
+        // frame set, without repeats.
+        let mut p = ExSample::new(Chunking::even(100, 25), ExSampleConfig::default());
+        let mut rng = Rng64::new(102);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            p.next_batch(16, &mut rng, &mut out);
+            if out.is_empty() {
+                break;
+            }
+            for &f in &out {
+                assert!(seen.insert(f), "repeated frame {f}");
+            }
+            for &f in &out {
+                p.feedback(f, Feedback::NONE);
+            }
+        }
+        assert_eq!(seen.len(), 100);
+        assert_eq!(p.active_chunks(), 0);
     }
 
     #[test]

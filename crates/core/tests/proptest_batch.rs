@@ -1,0 +1,92 @@
+//! Property tests for the §III-F batched draw mode: `ExSample::next_batch`
+//! must sample without replacement (no duplicate frames, in-flight or
+//! ever), respect exhausted chunks, and drain the repository exactly.
+
+use exsample_core::exsample::{ExSample, ExSampleConfig};
+use exsample_core::policy::{Feedback, SamplingPolicy};
+use exsample_core::Chunking;
+use exsample_stats::Rng64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Across repository sizes, chunkings, batch sizes, and feedback
+    /// patterns: batches never contain a duplicate (within a batch or
+    /// across batches), never draw from an exhausted chunk (implied by
+    /// without-replacement coverage), cover every frame exactly once,
+    /// and stay empty once the sampler is dry.
+    #[test]
+    fn next_batch_never_duplicates_and_drains_exactly(
+        frames in 1u64..600,
+        chunks in 1usize..40,
+        batch in 1usize..33,
+        seed in any::<u64>(),
+        reward_mod in 1u64..20,
+    ) {
+        let chunks = chunks.min(frames as usize);
+        let mut p = ExSample::new(Chunking::even(frames, chunks), ExSampleConfig::default());
+        let mut rng = Rng64::new(seed);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            p.next_batch(batch, &mut rng, &mut out);
+            if out.is_empty() {
+                break;
+            }
+            prop_assert!(out.len() <= batch, "overfull batch: {} > {batch}", out.len());
+            for &f in &out {
+                prop_assert!(f < frames, "frame {f} out of range");
+                prop_assert!(seen.insert(f), "duplicate frame {f}");
+            }
+            // Feedback replayed in draw order, as the engine does.
+            for &f in &out {
+                let fb = if f % reward_mod == 0 {
+                    Feedback::new(1, 0)
+                } else {
+                    Feedback::NONE
+                };
+                p.feedback(f, fb);
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, frames, "not every frame drawn");
+        prop_assert_eq!(p.active_chunks(), 0);
+        prop_assert_eq!(p.steps(), frames);
+        // A dry sampler stays dry: no resurrection of retired chunks.
+        p.next_batch(batch, &mut rng, &mut out);
+        prop_assert!(out.is_empty());
+    }
+
+    /// Drawing in batches consumes the same *set* of frames per chunk as
+    /// per-frame draws would: a batch must stop crossing into a chunk
+    /// once that chunk's within-stream is exhausted.
+    #[test]
+    fn batches_respect_tiny_chunk_boundaries(
+        chunk_a in 1u64..8,
+        rest in 8u64..200,
+        batch in 2usize..17,
+        seed in any::<u64>(),
+    ) {
+        // First chunk is tiny: batches bigger than it must retire it and
+        // move on without repeats or out-of-chunk frames.
+        let bounds = vec![0, chunk_a, chunk_a + rest];
+        let frames = chunk_a + rest;
+        let mut p = ExSample::new(Chunking::from_bounds(bounds), ExSampleConfig::default());
+        let mut rng = Rng64::new(seed);
+        let mut out = Vec::new();
+        let mut from_a = 0u64;
+        loop {
+            p.next_batch(batch, &mut rng, &mut out);
+            if out.is_empty() {
+                break;
+            }
+            from_a += out.iter().filter(|&&f| f < chunk_a).count() as u64;
+            prop_assert!(from_a <= chunk_a, "chunk A oversampled: {from_a}/{chunk_a}");
+            for &f in &out {
+                p.feedback(f, Feedback::NONE);
+            }
+        }
+        prop_assert_eq!(from_a, chunk_a);
+        prop_assert_eq!(p.steps(), frames);
+    }
+}

@@ -180,6 +180,39 @@ impl SimulatedDetector {
     }
 }
 
+/// Run a full per-class detector bank over one frame, concatenating each
+/// class detector's output — the all-classes invocation whose result the
+/// engine caches per `(repo, frame)`. Output order follows the bank
+/// order, so it is deterministic for a fixed bank.
+pub fn detect_frame(
+    bank: &[SimulatedDetector],
+    frame: FrameIdx,
+    scratch: &mut Vec<InstanceId>,
+) -> Vec<Detection> {
+    let mut all = Vec::new();
+    for det in bank {
+        all.extend(det.detect_with_scratch(frame, scratch));
+    }
+    all
+}
+
+/// One batched detector **dispatch** (ExSample §III-F): run the bank over
+/// `frames` back-to-back, the way a GPU processes one submitted batch.
+/// Output order matches `frames`. Each frame's detections are identical
+/// to a per-frame [`detect_frame`] call — batching changes *when* the
+/// detector runs and what dispatch overhead is paid (priced by
+/// `exsample_store::CostModel::dispatch_s`), never what it outputs.
+pub fn dispatch_batch(
+    bank: &[SimulatedDetector],
+    frames: &[FrameIdx],
+    scratch: &mut Vec<InstanceId>,
+) -> Vec<Vec<Detection>> {
+    frames
+        .iter()
+        .map(|&f| detect_frame(bank, f, scratch))
+        .collect()
+}
+
 impl Detector for SimulatedDetector {
     fn detect(&mut self, frame: FrameIdx) -> Vec<Detection> {
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -238,6 +271,30 @@ mod tests {
             let shared = det.detect_with_scratch(frame, &mut scratch);
             let owned = det.detect(frame);
             assert_eq!(shared, owned, "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn dispatch_batch_matches_per_frame_detection() {
+        // Batching is a cost/latency decision, never an output one: each
+        // frame of a dispatch must equal its individual detection.
+        let gt = truth();
+        let bank = vec![SimulatedDetector::new(
+            gt,
+            ClassId(0),
+            NoiseModel::realistic(),
+            21,
+        )];
+        let frames: Vec<FrameIdx> = (0..10_000).step_by(1_237).collect();
+        let mut scratch = Vec::new();
+        let batched = dispatch_batch(&bank, &frames, &mut scratch);
+        assert_eq!(batched.len(), frames.len());
+        for (i, &frame) in frames.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                detect_frame(&bank, frame, &mut scratch),
+                "frame {frame}"
+            );
         }
     }
 

@@ -32,7 +32,9 @@ pub mod discrim;
 pub mod oracle;
 pub mod proxy;
 
-pub use detector::{Detection, Detector, NoiseModel, SimulatedDetector};
+pub use detector::{
+    detect_frame, dispatch_batch, Detection, Detector, NoiseModel, SimulatedDetector,
+};
 pub use discrim::{DiscrimOutcome, Discriminator, OracleDiscriminator, TrackerDiscriminator};
 pub use oracle::QueryOracle;
 pub use proxy::ProxyModel;

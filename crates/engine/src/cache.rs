@@ -10,19 +10,28 @@
 //!
 //! The cache is sharded: each shard is an independent mutex over a hash
 //! map plus a FIFO eviction queue, so concurrent sessions touching
-//! different frames rarely contend. Lookups that miss run the compute
-//! closure *while holding the shard lock*; this serializes computes within
-//! a shard but guarantees each resident key is computed exactly once —
-//! which both bounds detector spend and keeps the total invocation count
-//! deterministic for a fixed workload (modulo evictions). With detection
-//! costing ~50 ms of modelled GPU time against a microsecond-scale
-//! critical section, single-computation wins over lock granularity.
+//! different frames rarely contend. A lookup that misses *reserves* the
+//! key with an in-flight entry and releases the shard lock before the
+//! detector runs: detection (~50 ms of modelled GPU time) never
+//! serializes unrelated sessions that merely hash to the same shard.
+//! Concurrent lookups of the same in-flight key park on that entry's
+//! condvar instead of recomputing, so each resident key is still computed
+//! exactly once — which both bounds detector spend and keeps the total
+//! invocation count deterministic for a fixed workload (modulo
+//! evictions).
+//!
+//! Besides the classic [`FrameCache::get_or_compute`], the reservation
+//! machinery is exposed directly as [`FrameCache::begin`] /
+//! [`MissGuard::fill`] / [`PendingWait::wait`] so the engine's batched
+//! stepping (§III-F) can reserve a whole batch of keys, issue **one**
+//! detector dispatch for all misses with no shard lock held, and only
+//! then wait for frames other sessions already have in flight.
 
 use exsample_detect::Detection;
 use exsample_stats::FxHashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::session::RepoId;
 
@@ -36,6 +45,25 @@ struct Shard {
     map: FxHashMap<FrameKey, CachedDetections>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<FrameKey>,
+    /// Keys currently being computed (reserved by a [`MissGuard`]).
+    /// Pending keys are not resident — they don't count against capacity
+    /// and can't be evicted out from under their waiters.
+    pending: FxHashMap<FrameKey, Arc<PendingCell>>,
+}
+
+/// One in-flight computation: waiters park on `cv` until the computing
+/// session fills (or abandons) the entry.
+struct PendingCell {
+    state: Mutex<PendingState>,
+    cv: Condvar,
+}
+
+enum PendingState {
+    Computing,
+    Filled(CachedDetections),
+    /// The computing session dropped its guard without filling (its
+    /// compute panicked): waiters retry from [`FrameCache::begin`].
+    Abandoned,
 }
 
 /// Counters describing cache behaviour since construction.
@@ -119,6 +147,7 @@ impl FrameCache {
                     Mutex::new(Shard {
                         map: FxHashMap::default(),
                         order: VecDeque::new(),
+                        pending: FxHashMap::default(),
                     })
                 })
                 .collect(),
@@ -148,22 +177,82 @@ impl FrameCache {
         (h >> 32) as usize & (self.shards.len() - 1)
     }
 
-    /// Look up `key`, running `compute` to fill the entry on a miss.
-    /// Returns the detections and whether this was a hit.
-    pub fn get_or_compute(
-        &self,
-        key: FrameKey,
-        compute: impl FnOnce() -> Vec<Detection>,
-    ) -> (CachedDetections, bool) {
+    /// Start a lookup of `key`: either it is resident ([`Lookup::Hit`]),
+    /// another session is computing it right now ([`Lookup::Pending`] —
+    /// park on [`PendingWait::wait`]), or the caller now owns the
+    /// computation ([`Lookup::Miss`] — run the detector **without any
+    /// cache lock held** and publish through [`MissGuard::fill`]).
+    ///
+    /// The returned guard *reserves* the key: every concurrent `begin`
+    /// until the fill observes `Pending` and waits instead of recomputing
+    /// (the compute-once guarantee). Dropping the guard unfilled (e.g. a
+    /// panicking compute) wakes the waiters to retry, so a failed
+    /// computation never wedges the key.
+    ///
+    /// Statistics: a resident or in-flight key counts as a hit (no
+    /// detector runs on behalf of this caller), a reservation as a miss.
+    pub fn begin(&self, key: FrameKey) -> Lookup<'_> {
         let mut shard = self.shards[self.shard_of(&key)]
             .lock()
             .expect("cache shard poisoned");
         if let Some(hit) = shard.map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hit.clone(), true);
+            return Lookup::Hit(hit.clone());
+        }
+        if let Some(cell) = shard.pending.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Pending(PendingWait { cell: cell.clone() });
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value: CachedDetections = Arc::new(compute());
+        let cell = Arc::new(PendingCell {
+            state: Mutex::new(PendingState::Computing),
+            cv: Condvar::new(),
+        });
+        shard.pending.insert(key, cell.clone());
+        Lookup::Miss(MissGuard {
+            cache: self,
+            key,
+            cell,
+            filled: false,
+        })
+    }
+
+    /// Look up `key`, running `compute` to fill the entry on a miss.
+    /// Returns the detections and whether this was a hit. `compute` runs
+    /// with no cache lock held; concurrent lookups of the same key wait
+    /// for it instead of recomputing, and lookups of *other* keys on the
+    /// same shard proceed unhindered.
+    pub fn get_or_compute(
+        &self,
+        key: FrameKey,
+        compute: impl FnOnce() -> Vec<Detection>,
+    ) -> (CachedDetections, bool) {
+        let mut compute = Some(compute);
+        loop {
+            match self.begin(key) {
+                Lookup::Hit(value) => return (value, true),
+                Lookup::Pending(wait) => {
+                    if let Some(value) = wait.wait() {
+                        return (value, true);
+                    }
+                    // The computing session died; retry (possibly
+                    // becoming the computer ourselves).
+                }
+                Lookup::Miss(guard) => {
+                    let dets = (compute.take().expect("at most one compute per lookup"))();
+                    return (guard.fill(dets), false);
+                }
+            }
+        }
+    }
+
+    /// Publish a freshly computed entry under `key`, evicting FIFO as
+    /// needed and waking waiters: the internals of [`MissGuard::fill`].
+    fn finish_fill(&self, key: FrameKey, cell: &PendingCell, value: CachedDetections) {
+        let mut shard = self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("cache shard poisoned");
+        shard.pending.remove(&key);
         while shard.map.len() >= self.shard_capacity {
             let victim = shard.order.pop_front().expect("order tracks map");
             shard.map.remove(&victim);
@@ -171,14 +260,15 @@ impl FrameCache {
         }
         shard.map.insert(key, value.clone());
         shard.order.push_back(key);
-        // Write behind with the shard unlocked: the sink may do real IO,
-        // and other sessions must keep hitting this shard meanwhile.
-        // Compute-once still guarantees one invocation per resident key.
         drop(shard);
+        *cell.state.lock().expect("pending cell poisoned") = PendingState::Filled(value.clone());
+        cell.cv.notify_all();
+        // Write behind with every lock released: the sink may do real IO,
+        // and neither this shard's sessions nor the entry's waiters
+        // should stall behind it.
         if let Some(hook) = &self.write_behind {
             hook(key, &value);
         }
-        (value, false)
     }
 
     /// Inject an already-known entry (the bulk preload path used when
@@ -193,7 +283,10 @@ impl FrameCache {
         let mut shard = self.shards[self.shard_of(&key)]
             .lock()
             .expect("cache shard poisoned");
-        if shard.map.len() >= self.shard_capacity || shard.map.contains_key(&key) {
+        if shard.map.len() >= self.shard_capacity
+            || shard.map.contains_key(&key)
+            || shard.pending.contains_key(&key)
+        {
             return false;
         }
         shard.map.insert(key, Arc::new(dets));
@@ -215,6 +308,96 @@ impl FrameCache {
                 .sum(),
             warm_loads: self.warm_loads.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Outcome of [`FrameCache::begin`].
+pub enum Lookup<'a> {
+    /// The key is resident; detections served immediately.
+    Hit(CachedDetections),
+    /// Another session is computing this key right now; park on
+    /// [`PendingWait::wait`] for its result.
+    Pending(PendingWait),
+    /// The caller owns the computation: run the detector (unlocked) and
+    /// publish through [`MissGuard::fill`].
+    Miss(MissGuard<'a>),
+}
+
+impl std::fmt::Debug for Lookup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lookup::Hit(v) => f.debug_tuple("Hit").field(&v.len()).finish(),
+            Lookup::Pending(_) => f.write_str("Pending"),
+            Lookup::Miss(g) => f.debug_tuple("Miss").field(&g.key).finish(),
+        }
+    }
+}
+
+/// A parked lookup of a key another session has in flight.
+pub struct PendingWait {
+    cell: Arc<PendingCell>,
+}
+
+impl PendingWait {
+    /// Block until the computing session publishes the entry. `None`
+    /// when that session abandoned the computation (its compute
+    /// panicked) — retry from [`FrameCache::begin`].
+    pub fn wait(self) -> Option<CachedDetections> {
+        let mut state = self.cell.state.lock().expect("pending cell poisoned");
+        loop {
+            match &*state {
+                PendingState::Computing => {
+                    state = self.cell.cv.wait(state).expect("pending cell poisoned");
+                }
+                PendingState::Filled(value) => return Some(value.clone()),
+                PendingState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// Exclusive reservation of a missed key (see [`FrameCache::begin`]).
+/// Fill it with the computed detections, or drop it to abandon the
+/// reservation and wake any waiters to retry.
+pub struct MissGuard<'a> {
+    cache: &'a FrameCache,
+    key: FrameKey,
+    cell: Arc<PendingCell>,
+    filled: bool,
+}
+
+impl MissGuard<'_> {
+    /// The reserved key.
+    pub fn key(&self) -> FrameKey {
+        self.key
+    }
+
+    /// Publish the computed detections: the entry becomes resident
+    /// (evicting FIFO if the shard is full), waiters wake with the
+    /// value, and the write-behind hook (if any) runs with no lock held.
+    pub fn fill(mut self, dets: Vec<Detection>) -> CachedDetections {
+        let value: CachedDetections = Arc::new(dets);
+        self.filled = true;
+        self.cache.finish_fill(self.key, &self.cell, value.clone());
+        value
+    }
+}
+
+impl Drop for MissGuard<'_> {
+    fn drop(&mut self) {
+        if self.filled {
+            return;
+        }
+        // Abandoned (the compute panicked, or the guard was discarded):
+        // un-reserve the key and wake waiters so they can retry — an
+        // in-flight entry must never outlive its computer.
+        let mut shard = self.cache.shards[self.cache.shard_of(&self.key)]
+            .lock()
+            .expect("cache shard poisoned");
+        shard.pending.remove(&self.key);
+        drop(shard);
+        *self.cell.state.lock().expect("pending cell poisoned") = PendingState::Abandoned;
+        self.cell.cv.notify_all();
     }
 }
 
@@ -302,6 +485,111 @@ mod tests {
         assert_eq!(s.misses, 512);
         assert_eq!(s.hits, 8 * 512 - 512);
         assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn slow_compute_does_not_block_other_keys_on_the_same_shard() {
+        // Regression: get_or_compute used to run the compute closure while
+        // holding the shard mutex, serializing every session that hashed
+        // to the shard behind one detector invocation. The compute below
+        // cannot finish until the *other-key* lookup on the same (single)
+        // shard completes — under the old locking this deadlocks; with
+        // in-flight entries it passes.
+        use std::sync::mpsc::channel;
+        let cache = FrameCache::new(64, 1);
+        let (entered_tx, entered_rx) = channel();
+        let (release_tx, release_rx) = channel::<()>();
+        std::thread::scope(|scope| {
+            let cache = &cache;
+            scope.spawn(move || {
+                cache.get_or_compute(key(1), move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Vec::new()
+                });
+            });
+            entered_rx.recv().unwrap(); // key 1 is mid-compute
+            let (_, hit) = cache.get_or_compute(key(2), Vec::new);
+            assert!(!hit);
+            release_tx.send(()).unwrap();
+        });
+        let s = cache.stats();
+        assert_eq!((s.misses, s.entries), (2, 2));
+    }
+
+    #[test]
+    fn concurrent_same_key_lookup_waits_instead_of_recomputing() {
+        use std::sync::mpsc::channel;
+        let cache = FrameCache::new(64, 1);
+        let (entered_tx, entered_rx) = channel();
+        let (release_tx, release_rx) = channel::<()>();
+        std::thread::scope(|scope| {
+            let cache = &cache;
+            scope.spawn(move || {
+                cache.get_or_compute(key(1), move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Vec::new()
+                });
+            });
+            entered_rx.recv().unwrap();
+            let waiter = scope.spawn(move || {
+                // Must park on the in-flight entry, not recompute.
+                cache.get_or_compute(key(1), || panic!("computed twice"))
+            });
+            release_tx.send(()).unwrap();
+            let (_, hit) = waiter.join().unwrap();
+            assert!(hit, "waiter is served the in-flight result as a hit");
+        });
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn abandoned_compute_unblocks_waiters_and_allows_retry() {
+        use std::panic::AssertUnwindSafe;
+        let cache = FrameCache::new(64, 1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_compute(key(5), || panic!("detector died"));
+        }));
+        assert!(result.is_err());
+        // The reservation was released: the key is computable again, and
+        // nothing is wedged.
+        let (_, hit) = cache.get_or_compute(key(5), Vec::new);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compute(key(5), || panic!("resident now"));
+        assert!(hit);
+    }
+
+    #[test]
+    fn begin_fill_batch_protocol_round_trips() {
+        // The engine's batched path: reserve several keys, fill them in
+        // one "dispatch", and observe hits afterwards.
+        let cache = FrameCache::new(64, 1);
+        cache.get_or_compute(key(0), Vec::new); // resident
+        let mut guards = Vec::new();
+        for f in 1..4 {
+            match cache.begin(key(f)) {
+                Lookup::Miss(g) => guards.push(g),
+                other => panic!("expected miss for fresh key, got {other:?}"),
+            }
+        }
+        match cache.begin(key(0)) {
+            Lookup::Hit(_) => {}
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // A concurrent begin of a reserved key parks as Pending.
+        assert!(matches!(cache.begin(key(1)), Lookup::Pending(_)));
+        for g in guards {
+            assert_eq!(g.key().0, RepoId(0));
+            g.fill(Vec::new());
+        }
+        for f in 0..4 {
+            let (_, hit) = cache.get_or_compute(key(f), || panic!("filled above"));
+            assert!(hit);
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 4);
     }
 
     #[test]

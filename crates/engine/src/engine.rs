@@ -22,11 +22,16 @@
 //! *takes the session core out of the slot* (so the state mutex is not
 //! held while frames are processed), steps it for up to a quantum of
 //! frames, then puts it back and charges the scheduler what the quantum
-//! actually cost. Per-frame cost is the modelled detector time
-//! (`1 / detector_fps`, cache misses only) plus io/decode seconds from the
-//! session's own GOP container reader priced by the store's `CostModel`;
-//! cache hits are free, which is precisely the sharing the engine exists
-//! to exploit.
+//! actually cost. Stepping proceeds in detector *batches* (§III-F,
+//! [`EngineConfig::batch`] / `QuerySpec::batch`): each batch is drawn
+//! from the sampler with no intermediate feedback, its cache misses are
+//! resolved by a single detector dispatch issued outside the cache shard
+//! locks, and discriminator feedback is replayed in draw order. Per-frame
+//! cost is the modelled detector time (`1 / detector_fps`, cache misses
+//! only) plus io/decode seconds from the session's own GOP container
+//! reader priced by the store's `CostModel`, plus one
+//! `CostModel::dispatch_s` overhead per dispatch; cache hits are free,
+//! which is precisely the sharing the engine exists to exploit.
 //!
 //! # Determinism
 //!
@@ -41,7 +46,7 @@
 //! seconds, which depend on which session happens to pay for a shared
 //! frame first — those stops are fair but not bit-reproducible.
 
-use crate::cache::{CacheStats, FrameCache};
+use crate::cache::{CacheStats, CachedDetections, FrameCache, Lookup};
 use crate::scheduler::Scheduler;
 use crate::service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 use crate::session::{
@@ -55,7 +60,7 @@ use exsample_core::exsample::ExSample;
 use exsample_core::policy::Feedback;
 use exsample_core::Chunking;
 use exsample_detect::{
-    Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
+    dispatch_batch, Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
     TrackerDiscriminator,
 };
 use exsample_persist::{
@@ -82,6 +87,14 @@ pub struct EngineConfig {
     /// Frames granted per scheduler lease. Smaller quanta interleave
     /// sessions more finely; larger quanta amortize locking.
     pub quantum: u32,
+    /// Default detector batch size per session (§III-F), overridable per
+    /// query via `QuerySpec::batch`. Each batch is drawn from the sampler
+    /// with no intermediate feedback and its cache misses are resolved
+    /// with a **single** detector dispatch, amortizing
+    /// [`CostModel::dispatch_s`]. The effective batch is capped by
+    /// `quantum` at each lease. The default of 1 is bit-identical to
+    /// per-frame stepping.
+    pub batch: u32,
     /// Shared detection cache capacity, in frames.
     pub cache_capacity: usize,
     /// Cache shard count (rounded up to a power of two).
@@ -115,6 +128,7 @@ impl Default for EngineConfig {
             workers: default_threads(),
             detector_fps: 20.0,
             quantum: 32,
+            batch: 1,
             cache_capacity: 1 << 20,
             cache_shards: 64,
             gop_size: 20,
@@ -229,6 +243,8 @@ struct SessionCore {
     class_dets: Vec<Detection>,
     /// Reusable visible-instance scratch for cache-miss detection runs.
     gt_scratch: Vec<exsample_videosim::InstanceId>,
+    /// Effective detector batch size (spec override or engine default).
+    batch: usize,
 }
 
 /// Slot holding a session inside the engine state.
@@ -314,6 +330,7 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.quantum > 0, "quantum must be positive");
+        assert!(config.batch > 0, "batch must be positive");
         assert!(config.detector_fps > 0.0, "detector_fps must be positive");
         let mut cache = FrameCache::new(config.cache_capacity, config.cache_shards);
         let persist = config.persist.as_ref().map(|pc| {
@@ -574,6 +591,7 @@ impl Engine {
             repo,
             class_dets: Vec::new(),
             gt_scratch: Vec::new(),
+            batch: spec.batch.unwrap_or(self.shared.config.batch).max(1) as usize,
         });
         let id = SessionId(state.next_session);
         state.next_session += 1;
@@ -942,13 +960,14 @@ fn worker_loop(shared: &Shared) {
         let outcome = step_quantum(&mut core, shared, &cancel);
 
         state = shared.state.lock().expect("engine state poisoned");
-        // Liveness floor: an all-hit quantum costs ~0 modelled seconds, and
-        // charging exactly 0 would freeze the session's virtual time and
-        // let a cache-warm session hold every lease until it finishes
-        // (wall-clock-starving cost-paying sessions). Floor each release at
-        // 0.1% of a fully-missing quantum — negligible for budget split,
-        // sufficient for rotation. Session ledgers stay exact; only the
-        // scheduler's arbitration sees the floor.
+        // Fairness floor: an all-hit quantum costs ~0 modelled seconds,
+        // and a near-zero charge would let a cache-warm session hold
+        // every lease until it finishes (wall-clock-starving cost-paying
+        // sessions). Floor each release at 0.1% of a fully-missing
+        // quantum — negligible for budget split, sufficient for rotation.
+        // This is *policy*; correctness (NaN/negative/zero charges) is
+        // the scheduler's own validation in `Scheduler::release`. Session
+        // ledgers stay exact; only the arbitration sees the floor.
         let floor_s = shared.config.quantum as f64 / shared.config.detector_fps * 1e-3;
         state
             .scheduler
@@ -961,9 +980,11 @@ fn worker_loop(shared: &Shared) {
             slot.events.extend_from_slice(&outcome.events);
             slot.charges.detect_s += outcome.delta.detect_s;
             slot.charges.io_s += outcome.delta.io_s;
+            slot.charges.dispatch_s += outcome.delta.dispatch_s;
             slot.charges.frames += outcome.delta.frames;
             slot.charges.cache_hits += outcome.delta.cache_hits;
             slot.charges.detector_invocations += outcome.delta.detector_invocations;
+            slot.charges.dispatches += outcome.delta.dispatches;
             slot.found = core.stepper.found();
             slot.samples = core.stepper.samples();
             if outcome.finished || outcome.cancelled {
@@ -1038,8 +1059,156 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Step one leased session for up to `quantum` frames. Runs without the
-/// state lock; touches only the session's own core plus the shared cache.
+/// How one drawn frame's detections were obtained (see
+/// [`resolve_batch`]).
+struct ResolvedFrame {
+    dets: CachedDetections,
+    /// io/decode seconds this session paid (misses only).
+    io_s: f64,
+    /// This session ran the detector for the frame (a cache miss).
+    miss: bool,
+    /// Recording this frame also bills one dispatch overhead
+    /// ([`CostModel::dispatch_s`]) — set on the first miss of each
+    /// dispatch.
+    dispatch: bool,
+}
+
+/// Resolve detections for one drawn batch against the shared cache:
+///
+/// 1. **Reserve** every key ([`FrameCache::begin`]) — hits are served
+///    immediately, misses become this session's reservations, keys other
+///    sessions are computing become waits.
+/// 2. **Dispatch once**: decode every missed frame through the session's
+///    own container reader, run them through the repository's detector
+///    bank as a single batched dispatch, and publish each result — all
+///    with **no cache shard lock held**, so detection never serializes
+///    unrelated sessions on a shard.
+/// 3. **Wait** for the in-flight keys, strictly *after* our own fills —
+///    two sessions batching overlapping frames therefore can never
+///    deadlock on each other. An abandoned in-flight entry (its computer
+///    panicked) is recomputed here as its own single-frame dispatch.
+///
+/// `resolved` is filled positionally (one entry per drawn frame).
+fn resolve_batch(
+    core: &mut SessionCore,
+    shared: &Shared,
+    drawn: &[u64],
+    resolved: &mut Vec<Option<ResolvedFrame>>,
+) {
+    let cost_model = shared.config.cost_model;
+    resolved.clear();
+    resolved.resize_with(drawn.len(), || None);
+    let mut reservations = Vec::new();
+    let mut waits = Vec::new();
+    for (k, &frame) in drawn.iter().enumerate() {
+        match shared.cache.begin((core.repo_id, frame)) {
+            Lookup::Hit(dets) => {
+                resolved[k] = Some(ResolvedFrame {
+                    dets,
+                    io_s: 0.0,
+                    miss: false,
+                    dispatch: false,
+                });
+            }
+            Lookup::Pending(wait) => waits.push((k, wait)),
+            Lookup::Miss(guard) => reservations.push((k, guard)),
+        }
+    }
+    if !reservations.is_empty() {
+        // One dispatch for every miss in the batch: decode, then detect
+        // back-to-back, then publish. The first miss carries the
+        // dispatch-overhead bill.
+        let miss_frames: Vec<u64> = reservations.iter().map(|(k, _)| drawn[*k]).collect();
+        let mut io = Vec::with_capacity(miss_frames.len());
+        for &frame in &miss_frames {
+            let before = *core.container.stats();
+            core.container
+                .read_frame(frame)
+                .expect("engine-built container read");
+            let after = *core.container.stats();
+            io.push(cost_model.seconds(&decode_delta(&before, &after)));
+        }
+        let banks = dispatch_batch(&core.repo.detectors, &miss_frames, &mut core.gt_scratch);
+        let mut first = true;
+        for (((k, guard), dets), io_s) in reservations.into_iter().zip(banks).zip(io) {
+            let value = guard.fill(dets);
+            resolved[k] = Some(ResolvedFrame {
+                dets: value,
+                io_s,
+                miss: true,
+                dispatch: std::mem::take(&mut first),
+            });
+        }
+    }
+    for (k, wait) in waits {
+        let frame = drawn[k];
+        let mut wait = Some(wait);
+        resolved[k] = Some(loop {
+            let pending = match wait.take() {
+                Some(w) => w,
+                None => match shared.cache.begin((core.repo_id, frame)) {
+                    Lookup::Hit(dets) => {
+                        break ResolvedFrame {
+                            dets,
+                            io_s: 0.0,
+                            miss: false,
+                            dispatch: false,
+                        }
+                    }
+                    Lookup::Pending(w) => w,
+                    Lookup::Miss(guard) => {
+                        // The session computing this frame died; recompute
+                        // it ourselves as a single-frame dispatch.
+                        let before = *core.container.stats();
+                        core.container
+                            .read_frame(frame)
+                            .expect("engine-built container read");
+                        let after = *core.container.stats();
+                        let io_s = cost_model.seconds(&decode_delta(&before, &after));
+                        let dets = exsample_detect::detect_frame(
+                            &core.repo.detectors,
+                            frame,
+                            &mut core.gt_scratch,
+                        );
+                        break ResolvedFrame {
+                            dets: guard.fill(dets),
+                            io_s,
+                            miss: true,
+                            dispatch: true,
+                        };
+                    }
+                },
+            };
+            if let Some(dets) = pending.wait() {
+                break ResolvedFrame {
+                    dets,
+                    io_s: 0.0,
+                    miss: false,
+                    dispatch: false,
+                };
+            }
+        });
+    }
+}
+
+/// Step one leased session for up to `quantum` frames, in detector
+/// batches of the session's batch size (§III-F). Runs without the state
+/// lock; touches only the session's own core plus the shared cache.
+///
+/// Per batch: draw up to `batch` frames from the sampler with no
+/// intermediate feedback, resolve their detections ([`resolve_batch`]:
+/// one dispatch for the misses, outside the cache shard locks), then
+/// replay discriminator feedback **in draw order** — so a session's
+/// frame sequence and results are a pure function of its spec and batch
+/// size, independent of worker interleavings and of the hit/miss
+/// partition. With `batch = 1` the stepping, charging, and RNG
+/// consumption are bit-identical to per-frame execution.
+///
+/// When the stop condition fires mid-batch, the remaining drawn frames
+/// are discarded unrecorded — the speculative tail real batched
+/// inference wastes. Their detections stay in the shared cache (later
+/// sessions hit them for free) but are *not* billed to this session's
+/// ledger: the clock stops where the search stopped.
 fn step_quantum(core: &mut SessionCore, shared: &Shared, cancel: &AtomicBool) -> QuantumOutcome {
     let detect_frame_s = 1.0 / shared.config.detector_fps;
     let cost_model = shared.config.cost_model;
@@ -1049,63 +1218,65 @@ fn step_quantum(core: &mut SessionCore, shared: &Shared, cancel: &AtomicBool) ->
         finished: false,
         cancelled: false,
     };
-    for _ in 0..shared.config.quantum {
+    let quantum = shared.config.quantum as usize;
+    let mut drawn: Vec<u64> = Vec::new();
+    let mut resolved: Vec<Option<ResolvedFrame>> = Vec::new();
+    let mut stepped = 0usize;
+    'quantum: while stepped < quantum {
         if cancel.load(Ordering::Relaxed) {
             out.cancelled = true;
             break;
         }
-        let Some(frame) = core.stepper.next_frame(&mut core.policy, &mut core.rng) else {
+        let want = core.batch.min(quantum - stepped);
+        core.stepper
+            .next_batch(&mut core.policy, &mut core.rng, want, &mut drawn);
+        if drawn.is_empty() {
             out.finished = true;
             break;
-        };
-        let mut io_s = 0.0;
-        let container = &mut core.container;
-        let repo = &core.repo;
-        let gt_scratch = &mut core.gt_scratch;
-        let (dets, hit) = shared.cache.get_or_compute((core.repo_id, frame), || {
-            let before = *container.stats();
-            container
-                .read_frame(frame)
-                .expect("engine-built container read");
-            let after = *container.stats();
-            io_s = cost_model.seconds(&decode_delta(&before, &after));
-            let mut all = Vec::new();
-            for det in &repo.detectors {
-                all.extend(det.detect_with_scratch(frame, gt_scratch));
-            }
-            all
-        });
-        core.class_dets.clear();
-        core.class_dets
-            .extend(dets.iter().filter(|d| d.class == core.class).cloned());
-        let obs = core.discrim.observe(frame, &core.class_dets);
-        let fb = Feedback::new(obs.new_results, obs.matched_once);
-
-        out.delta.frames += 1;
-        let frame_cost = if hit {
-            out.delta.cache_hits += 1;
-            0.0
-        } else {
-            out.delta.detector_invocations += 1;
-            out.delta.detect_s += detect_frame_s;
-            out.delta.io_s += io_s;
-            detect_frame_s + io_s
-        };
-        // The session clock lives in the stepper (record sets it to the
-        // absolute value we pass), so there is a single source of truth.
-        let now = core.stepper.seconds() + frame_cost;
-        let done = core.stepper.record(&mut core.policy, frame, fb, now);
-        if fb.new_results > 0 {
-            out.events.push(ResultEvent {
-                frame,
-                new_results: fb.new_results,
-                samples: core.stepper.samples(),
-                seconds: now,
-            });
         }
-        if done {
-            out.finished = true;
-            break;
+        resolve_batch(core, shared, &drawn, &mut resolved);
+        for (k, &frame) in drawn.iter().enumerate() {
+            let r = resolved[k].take().expect("resolve_batch fills every slot");
+            core.class_dets.clear();
+            core.class_dets
+                .extend(r.dets.iter().filter(|d| d.class == core.class).cloned());
+            let obs = core.discrim.observe(frame, &core.class_dets);
+            let fb = Feedback::new(obs.new_results, obs.matched_once);
+
+            out.delta.frames += 1;
+            let frame_cost = if r.miss {
+                out.delta.detector_invocations += 1;
+                out.delta.detect_s += detect_frame_s;
+                out.delta.io_s += r.io_s;
+                let mut cost = detect_frame_s + r.io_s;
+                if r.dispatch {
+                    out.delta.dispatches += 1;
+                    out.delta.dispatch_s += cost_model.dispatch_s;
+                    cost += cost_model.dispatch_s;
+                }
+                cost
+            } else {
+                out.delta.cache_hits += 1;
+                0.0
+            };
+            // The session clock lives in the stepper (record sets it to
+            // the absolute value we pass), so there is a single source of
+            // truth.
+            let now = core.stepper.seconds() + frame_cost;
+            let done = core.stepper.record(&mut core.policy, frame, fb, now);
+            if fb.new_results > 0 {
+                out.events.push(ResultEvent {
+                    frame,
+                    new_results: fb.new_results,
+                    samples: core.stepper.samples(),
+                    seconds: now,
+                });
+            }
+            stepped += 1;
+            if done {
+                out.finished = true;
+                break 'quantum;
+            }
         }
     }
     out
@@ -1879,6 +2050,93 @@ mod tests {
         assert_eq!(stats.live_sessions, 1);
         engine.forget(id).unwrap();
         assert_eq!(engine.service_stats().live_sessions, 0);
+    }
+
+    #[test]
+    fn engine_stepping_matches_blocking_run_search_per_query() {
+        // The engine's batched stepping at batch = 1 (the default) must
+        // sample exactly the frames the classic blocking per-frame driver
+        // samples: same RNG consumption, same feedback order, same trace
+        // shape. This is the bit-identity contract of §III-F batching.
+        use exsample_core::driver::{run_search, SearchCost};
+        use exsample_core::exsample::{ExSample, ExSampleConfig};
+        let gt = truth(20_000, 60);
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            quantum: 8,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo("ref-repo", gt.clone(), NoiseModel::none(), 5);
+        let id = engine
+            .submit(
+                QuerySpec::new(repo, ClassId(0), StopCond::results(12))
+                    .seed(9)
+                    .chunks(16),
+            )
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+
+        let mut policy = ExSample::new(Chunking::even(20_000, 16), ExSampleConfig::default());
+        let mut oracle = exsample_detect::QueryOracle::new(
+            SimulatedDetector::new(gt, ClassId(0), NoiseModel::none(), 5),
+            OracleDiscriminator::new(),
+        );
+        let mut rng = Rng64::new(9);
+        let reference = {
+            let mut f = |frame| oracle.process(frame);
+            run_search(
+                &mut policy,
+                &mut f,
+                &SearchCost::per_sample(1.0 / 20.0),
+                &StopCond::results(12),
+                &mut rng,
+            )
+        };
+        assert_eq!(report.trace.samples(), reference.samples());
+        assert_eq!(report.trace.found(), reference.found());
+        let engine_curve: Vec<(u64, u64)> = report
+            .trace
+            .points()
+            .iter()
+            .map(|p| (p.samples, p.found))
+            .collect();
+        let reference_curve: Vec<(u64, u64)> = reference
+            .points()
+            .iter()
+            .map(|p| (p.samples, p.found))
+            .collect();
+        assert_eq!(engine_curve, reference_curve);
+    }
+
+    #[test]
+    fn dispatch_overhead_is_charged_once_per_batch() {
+        let cost_model = CostModel {
+            dispatch_s: 0.05,
+            ..CostModel::default()
+        };
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            quantum: 16,
+            batch: 8,
+            cost_model,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo("batch-repo", truth(20_000, 60), NoiseModel::none(), 5);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(15)).seed(4))
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+        assert!(report.charges.dispatches > 0);
+        assert!(
+            report.charges.dispatches < report.charges.detector_invocations,
+            "{} dispatches did not amortize {} invocations",
+            report.charges.dispatches,
+            report.charges.detector_invocations
+        );
+        // One overhead charge per dispatch, and the trace clock equals
+        // the full charged ledger including dispatch overhead.
+        assert!((report.charges.dispatch_s - report.charges.dispatches as f64 * 0.05).abs() < 1e-9);
+        assert!((report.trace.seconds() - report.charges.total_s()).abs() < 1e-9);
     }
 
     #[test]

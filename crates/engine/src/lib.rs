@@ -78,7 +78,9 @@ pub mod service;
 pub mod session;
 pub mod threads;
 
-pub use cache::{CacheStats, FrameCache};
+pub use cache::{
+    CacheStats, CachedDetections, FrameCache, FrameKey, Lookup, MissGuard, PendingWait,
+};
 pub use engine::{Engine, EngineConfig, EngineError, PersistStats};
 pub use exsample_persist::{dataset_fingerprint, detector_fingerprint, PersistConfig};
 pub use scheduler::Scheduler;

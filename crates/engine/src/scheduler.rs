@@ -17,13 +17,24 @@
 //! newcomer competes fairly from now on instead of monopolizing the
 //! detector while it "catches up" on seconds it never consumed.
 //!
-//! The scheduler itself accepts whatever charge the caller reports — a
-//! zero charge would freeze a session's virtual time and let it hold
-//! every lease. The engine therefore floors each release at a tiny
-//! epsilon (see its worker loop), which bounds how long an all-cache-hit
-//! session can keep the lease ahead of cost-paying ones.
+//! Charges are validated where they are applied: [`Scheduler::release`]
+//! sanitizes non-finite and negative charges (a NaN would otherwise
+//! poison the virtual-time comparison in [`Scheduler::lease_next`] and
+//! panic a worker) and enforces a tiny minimum advance so a zero charge
+//! can never freeze a session's virtual time and let it hold every lease
+//! forever. That floor is a *correctness* guarantee — eventual rotation,
+//! finite ordering — not a fairness policy; callers wanting an all-hit
+//! session to rotate out promptly should still impose their own larger
+//! policy floor, as the engine's worker loop does.
 
 use crate::session::SessionId;
+
+/// Minimum virtual-time advance per [`Scheduler::release`], applied after
+/// sanitizing the reported charge. Small enough to be invisible next to
+/// any real charge (detection is ~50 modelled milliseconds), large enough
+/// that a session releasing "free" quanta forever still makes monotone
+/// progress and eventually yields the lease.
+const MIN_RELEASE_CHARGE_S: f64 = 1e-9;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -112,11 +123,37 @@ impl Scheduler {
     }
 
     /// Return a leased session, charging it the seconds its quantum cost.
+    ///
+    /// The charge is validated here, not trusted from the caller: a NaN
+    /// or infinite charge is dropped (it would poison every later
+    /// virtual-time comparison and panic `lease_next` on a worker
+    /// thread), a negative charge is clamped to zero (virtual time must
+    /// never rewind), and the applied charge is floored at a tiny
+    /// epsilon (`MIN_RELEASE_CHARGE_S`) so even a zero-cost release
+    /// advances virtual time — a frozen clock would let the session hold
+    /// every lease. Larger floors for *fairness* (rotating all-cache-hit
+    /// sessions out promptly) remain the caller's policy.
     pub fn release(&mut self, id: SessionId, charge_s: f64) {
         let i = self.index_of(id);
         debug_assert!(self.entries[i].leased, "release of unleased session");
         self.entries[i].leased = false;
-        self.entries[i].charged_s += charge_s;
+        let charge_s = if charge_s.is_finite() {
+            charge_s.max(0.0)
+        } else {
+            0.0
+        };
+        let entry = &mut self.entries[i];
+        let advanced = entry.charged_s + charge_s.max(MIN_RELEASE_CHARGE_S);
+        // The epsilon alone can be absorbed by float rounding once the
+        // accumulated charge is large (1e-9 < ulp(charged_s)/2 beyond
+        // ~1.7e7 charged seconds); "every release advances virtual time"
+        // is a strict guarantee, so fall back to the next representable
+        // value when the addition rounds away.
+        entry.charged_s = if advanced > entry.charged_s {
+            advanced
+        } else {
+            entry.charged_s.next_up()
+        };
     }
 
     /// Mark a session finished: its entry is removed outright, so the
@@ -291,6 +328,73 @@ mod tests {
             (4..=7).contains(&cold_grants),
             "cold session got {cold_grants} grants"
         );
+    }
+
+    #[test]
+    fn nan_charge_is_sanitized_instead_of_poisoning_lease_next() {
+        // Regression: a NaN charge used to make the session's virtual
+        // time NaN, and the next `lease_next` panicked a worker on
+        // `partial_cmp(...).expect("finite virtual time")`.
+        let mut s = Scheduler::new();
+        s.register(sid(1), 1);
+        s.register(sid(2), 1);
+        let id = s.lease_next().unwrap();
+        s.release(id, f64::NAN);
+        // Both sessions still lease and order deterministically.
+        let a = s.lease_next().expect("scheduler survives NaN charge");
+        let b = s.lease_next().expect("scheduler survives NaN charge");
+        assert_ne!(a, b);
+        s.release(a, f64::INFINITY); // non-finite likewise dropped
+        s.release(b, 1.0);
+        assert!(s.charged(a).is_finite());
+        assert_eq!(s.lease_next(), Some(a));
+    }
+
+    #[test]
+    fn negative_charge_never_rewinds_virtual_time() {
+        let mut s = Scheduler::new();
+        s.register(sid(1), 1);
+        let id = s.lease_next().unwrap();
+        s.release(id, 5.0);
+        let before = s.charged(sid(1));
+        let id = s.lease_next().unwrap();
+        s.release(id, -100.0);
+        assert!(
+            s.charged(sid(1)) >= before,
+            "virtual time rewound: {} < {before}",
+            s.charged(sid(1))
+        );
+    }
+
+    #[test]
+    fn zero_charge_still_advances_virtual_time() {
+        // Correctness floor (not the engine's policy floor): each release
+        // must advance the clock, so a zero-cost session eventually
+        // rotates out even if the caller applies no floor of its own.
+        let mut s = Scheduler::new();
+        s.register(sid(1), 1);
+        let mut last = s.charged(sid(1));
+        for _ in 0..10 {
+            let id = s.lease_next().unwrap();
+            s.release(id, 0.0);
+            let now = s.charged(sid(1));
+            assert!(now > last, "zero-charge release froze virtual time");
+            last = now;
+        }
+        // The guarantee must survive float absorption: once the
+        // accumulated charge is large enough that the epsilon floor is
+        // below half an ulp, a plain `+= 1e-9` would round away and
+        // re-freeze the clock.
+        let id = s.lease_next().unwrap();
+        s.release(id, 1e12);
+        let mut last = s.charged(sid(1));
+        for _ in 0..10 {
+            let id = s.lease_next().unwrap();
+            s.release(id, 0.0);
+            let now = s.charged(sid(1));
+            assert!(now > last, "epsilon absorbed at charged_s = {last}");
+            last = now;
+        }
     }
 
     #[test]

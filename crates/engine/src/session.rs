@@ -61,6 +61,16 @@ pub struct QuerySpec {
     /// without persistence it is a no-op. Disable for bit-reproducible
     /// replays of a cold run.
     pub warm_start: bool,
+    /// Detector batch size for this session (§III-F): the sampler draws
+    /// this many Thompson samples *before* seeing any of their outcomes,
+    /// and the engine resolves each batch's cache misses with a single
+    /// detector dispatch, amortizing the per-dispatch overhead of
+    /// `exsample_store::CostModel::dispatch_s`. `None` (the default)
+    /// inherits the engine's `EngineConfig::batch`. A batch of 1 is
+    /// bit-identical to per-frame stepping; larger batches trade feedback
+    /// freshness for dispatch amortization, exactly like real GPU batched
+    /// inference.
+    pub batch: Option<u32>,
 }
 
 impl QuerySpec {
@@ -77,6 +87,7 @@ impl QuerySpec {
             seed: 0,
             discriminator: DiscriminatorKind::default(),
             warm_start: true,
+            batch: None,
         }
     }
 
@@ -117,6 +128,12 @@ impl QuerySpec {
         self
     }
 
+    /// Set the detector batch size (see [`QuerySpec::batch`]).
+    pub fn batch(mut self, batch: u32) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
     /// Structural validation, shared by every
     /// [`SearchService`](crate::SearchService) implementation: every
     /// problem checkable from the spec alone is rejected *at submit
@@ -136,6 +153,9 @@ impl QuerySpec {
         }
         if self.stop.max_seconds.is_some_and(|s| !s.is_finite()) {
             return Err("stop seconds must be finite");
+        }
+        if self.batch == Some(0) {
+            return Err("batch must be positive");
         }
         Ok(())
     }
@@ -172,18 +192,28 @@ pub struct SessionCharges {
     pub detect_s: f64,
     /// Modelled io/decode seconds charged (container seeks + GOP walks).
     pub io_s: f64,
+    /// Modelled dispatch-overhead seconds charged: one
+    /// `CostModel::dispatch_s` per detector dispatch this session paid
+    /// for. Zero unless the engine's cost model prices dispatches.
+    pub dispatch_s: f64,
     /// Frames this session processed.
     pub frames: u64,
     /// Frames answered from the shared cache.
     pub cache_hits: u64,
     /// Frames this session paid detector time for.
     pub detector_invocations: u64,
+    /// Detector dispatches this session paid for. Per-frame stepping
+    /// (`batch = 1`) dispatches once per miss; batched stepping resolves
+    /// a whole batch's misses with one dispatch, so
+    /// `dispatches ≤ detector_invocations` and the gap is what batching
+    /// amortized (§III-F).
+    pub dispatches: u64,
 }
 
 impl SessionCharges {
     /// Total seconds charged against the scheduler budget.
     pub fn total_s(&self) -> f64 {
-        self.detect_s + self.io_s
+        self.detect_s + self.io_s + self.dispatch_s
     }
 }
 
@@ -243,7 +273,8 @@ mod tests {
             .weight(4)
             .seed(99)
             .discriminator(DiscriminatorKind::Tracker { seed: 5 })
-            .warm_start(false);
+            .warm_start(false)
+            .batch(16);
         assert_eq!(q.repo, RepoId(3));
         assert_eq!(q.class, ClassId(1));
         assert_eq!(q.chunks, 32);
@@ -252,6 +283,7 @@ mod tests {
         assert_eq!(q.stop.max_results, Some(5));
         assert_eq!(q.discriminator, DiscriminatorKind::Tracker { seed: 5 });
         assert!(!q.warm_start);
+        assert_eq!(q.batch, Some(16));
     }
 
     #[test]
@@ -259,6 +291,15 @@ mod tests {
         let q = QuerySpec::new(RepoId(0), ClassId(0), StopCond::results(1));
         assert_eq!(q.discriminator, DiscriminatorKind::Oracle);
         assert!(q.warm_start);
+        assert_eq!(q.batch, None, "batch defaults to the engine's setting");
+    }
+
+    #[test]
+    fn zero_batch_is_rejected_at_validation() {
+        let q = QuerySpec::new(RepoId(0), ClassId(0), StopCond::results(1)).batch(0);
+        assert_eq!(q.validate(), Err("batch must be positive"));
+        let q = QuerySpec::new(RepoId(0), ClassId(0), StopCond::results(1)).batch(1);
+        assert_eq!(q.validate(), Ok(()));
     }
 
     #[test]
@@ -266,8 +307,9 @@ mod tests {
         let c = SessionCharges {
             detect_s: 1.5,
             io_s: 0.25,
+            dispatch_s: 0.5,
             ..Default::default()
         };
-        assert!((c.total_s() - 1.75).abs() < 1e-12);
+        assert!((c.total_s() - 2.25).abs() < 1e-12);
     }
 }

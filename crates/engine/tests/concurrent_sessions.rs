@@ -23,9 +23,15 @@ fn repository() -> Arc<GroundTruth> {
 /// Submit six concurrent sessions (mixed targets, weights, seeds) and
 /// wait for all of them.
 fn run_fleet(workers: usize) -> (Vec<SessionReport>, u64, u64) {
+    run_fleet_batched(workers, 1)
+}
+
+/// [`run_fleet`] with a detector batch size (§III-F) for every session.
+fn run_fleet_batched(workers: usize, batch: u32) -> (Vec<SessionReport>, u64, u64) {
     let engine = Engine::new(EngineConfig {
         workers,
         quantum: 8,
+        batch,
         ..EngineConfig::default()
     });
     let repo = engine.register_repo("it-repo", repository(), NoiseModel::none(), 3);
@@ -107,4 +113,103 @@ fn concurrent_sessions_reach_stop_share_cache_and_are_deterministic() {
         "detector spend is not reproducible"
     );
     assert_eq!(hits, hits2);
+}
+
+#[test]
+fn batched_sessions_are_deterministic_across_worker_counts() {
+    // §III-F batched dispatch: the fleet steps in 8-frame detector
+    // batches. Each session's frame sequence (and therefore its trace) is
+    // a pure function of its spec and batch size — it must not depend on
+    // how many workers interleave the sessions or on the hit/miss
+    // partition those interleavings produce.
+    let (reports, hits, invocations) = run_fleet_batched(4, 8);
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.status, SessionStatus::Done, "session {i}");
+        assert!(
+            r.trace.found() >= 40 + 2 * i as u64,
+            "session {i} under target"
+        );
+        assert_eq!(
+            r.charges.cache_hits + r.charges.detector_invocations,
+            r.charges.frames,
+            "session {i} ledger"
+        );
+        // Batching amortizes dispatches: never more dispatches than
+        // invocations, and with batches of 8 over a mostly-cold cache,
+        // strictly fewer.
+        assert!(
+            r.charges.dispatches <= r.charges.detector_invocations,
+            "session {i}: {} dispatches for {} invocations",
+            r.charges.dispatches,
+            r.charges.detector_invocations
+        );
+    }
+    let total_dispatches: u64 = reports.iter().map(|r| r.charges.dispatches).sum();
+    assert!(
+        total_dispatches < invocations,
+        "8-frame batches did not amortize dispatches: {total_dispatches} >= {invocations}"
+    );
+    assert!(hits > 0, "batched sessions stopped sharing the cache");
+
+    let (again, _, invocations2) = run_fleet_batched(1, 8);
+    for (a, b) in reports.iter().zip(&again) {
+        assert_eq!(a.trace.samples(), b.trace.samples());
+        assert_eq!(a.trace.found(), b.trace.found());
+        let curve_a: Vec<(u64, u64)> = a
+            .trace
+            .points()
+            .iter()
+            .map(|p| (p.samples, p.found))
+            .collect();
+        let curve_b: Vec<(u64, u64)> = b
+            .trace
+            .points()
+            .iter()
+            .map(|p| (p.samples, p.found))
+            .collect();
+        assert_eq!(curve_a, curve_b, "batched trace depends on worker count");
+    }
+    assert_eq!(invocations, invocations2);
+}
+
+#[test]
+fn per_query_batch_override_takes_precedence_over_engine_default() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        quantum: 8,
+        batch: 1,
+        ..EngineConfig::default()
+    });
+    let repo = engine.register_repo("it-repo", repository(), NoiseModel::none(), 3);
+    // Batch larger than the quantum: capped per lease, still correct.
+    let batched = engine
+        .submit(
+            QuerySpec::new(repo, ClassId(0), StopCond::results(30))
+                .chunks(16)
+                .seed(77)
+                .batch(64),
+        )
+        .expect("valid spec");
+    let per_frame = engine
+        .submit(
+            QuerySpec::new(repo, ClassId(0), StopCond::results(30))
+                .chunks(16)
+                .seed(78),
+        )
+        .expect("valid spec");
+    let batched = engine.wait(batched).expect("finishes");
+    let per_frame = engine.wait(per_frame).expect("finishes");
+    assert!(batched.trace.found() >= 30);
+    assert!(per_frame.trace.found() >= 30);
+    assert!(
+        batched.charges.dispatches < batched.charges.detector_invocations,
+        "override ignored: {} dispatches for {} invocations",
+        batched.charges.dispatches,
+        batched.charges.detector_invocations
+    );
+    // The engine-default session dispatches per miss.
+    assert_eq!(
+        per_frame.charges.dispatches,
+        per_frame.charges.detector_invocations
+    );
 }

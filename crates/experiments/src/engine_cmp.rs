@@ -22,6 +22,12 @@
 //! [`run_remote`]), or a whole fleet behind an
 //! [`exsample_cluster::ShardRouter`] (via [`run_on_cluster`]) — all of
 //! which must (and are tested to) produce identical results.
+//!
+//! A second comparison, [`run_batched_cmp`], quantifies §III-F batched
+//! dispatch: the same exhaustive workload with one detector dispatch per
+//! cache miss versus one dispatch per batch of misses. Both find the
+//! complete, identical result set; batching pays strictly fewer modelled
+//! dispatch-seconds.
 
 use crate::parallel::default_threads;
 use exsample_cluster::{ShardRouter, ShardService};
@@ -354,6 +360,164 @@ fn engine_config(cfg: &EngineCmpConfig, detector_fps: f64) -> EngineConfig {
     }
 }
 
+/// Cost of one execution strategy in the batched-dispatch comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchCost {
+    /// Total frames sampled across queries.
+    pub frames: u64,
+    /// Total detector invocations paid for (cache misses).
+    pub detector_invocations: u64,
+    /// Total detector dispatches paid for.
+    pub dispatches: u64,
+    /// Modelled dispatch-overhead seconds (`dispatches · dispatch_s`).
+    pub dispatch_s: f64,
+    /// Modelled per-frame detector seconds.
+    pub detect_s: f64,
+}
+
+/// Report of the §III-F batched-vs-per-frame dispatch comparison (see
+/// [`run_batched_cmp`]).
+#[derive(Debug, Clone)]
+pub struct BatchCmpReport {
+    /// Per-query distinct results under per-frame dispatch.
+    pub found_per_frame: Vec<u64>,
+    /// Per-query distinct results under batched dispatch — identical to
+    /// `found_per_frame` by construction (both strategies sweep the whole
+    /// repository).
+    pub found_batched: Vec<u64>,
+    /// Cost with one dispatch per cache miss (`batch = 1`).
+    pub per_frame: DispatchCost,
+    /// Cost with one dispatch per batch of misses.
+    pub batched: DispatchCost,
+    /// The batch size the batched strategy ran with.
+    pub batch: u32,
+}
+
+impl BatchCmpReport {
+    /// Dispatch-overhead seconds avoided by batching, as a fraction.
+    pub fn dispatch_savings(&self) -> f64 {
+        if self.per_frame.dispatch_s == 0.0 {
+            0.0
+        } else {
+            1.0 - self.batched.dispatch_s / self.per_frame.dispatch_s
+        }
+    }
+}
+
+/// Run the workload through one engine with the given batch size and
+/// dispatch overhead, every query sweeping the entire repository
+/// (`StopCond::samples(frames)`), and collect the dispatch-aware costs.
+fn run_exhaustive_with_batch(
+    gt: &Arc<GroundTruth>,
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+    dispatch_overhead_s: f64,
+    batch: u32,
+) -> (Vec<u64>, DispatchCost) {
+    let mut config = engine_config(cfg, detector_fps);
+    config.batch = batch;
+    config.cost_model.dispatch_s = dispatch_overhead_s;
+    let engine = Engine::new(config);
+    let repo = engine.register_repo(REPO_NAME, gt.clone(), NoiseModel::none(), cfg.seed);
+    let ids: Vec<_> = (0..cfg.queries)
+        .map(|q| {
+            engine
+                .submit(
+                    QuerySpec::new(repo, ClassId(0), StopCond::samples(cfg.frames))
+                        .chunks(cfg.chunks)
+                        .seed(cfg.seed + q as u64),
+                )
+                .expect("valid spec")
+        })
+        .collect();
+    let mut found = Vec::with_capacity(ids.len());
+    let mut cost = DispatchCost {
+        frames: 0,
+        detector_invocations: 0,
+        dispatches: 0,
+        dispatch_s: 0.0,
+        detect_s: 0.0,
+    };
+    for id in ids {
+        let report = engine.wait(id).expect("session completes");
+        assert_eq!(report.status, SessionStatus::Done);
+        found.push(report.trace.found());
+        cost.frames += report.charges.frames;
+        cost.dispatches += report.charges.dispatches;
+        cost.dispatch_s += report.charges.dispatch_s;
+        cost.detect_s += report.charges.detect_s;
+    }
+    cost.detector_invocations = engine.detector_invocations();
+    (found, cost)
+}
+
+/// The §III-F comparison: the same exhaustive workload (every query
+/// samples every frame, so both strategies find the **complete, identical
+/// result set**) run twice through the engine — once dispatching the
+/// detector per cache miss (`batch = 1`, the per-frame status quo) and
+/// once in detector batches of `batch` frames, where each batch's misses
+/// cost a *single* dispatch. With a per-dispatch overhead
+/// (`CostModel::dispatch_s = dispatch_overhead_s`), batching must pay
+/// strictly fewer modelled dispatch-seconds for the same results; the
+/// per-frame detector seconds are identical by construction.
+///
+/// # Panics
+/// Panics if the two strategies disagree on any query's result count —
+/// batching changes cost accounting, never completeness.
+pub fn run_batched_cmp(
+    cfg: &EngineCmpConfig,
+    detector_fps: f64,
+    dispatch_overhead_s: f64,
+    batch: u32,
+) -> BatchCmpReport {
+    assert!(batch > 1, "the batched strategy needs a batch size > 1");
+    let gt = cfg.ground_truth();
+    let (found_per_frame, per_frame) =
+        run_exhaustive_with_batch(&gt, cfg, detector_fps, dispatch_overhead_s, 1);
+    let (found_batched, batched) =
+        run_exhaustive_with_batch(&gt, cfg, detector_fps, dispatch_overhead_s, batch);
+    assert_eq!(
+        found_per_frame, found_batched,
+        "batched dispatch changed query results — §III-F violated"
+    );
+    BatchCmpReport {
+        found_per_frame,
+        found_batched,
+        per_frame,
+        batched,
+        batch,
+    }
+}
+
+/// Render a batched-dispatch report as a markdown table.
+pub fn to_batch_table(report: &BatchCmpReport) -> crate::report::Table {
+    let mut t = crate::report::Table::new(&[
+        "strategy",
+        "frames",
+        "detector invocations",
+        "dispatches",
+        "dispatch seconds",
+        "detector seconds",
+    ]);
+    t.row(vec![
+        "per-frame dispatch".into(),
+        report.per_frame.frames.to_string(),
+        report.per_frame.detector_invocations.to_string(),
+        report.per_frame.dispatches.to_string(),
+        format!("{:.2}", report.per_frame.dispatch_s),
+        format!("{:.1}", report.per_frame.detect_s),
+    ]);
+    t.row(vec![
+        format!("batched dispatch (B={})", report.batch),
+        report.batched.frames.to_string(),
+        report.batched.detector_invocations.to_string(),
+        report.batched.dispatches.to_string(),
+        format!("{:.2}", report.batched.dispatch_s),
+        format!("{:.1}", report.batched.detect_s),
+    ]);
+    t
+}
+
 /// Run the batch concurrently through the shared engine (in-process).
 pub fn run_engine(
     gt: &Arc<GroundTruth>,
@@ -524,6 +688,65 @@ mod tests {
             cluster_hit_rate > 0.0,
             "overlapping queries share within shards"
         );
+    }
+
+    #[test]
+    fn batched_dispatch_amortizes_overhead_without_changing_results() {
+        let mut cfg = quick_cfg();
+        cfg.frames = 5_000;
+        cfg.instances = 20;
+        cfg.queries = 3;
+        let report = run_batched_cmp(&cfg, 20.0, 0.02, 8);
+        // Identical, complete result sets: every query swept the whole
+        // repository under both strategies.
+        assert_eq!(report.found_per_frame, report.found_batched);
+        for &f in &report.found_per_frame {
+            assert_eq!(f, cfg.instances as u64, "incomplete sweep");
+        }
+        assert_eq!(report.per_frame.frames, report.batched.frames);
+        assert_eq!(
+            report.per_frame.detector_invocations, report.batched.detector_invocations,
+            "batching must not change what the detector runs on"
+        );
+        // Per-frame dispatch: one dispatch per miss, by definition.
+        assert_eq!(
+            report.per_frame.dispatches,
+            report.per_frame.detector_invocations
+        );
+        // Batched dispatch: strictly fewer dispatches and strictly fewer
+        // modelled dispatch-seconds for the same result set.
+        assert!(
+            report.batched.dispatches < report.per_frame.dispatches,
+            "batched {} !< per-frame {}",
+            report.batched.dispatches,
+            report.per_frame.dispatches
+        );
+        assert!(report.batched.dispatch_s < report.per_frame.dispatch_s);
+        assert!(report.dispatch_savings() > 0.5, "B=8 should save > 50%");
+        // The per-frame detector bill itself is untouched by batching.
+        assert!((report.per_frame.detect_s - report.batched.detect_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_table_renders() {
+        let cost = |dispatches: u64| DispatchCost {
+            frames: 100,
+            detector_invocations: 80,
+            dispatches,
+            dispatch_s: dispatches as f64 * 0.02,
+            detect_s: 4.0,
+        };
+        let report = BatchCmpReport {
+            found_per_frame: vec![10, 10],
+            found_batched: vec![10, 10],
+            per_frame: cost(80),
+            batched: cost(10),
+            batch: 8,
+        };
+        let md = to_batch_table(&report).to_markdown();
+        assert!(md.contains("per-frame dispatch"));
+        assert!(md.contains("batched dispatch (B=8)"));
+        assert!((report.dispatch_savings() - 0.875).abs() < 1e-12);
     }
 
     #[test]

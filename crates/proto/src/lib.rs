@@ -49,8 +49,10 @@ pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
 /// message vocabulary or encodings; the handshake rejects mismatched
 /// peers cleanly instead of misparsing them. v2 added the
 /// `Stats`/`StatsReply` exchange serving fleet-wide statistics
-/// aggregation in the cluster layer.
-pub const PROTO_VERSION: u16 = 2;
+/// aggregation in the cluster layer. v3 added the §III-F batching
+/// fields: `QuerySpec.batch` (optional per-query detector batch size)
+/// and the `dispatch_s`/`dispatches` members of `SessionCharges`.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Upper bound on one frame's payload, enforced on both send and
 /// receive: a corrupt or hostile length prefix must not provoke an

@@ -278,6 +278,13 @@ fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
         }
     }
     out.push(spec.warm_start as u8);
+    match spec.batch {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_u32(out, b);
+        }
+    }
 }
 
 fn get_spec(c: &mut Cursor) -> Result<QuerySpec, WireCodecError> {
@@ -312,12 +319,18 @@ fn get_spec(c: &mut Cursor) -> Result<QuerySpec, WireCodecError> {
         _ => return Err(WireCodecError("bad discriminator tag")),
     };
     let warm_start = c.bool()?;
+    let batch = match c.u8()? {
+        0 => None,
+        1 => Some(c.u32()?),
+        _ => return Err(WireCodecError("bad batch tag")),
+    };
     let mut spec = QuerySpec::new(repo, class, stop)
         .chunks(chunks)
         .weight(weight)
         .seed(seed)
         .discriminator(discriminator)
         .warm_start(warm_start);
+    spec.batch = batch;
     spec.config.prior = prior;
     spec.config.selector = selector;
     spec.config.within = within;
@@ -344,18 +357,22 @@ fn get_status(c: &mut Cursor) -> Result<SessionStatus, WireCodecError> {
 fn put_charges(out: &mut Vec<u8>, ch: &SessionCharges) {
     put_f64(out, ch.detect_s);
     put_f64(out, ch.io_s);
+    put_f64(out, ch.dispatch_s);
     put_u64(out, ch.frames);
     put_u64(out, ch.cache_hits);
     put_u64(out, ch.detector_invocations);
+    put_u64(out, ch.dispatches);
 }
 
 fn get_charges(c: &mut Cursor) -> Result<SessionCharges, WireCodecError> {
     Ok(SessionCharges {
         detect_s: c.f64()?,
         io_s: c.f64()?,
+        dispatch_s: c.f64()?,
         frames: c.u64()?,
         cache_hits: c.u64()?,
         detector_invocations: c.u64()?,
+        dispatches: c.u64()?,
     })
 }
 
@@ -805,7 +822,8 @@ mod tests {
         .weight(4)
         .seed(0xDEAD_BEEF)
         .discriminator(DiscriminatorKind::Tracker { seed: 11 })
-        .warm_start(false);
+        .warm_start(false)
+        .batch(64);
         spec.config.selector = Selector::BayesUcb;
         spec.config.within = WithinKind::Random;
         spec.config.prior = BeliefPrior {

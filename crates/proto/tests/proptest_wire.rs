@@ -50,6 +50,7 @@ fn make_spec(w: &[u64; 6]) -> QuerySpec {
         DiscriminatorKind::Tracker { seed: w[4] >> 1 }
     };
     spec.warm_start = w[4] & 2 != 0;
+    spec.batch = (w[4] & 4 != 0).then_some((w[5] as u32) | 1);
     spec
 }
 
@@ -65,9 +66,11 @@ fn make_charges(w: u64) -> SessionCharges {
     SessionCharges {
         detect_s: f64::from_bits(w),
         io_s: f64::from_bits(w.rotate_left(31)),
+        dispatch_s: f64::from_bits(w.rotate_left(47)),
         frames: w.wrapping_mul(3),
         cache_hits: w >> 5,
         detector_invocations: w >> 7,
+        dispatches: w >> 11,
     }
 }
 

@@ -55,6 +55,16 @@ pub struct CostModel {
     pub frame_decode_s: f64,
     /// Seconds per byte fetched (storage bandwidth term).
     pub byte_fetch_s: f64,
+    /// Fixed seconds of overhead per detector **dispatch** — the kernel
+    /// launch, host↔device transfer, and framework round-trip a real GPU
+    /// pays once per submitted batch, not once per frame (ExSample
+    /// §III-F). Per-frame stepping pays it on every cache miss; batched
+    /// stepping (`exsample-engine`'s `EngineConfig::batch` /
+    /// `QuerySpec::batch`) pays it once per batch of misses, which is
+    /// exactly the amortization batching exists to buy. Defaults to 0 so
+    /// dispatch overhead is only modelled when explicitly enabled and
+    /// existing cost accounting is unchanged.
+    pub dispatch_s: f64,
 }
 
 impl Default for CostModel {
@@ -65,16 +75,24 @@ impl Default for CostModel {
             seek_s: 0.002,
             frame_decode_s: 0.01,
             byte_fetch_s: 0.0,
+            dispatch_s: 0.0,
         }
     }
 }
 
 impl CostModel {
-    /// Total seconds implied by a tally.
+    /// Total io/decode seconds implied by a tally. Dispatch overhead is
+    /// per detector dispatch, not per decode, so it is charged separately
+    /// via [`CostModel::dispatch_seconds`].
     pub fn seconds(&self, stats: &DecodeStats) -> f64 {
         stats.seeks as f64 * self.seek_s
             + stats.frames_decoded as f64 * self.frame_decode_s
             + stats.bytes_fetched as f64 * self.byte_fetch_s
+    }
+
+    /// Overhead seconds for `dispatches` detector dispatches.
+    pub fn dispatch_seconds(&self, dispatches: u64) -> f64 {
+        dispatches as f64 * self.dispatch_s
     }
 }
 
@@ -123,6 +141,7 @@ mod tests {
             seek_s: 1.0,
             frame_decode_s: 0.1,
             byte_fetch_s: 0.001,
+            dispatch_s: 0.0,
         };
         let s = DecodeStats {
             seeks: 2,
@@ -131,6 +150,19 @@ mod tests {
             ..Default::default()
         };
         assert!((m.seconds(&s) - (2.0 + 1.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_overhead_is_per_dispatch_not_per_frame() {
+        let m = CostModel {
+            dispatch_s: 0.02,
+            ..CostModel::default()
+        };
+        // 64 frames as one batch vs 64 individual dispatches.
+        assert!((m.dispatch_seconds(1) - 0.02).abs() < 1e-12);
+        assert!((m.dispatch_seconds(64) - 1.28).abs() < 1e-12);
+        // Defaults charge nothing: existing accounting is unchanged.
+        assert_eq!(CostModel::default().dispatch_seconds(1_000), 0.0);
     }
 
     #[test]
