@@ -1,0 +1,82 @@
+//! Compares warm-start cost of the linear detection log vs. the
+//! memory-mapped columnar container: full `scan_detections` replay
+//! against container open + probe of a few chunks, with a bit-identity
+//! sweep and a real-engine columnar restart (which must pay zero
+//! detector invocations). Writes `BENCH_store.json` at the repo root.
+
+use exsample_experiments::{store_cmp, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut cfg = store_cmp::StoreCmpConfig::default_workload();
+    if scale == Scale::Quick {
+        cfg.records = 12_000;
+        cfg.chunk_frames = 1024;
+    }
+    eprintln!(
+        "store_cmp: {} records × {} detections, linear replay vs. columnar warm start ({scale:?}) …",
+        cfg.records, cfg.dets_per_frame
+    );
+    let t0 = std::time::Instant::now();
+    let report = store_cmp::run(&cfg);
+
+    println!("\n# Linear log vs. columnar container warm start\n");
+    println!(
+        "| warm start | bytes read | wall time |\n|---|---|---|\n\
+         | linear replay | {} | {:.1} ms |\n\
+         | columnar open+probe | {} | {:.1} ms |",
+        report.linear_bytes,
+        report.linear_wall_s * 1e3,
+        report.columnar_bytes_touched,
+        report.columnar_startup_s() * 1e3,
+    );
+    println!(
+        "one-time compaction: {:.1} ms → {} container bytes; probe: {} frames over {} chunk(s)",
+        report.compact_wall_s * 1e3,
+        report.container_bytes,
+        report.probed_frames,
+        cfg.probe_chunks,
+    );
+    println!(
+        "bit-identity sweep: {} mismatching frame(s); engine replay: {} → {} invocations, {} container hits",
+        report.mismatching_frames,
+        report.engine_cold_invocations,
+        report.engine_replay_invocations,
+        report.engine_container_hits,
+    );
+
+    assert!(
+        report.detections >= 100_000 || scale == Scale::Quick,
+        "full scale must cover at least 100k detections"
+    );
+    assert_eq!(
+        report.mismatching_frames, 0,
+        "detections must be bit-identical"
+    );
+    assert_eq!(report.engine_replay_invocations, 0, "replay must be free");
+    assert!(report.engine_container_hits > 0);
+    assert!(
+        report.columnar_bytes_touched < report.linear_bytes,
+        "columnar warm start must read strictly less"
+    );
+    assert!(
+        report.columnar_startup_s() < report.linear_wall_s,
+        "columnar warm start must be strictly faster ({:.3} ms vs {:.3} ms)",
+        report.columnar_startup_s() * 1e3,
+        report.linear_wall_s * 1e3,
+    );
+
+    let out = std::env::var("EXSAMPLE_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_store.json")
+        });
+    std::fs::write(&out, store_cmp::to_json(&report)).expect("write BENCH_store.json");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

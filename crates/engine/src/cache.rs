@@ -248,7 +248,16 @@ impl FrameCache {
 
     /// Publish a freshly computed entry under `key`, evicting FIFO as
     /// needed and waking waiters: the internals of [`MissGuard::fill`].
-    fn finish_fill(&self, key: FrameKey, cell: &PendingCell, value: CachedDetections) {
+    /// `write_behind: false` is the warm-fill path — the detections came
+    /// from durable storage, so echoing them into the log would duplicate
+    /// them forever.
+    fn finish_fill(
+        &self,
+        key: FrameKey,
+        cell: &PendingCell,
+        value: CachedDetections,
+        write_behind: bool,
+    ) {
         let mut shard = self.shards[self.shard_of(&key)]
             .lock()
             .expect("cache shard poisoned");
@@ -266,9 +275,33 @@ impl FrameCache {
         // Write behind with every lock released: the sink may do real IO,
         // and neither this shard's sessions nor the entry's waiters
         // should stall behind it.
-        if let Some(hook) = &self.write_behind {
-            hook(key, &value);
+        if write_behind {
+            if let Some(hook) = &self.write_behind {
+                hook(key, &value);
+            }
         }
+    }
+
+    /// Whether a [`FrameCache::preload`] of `key` would currently be
+    /// accepted — the same decline conditions (shard full, already
+    /// resident, in flight) without inserting anything. Startup preload
+    /// peeks this before paying the record decode.
+    pub fn wants(&self, key: &FrameKey) -> bool {
+        let shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned");
+        shard.map.len() < self.shard_capacity
+            && !shard.map.contains_key(key)
+            && !shard.pending.contains_key(key)
+    }
+
+    /// Whether *every* shard is at preload capacity — once true, no
+    /// preload can be accepted and a startup scan can stop streaming the
+    /// log entirely.
+    pub fn preload_saturated(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().expect("cache shard poisoned").map.len() >= self.shard_capacity)
     }
 
     /// Inject an already-known entry (the bulk preload path used when
@@ -378,7 +411,29 @@ impl MissGuard<'_> {
     pub fn fill(mut self, dets: Vec<Detection>) -> CachedDetections {
         let value: CachedDetections = Arc::new(dets);
         self.filled = true;
-        self.cache.finish_fill(self.key, &self.cell, value.clone());
+        self.cache
+            .finish_fill(self.key, &self.cell, value.clone(), true);
+        value
+    }
+
+    /// Publish detections that came from durable storage (the mapped
+    /// columnar container) instead of a detector run. Identical to
+    /// [`MissGuard::fill`] for waiters and residency, but accounted as a
+    /// warm load rather than a miss (no detector ran in this process) and
+    /// the write-behind hook is skipped (the bytes are already durable —
+    /// re-appending them would grow the log on every restart).
+    pub fn fill_warm(mut self, dets: Vec<Detection>) -> CachedDetections {
+        let value: CachedDetections = Arc::new(dets);
+        self.filled = true;
+        // begin() booked this reservation as a miss before anyone knew the
+        // container had the frame; reclassify it as a hit (served from
+        // storage, not the detector) so `misses` keeps meaning exactly
+        // "detector invocations" and hits + misses keeps meaning lookups.
+        self.cache.misses.fetch_sub(1, Ordering::Relaxed);
+        self.cache.hits.fetch_add(1, Ordering::Relaxed);
+        self.cache.warm_loads.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .finish_fill(self.key, &self.cell, value.clone(), false);
         value
     }
 }
@@ -613,6 +668,44 @@ mod tests {
         assert_eq!((s.warm_loads, s.evictions, s.entries), (0, 0, 2));
         // The paid-for entries are still resident.
         let (_, hit) = cache.get_or_compute(key(0), || panic!("evicted"));
+        assert!(hit);
+    }
+
+    #[test]
+    fn wants_mirrors_preload_acceptance() {
+        let cache = FrameCache::new(2, 1);
+        assert!(cache.wants(&key(0)));
+        cache.get_or_compute(key(0), Vec::new);
+        assert!(!cache.wants(&key(0)), "already resident");
+        let guard = match cache.begin(key(1)) {
+            Lookup::Miss(g) => g,
+            other => panic!("expected miss, got {other:?}"),
+        };
+        assert!(!cache.wants(&key(1)), "in flight");
+        assert!(!cache.preload_saturated(), "one slot left");
+        guard.fill(Vec::new());
+        assert!(!cache.wants(&key(2)), "shard full");
+        assert!(cache.preload_saturated());
+    }
+
+    #[test]
+    fn fill_warm_counts_as_warm_hit_and_skips_write_behind() {
+        use std::sync::Mutex as StdMutex;
+        let written: Arc<StdMutex<Vec<FrameKey>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut cache = FrameCache::new(64, 4);
+        let sink = written.clone();
+        cache.set_write_behind(Box::new(move |k, _| sink.lock().unwrap().push(k)));
+        let guard = match cache.begin(key(3)) {
+            Lookup::Miss(g) => g,
+            other => panic!("expected miss, got {other:?}"),
+        };
+        guard.fill_warm(Vec::new());
+        let s = cache.stats();
+        // Served from storage: a warm hit, not a detector miss, and the
+        // log never sees it again.
+        assert_eq!((s.hits, s.misses, s.warm_loads, s.entries), (1, 0, 1, 1));
+        assert!(written.lock().unwrap().is_empty());
+        let (_, hit) = cache.get_or_compute(key(3), || panic!("resident"));
         assert!(hit);
     }
 

@@ -46,7 +46,7 @@
 //! seconds, which depend on which session happens to pay for a shared
 //! frame first — those stops are fair but not bit-reproducible.
 
-use crate::cache::{CacheStats, CachedDetections, FrameCache, Lookup};
+use crate::cache::{CacheStats, CachedDetections, FrameCache, Lookup, MissGuard};
 use crate::scheduler::Scheduler;
 use crate::service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 use crate::session::{
@@ -54,6 +54,7 @@ use crate::session::{
     SessionSnapshot, SessionStatus,
 };
 use crate::threads::default_threads;
+use exsample_colstore::{ColumnarStore, OpenError};
 use exsample_core::belief::ChunkStats;
 use exsample_core::driver::SearchStepper;
 use exsample_core::exsample::ExSample;
@@ -64,8 +65,8 @@ use exsample_detect::{
     TrackerDiscriminator,
 };
 use exsample_persist::{
-    dataset_fingerprint, scan_detections, BeliefStore, DetectionLog, LoadStats, PersistConfig,
-    RepoCatalog,
+    dataset_fingerprint, scan_detections_raw, BeliefStore, DetectionLog, LoadStats, PersistConfig,
+    RecordVerdict, RepoCatalog,
 };
 use exsample_stats::{FxHashMap, Rng64};
 use exsample_store::{Container, ContainerWriter, CostModel, DecodeStats};
@@ -167,6 +168,24 @@ pub struct PersistStats {
     pub log_write_errors: u64,
     /// Belief snapshot write errors absorbed.
     pub snapshot_write_errors: u64,
+    /// Frames indexed by the mapped columnar container (0 when columnar
+    /// persistence is off or no container exists).
+    pub container_frames: u64,
+    /// `(repo, chunk)` column groups in the mapped container.
+    pub container_chunks: u64,
+    /// Cache misses answered from the mapped container instead of the
+    /// detector (lazy per-chunk warm starts).
+    pub container_hits: u64,
+    /// Container bytes actually consulted: header + chunk index + each
+    /// touched column group once — the I/O a warm start really paid.
+    pub container_bytes_touched: u64,
+    /// 1 when a container file existed but was rejected (fingerprint
+    /// mismatch or damage) — benign: the engine recomputes.
+    pub container_skipped: u64,
+    /// Startup log records whose detection decode was skipped (frame
+    /// already in the container, or the cache declined the key) — the
+    /// streamed-preload savings.
+    pub preload_skipped: u64,
 }
 
 /// Durable-store handles shared by workers (independent of the state
@@ -180,6 +199,16 @@ struct PersistShared {
     catalog: Mutex<RepoCatalog>,
     detections_load: LoadStats,
     preloaded_frames: u64,
+    /// The mapped columnar container, when columnar persistence is on and
+    /// a valid container exists. Shared (`Arc`) so every worker reads the
+    /// same mapping zero-copy.
+    container: Option<Arc<ColumnarStore>>,
+    /// 1 when a container file existed but was rejected at startup.
+    container_skipped: u64,
+    /// Startup records whose decode was skipped (see [`PersistStats`]).
+    preload_skipped: u64,
+    /// Cache misses served from the container instead of the detector.
+    container_hits: std::sync::atomic::AtomicU64,
 }
 
 /// Errors surfaced by the engine API.
@@ -334,15 +363,65 @@ impl Engine {
         assert!(config.detector_fps > 0.0, "detector_fps must be positive");
         let mut cache = FrameCache::new(config.cache_capacity, config.cache_shards);
         let persist = config.persist.as_ref().map(|pc| {
+            // Columnar pipeline first, before the log writer exists: sweep
+            // crashed compaction leftovers, optionally fold the sealed
+            // segments into the container, then map whatever container is
+            // live. Every failure here is absorbed — the log stays
+            // authoritative and the engine recomputes.
+            let mut container: Option<Arc<ColumnarStore>> = None;
+            let mut container_skipped = 0u64;
+            if let Some(cc) = pc.columnar {
+                if let Err(e) = exsample_colstore::sweep_orphans(&pc.dir) {
+                    eprintln!("exsample-engine: orphan sweep failed: {e}");
+                }
+                if cc.compact_on_start {
+                    if let Err(e) =
+                        exsample_colstore::compact(&pc.dir, pc.fingerprint, cc.chunk_frames)
+                    {
+                        eprintln!("exsample-engine: startup compaction failed: {e}");
+                    }
+                }
+                match ColumnarStore::open(
+                    &exsample_colstore::container_path(&pc.dir),
+                    pc.fingerprint,
+                ) {
+                    Ok(store) => container = Some(Arc::new(store)),
+                    Err(OpenError::Missing) => {}
+                    Err(e) => {
+                        container_skipped = 1;
+                        eprintln!("exsample-engine: ignoring columnar container: {e}");
+                    }
+                }
+            }
             let beliefs = BeliefStore::open(pc).expect("persist directory unusable");
             let mut catalog = RepoCatalog::open(&pc.dir).expect("persist directory unusable");
             let log = DetectionLog::open(pc).expect("persist directory unusable");
             let mut preloaded_frames = 0u64;
-            let mut max_artifact_repo: Option<u32> = None;
-            let detections_load = scan_detections(&pc.dir, pc.fingerprint, |rec| {
-                max_artifact_repo = Some(max_artifact_repo.map_or(rec.repo, |m| m.max(rec.repo)));
-                if cache.preload((RepoId(rec.repo), rec.frame), rec.dets) {
-                    preloaded_frames += 1;
+            let mut preload_skipped = 0u64;
+            let mut max_artifact_repo: Option<u32> = container.as_ref().and_then(|c| c.max_repo());
+            // Stream the remaining log: peek each record's key first and
+            // decode detections only for records the cache will actually
+            // take and the container does not already hold — startup work
+            // and memory stay bounded by cache capacity, not log size.
+            let detections_load = scan_detections_raw(&pc.dir, pc.fingerprint, |raw| {
+                max_artifact_repo = Some(max_artifact_repo.map_or(raw.repo, |m| m.max(raw.repo)));
+                let key = (RepoId(raw.repo), raw.frame);
+                if container
+                    .as_ref()
+                    .is_some_and(|c| c.covers(raw.repo, raw.frame))
+                    || !cache.wants(&key)
+                {
+                    preload_skipped += 1;
+                    return RecordVerdict::Keep;
+                }
+                match raw.decode() {
+                    Ok(rec) => {
+                        if cache.preload(key, rec.dets) {
+                            preloaded_frames += 1;
+                        }
+                        RecordVerdict::Keep
+                    }
+                    Err(_) => RecordVerdict::Abandon,
                 }
             })
             .expect("persist directory unusable");
@@ -371,6 +450,10 @@ impl Engine {
                 catalog: Mutex::new(catalog),
                 detections_load,
                 preloaded_frames,
+                container,
+                container_skipped,
+                preload_skipped,
+                container_hits: std::sync::atomic::AtomicU64::new(0),
             }
         });
         let workers = config.workers;
@@ -777,6 +860,12 @@ impl Engine {
                 beliefs_resident: beliefs.len() as u64,
                 snapshot_write_errors: beliefs.write_errors(),
                 log_write_errors: p.log.lock().expect("detection log poisoned").write_errors(),
+                container_frames: p.container.as_ref().map_or(0, |c| c.frames_indexed()),
+                container_chunks: p.container.as_ref().map_or(0, |c| c.group_count() as u64),
+                container_hits: p.container_hits.load(Ordering::Relaxed),
+                container_bytes_touched: p.container.as_ref().map_or(0, |c| c.bytes_touched()),
+                container_skipped: p.container_skipped,
+                preload_skipped: p.preload_skipped,
             }
         })
     }
@@ -1098,7 +1187,7 @@ fn resolve_batch(
     let cost_model = shared.config.cost_model;
     resolved.clear();
     resolved.resize_with(drawn.len(), || None);
-    let mut reservations = Vec::new();
+    let mut reservations: Vec<(usize, MissGuard<'_>)> = Vec::new();
     let mut waits = Vec::new();
     for (k, &frame) in drawn.iter().enumerate() {
         match shared.cache.begin((core.repo_id, frame)) {
@@ -1112,6 +1201,32 @@ fn resolve_batch(
             }
             Lookup::Pending(wait) => waits.push((k, wait)),
             Lookup::Miss(guard) => reservations.push((k, guard)),
+        }
+    }
+    // Lazy warm start: before paying any detector time, let the mapped
+    // columnar container answer reservations. Only the touched chunks'
+    // columns are decoded (and only once per chunk, cached); a served
+    // frame is a warm hit — no miss, no io bill, no write-behind.
+    if !reservations.is_empty() {
+        if let Some(p) = shared.persist.as_ref() {
+            if let Some(store) = p.container.as_ref() {
+                let mut still = Vec::with_capacity(reservations.len());
+                for (k, guard) in reservations {
+                    match store.get(core.repo_id.0, drawn[k]) {
+                        Some(dets) => {
+                            p.container_hits.fetch_add(1, Ordering::Relaxed);
+                            resolved[k] = Some(ResolvedFrame {
+                                dets: guard.fill_warm(dets),
+                                io_s: 0.0,
+                                miss: false,
+                                dispatch: false,
+                            });
+                        }
+                        None => still.push((k, guard)),
+                    }
+                }
+                reservations = still;
+            }
         }
     }
     if !reservations.is_empty() {
@@ -1157,8 +1272,22 @@ fn resolve_batch(
                     }
                     Lookup::Pending(w) => w,
                     Lookup::Miss(guard) => {
-                        // The session computing this frame died; recompute
-                        // it ourselves as a single-frame dispatch.
+                        // The session computing this frame died; serve it
+                        // from the columnar container if possible, else
+                        // recompute it as a single-frame dispatch.
+                        if let Some(p) = shared.persist.as_ref() {
+                            if let Some(store) = p.container.as_ref() {
+                                if let Some(dets) = store.get(core.repo_id.0, frame) {
+                                    p.container_hits.fetch_add(1, Ordering::Relaxed);
+                                    break ResolvedFrame {
+                                        dets: guard.fill_warm(dets),
+                                        io_s: 0.0,
+                                        miss: false,
+                                        dispatch: false,
+                                    };
+                                }
+                            }
+                        }
                         let before = *core.container.stats();
                         core.container
                             .read_frame(frame)

@@ -82,7 +82,9 @@ pub use cache::{
     CacheStats, CachedDetections, FrameCache, FrameKey, Lookup, MissGuard, PendingWait,
 };
 pub use engine::{Engine, EngineConfig, EngineError, PersistStats};
-pub use exsample_persist::{dataset_fingerprint, detector_fingerprint, PersistConfig};
+pub use exsample_persist::{
+    dataset_fingerprint, detector_fingerprint, ColumnarConfig, PersistConfig,
+};
 pub use scheduler::Scheduler;
 pub use service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 pub use session::{

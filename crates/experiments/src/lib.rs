@@ -36,6 +36,7 @@ pub mod persist_cmp;
 pub mod presets;
 pub mod report;
 pub mod runner;
+pub mod store_cmp;
 pub mod table1;
 
 /// Controls experiment size: `Quick` for CI-sized smoke runs, `Full` for

@@ -1,0 +1,400 @@
+//! Linear-log vs. columnar-container warm start.
+//!
+//! Quantifies what `exsample-colstore` buys a restarted deployment over
+//! the plain segmented log. One synthetic detection log (≥100k
+//! detections at the default scale) is read back two ways:
+//!
+//! 1. **linear replay** — `scan_detections` over every sealed segment,
+//!    decoding every record, exactly what a pre-columnar engine pays
+//!    before it can serve its first query;
+//! 2. **columnar warm start** — compact once (a background, one-time
+//!    cost, timed separately), then open the container (header + chunk
+//!    index only) and serve a probe working set of a few chunks. The I/O
+//!    actually paid is `ColumnarStore::bytes_touched`.
+//!
+//! Every probed frame and then the whole container are compared against
+//! the linear replay **bit for bit** (raw `f32` bits, NaN-safe); the
+//! report carries a mismatch count that must be zero. A small engine
+//! phase restarts a real fleet on a columnar store and records that the
+//! replay paid zero detector invocations, all served as container hits.
+
+use exsample_colstore::{compact, container_path, ColumnarStore};
+use exsample_core::driver::StopCond;
+use exsample_detect::{Detection, NoiseModel};
+use exsample_engine::{
+    dataset_fingerprint, detector_fingerprint, ColumnarConfig, Engine, EngineConfig, PersistConfig,
+    QuerySpec, SessionStatus,
+};
+use exsample_persist::{scan_detections, sealed_segments, DetectionLog};
+use exsample_videosim::{BBox, ClassId, ClassSpec, DatasetSpec, InstanceId, SkewSpec};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workload shape for the store comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreCmpConfig {
+    /// Log records (distinct `(repo, frame)` entries) to synthesize.
+    pub records: u64,
+    /// Detections per record.
+    pub dets_per_frame: usize,
+    /// Repositories the records spread over.
+    pub repos: u32,
+    /// Container chunk width in frames.
+    pub chunk_frames: u64,
+    /// Chunks of repo 0 the simulated warm query touches.
+    pub probe_chunks: u64,
+    /// Base seed for the synthetic detections.
+    pub seed: u64,
+}
+
+impl StoreCmpConfig {
+    /// The default scale: 60k records × 2 detections = 120k detections.
+    pub fn default_workload() -> Self {
+        StoreCmpConfig {
+            records: 60_000,
+            dets_per_frame: 2,
+            repos: 4,
+            chunk_frames: 4096,
+            probe_chunks: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of the linear/columnar comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreCmpReport {
+    /// Log records synthesized.
+    pub records: u64,
+    /// Total detections in those records.
+    pub detections: u64,
+    /// Bytes of sealed segments the linear replay reads.
+    pub linear_bytes: u64,
+    /// Wall time of the full linear replay.
+    pub linear_wall_s: f64,
+    /// One-time compaction cost (fold + fsync + verify + rename).
+    pub compact_wall_s: f64,
+    /// Size of the resulting container.
+    pub container_bytes: u64,
+    /// Wall time to open the container (header + chunk index).
+    pub open_wall_s: f64,
+    /// Wall time to serve the probe working set from the container.
+    pub probe_wall_s: f64,
+    /// Bytes actually read for open + probe (`bytes_touched`).
+    pub columnar_bytes_touched: u64,
+    /// Frames in the probe working set.
+    pub probed_frames: u64,
+    /// Wall time of the full-container bit-identity sweep.
+    pub verify_wall_s: f64,
+    /// Frames whose detections differed from the linear replay (must be 0).
+    pub mismatching_frames: u64,
+    /// Engine phase: detector invocations of the cold fleet.
+    pub engine_cold_invocations: u64,
+    /// Engine phase: detector invocations of the columnar replay (must be 0).
+    pub engine_replay_invocations: u64,
+    /// Engine phase: frames the replay served from the mapped container.
+    pub engine_container_hits: u64,
+}
+
+impl StoreCmpReport {
+    /// Columnar startup wall time: open + serve the probe set.
+    pub fn columnar_startup_s(&self) -> f64 {
+        self.open_wall_s + self.probe_wall_s
+    }
+
+    /// Whether the columnar warm start strictly beat linear replay on
+    /// both wall time and bytes read, with bit-identical detections and
+    /// a free engine replay.
+    pub fn columnar_wins(&self) -> bool {
+        self.columnar_startup_s() < self.linear_wall_s
+            && self.columnar_bytes_touched < self.linear_bytes
+            && self.mismatching_frames == 0
+            && self.engine_replay_invocations == 0
+            && self.engine_container_hits > 0
+    }
+}
+
+/// Deterministic synthetic detection (finite coordinates, score in
+/// `[0, 1)`), so bit-identity failures mean storage bugs, not NaN noise.
+fn make_det(word: u64) -> Detection {
+    let f = |shift: u64| ((word >> shift) & 0x3FF) as f32 * 0.5;
+    Detection {
+        bbox: BBox::new(f(0), f(10), f(0) + f(20) + 1.0, f(10) + f(30) + 1.0),
+        class: ClassId((word % 11) as u16),
+        score: (word % 10_000) as f32 / 10_000.0,
+        truth: if word.is_multiple_of(5) {
+            None
+        } else {
+            Some(InstanceId((word >> 32) as u32))
+        },
+    }
+}
+
+fn frame_of(i: u64, cfg: &StoreCmpConfig) -> (u32, u64) {
+    let repo = (i % u64::from(cfg.repos)) as u32;
+    // Sparse, shuffled-looking frame placement within each repo.
+    let frame = (i / u64::from(cfg.repos)) * 7 + u64::from(repo);
+    (repo, frame)
+}
+
+fn same_bits(a: &Detection, b: &Detection) -> bool {
+    a.bbox.x1.to_bits() == b.bbox.x1.to_bits()
+        && a.bbox.y1.to_bits() == b.bbox.y1.to_bits()
+        && a.bbox.x2.to_bits() == b.bbox.x2.to_bits()
+        && a.bbox.y2.to_bits() == b.bbox.y2.to_bits()
+        && a.class == b.class
+        && a.score.to_bits() == b.score.to_bits()
+        && a.truth == b.truth
+}
+
+fn same_frame(a: &[Detection], b: &[Detection]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| same_bits(x, y))
+}
+
+/// Small real-engine phase: cold fleet, then a columnar restart that must
+/// replay for free. Returns (cold invocations, replay invocations,
+/// container hits).
+fn engine_phase(dir: &PathBuf, seed: u64) -> (u64, u64, u64) {
+    let gt = Arc::new(
+        DatasetSpec::single_class(
+            20_000,
+            ClassSpec::new("car", 50, 45.0, SkewSpec::CentralNormal { frac95: 0.2 }),
+        )
+        .generate(seed),
+    );
+    let fingerprint = detector_fingerprint(&NoiseModel::none(), seed) ^ dataset_fingerprint(&gt);
+    let engine_on = |dir: &PathBuf| {
+        Engine::new(EngineConfig {
+            workers: 2,
+            persist: Some(
+                PersistConfig::new(dir)
+                    .fingerprint(fingerprint)
+                    .columnar(ColumnarConfig::new().chunk_frames(1024)),
+            ),
+            ..EngineConfig::default()
+        })
+    };
+    let run_fleet = |engine: &Engine| {
+        let repo = engine.register_repo("store-cmp", gt.clone(), NoiseModel::none(), seed);
+        let ids: Vec<_> = (0..3)
+            .map(|q| {
+                engine
+                    .submit(
+                        QuerySpec::new(repo, ClassId(0), StopCond::results(25))
+                            .chunks(8)
+                            .seed(seed + q)
+                            .warm_start(false),
+                    )
+                    .expect("valid spec")
+            })
+            .collect();
+        for id in ids {
+            let report = engine.wait(id).expect("session completes");
+            assert_eq!(report.status, SessionStatus::Done);
+        }
+    };
+
+    let cold = engine_on(dir);
+    run_fleet(&cold);
+    let cold_invocations = cold.detector_invocations();
+    drop(cold);
+
+    let warm = engine_on(dir);
+    run_fleet(&warm);
+    let replay_invocations = warm.detector_invocations();
+    let hits = warm.persist_stats().expect("persistence on").container_hits;
+    (cold_invocations, replay_invocations, hits)
+}
+
+/// Run the full comparison in a scratch directory (removed afterwards).
+pub fn run(cfg: &StoreCmpConfig) -> StoreCmpReport {
+    let base = std::env::temp_dir().join(format!(
+        "exsample-store-cmp-{}-{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir = base.join("log");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let fingerprint = cfg.seed ^ 0x5EED_C01D;
+
+    // Synthesize the log.
+    let pcfg = PersistConfig::new(&dir).fingerprint(fingerprint);
+    let mut log = DetectionLog::open(&pcfg).expect("open log");
+    let mut detections = 0u64;
+    for i in 0..cfg.records {
+        let (repo, frame) = frame_of(i, cfg);
+        let dets: Vec<Detection> = (0..cfg.dets_per_frame)
+            .map(|j| {
+                make_det(
+                    (i ^ cfg.seed)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(j as u64),
+                )
+            })
+            .collect();
+        detections += dets.len() as u64;
+        log.append(repo, frame, &dets);
+    }
+    assert_eq!(log.write_errors(), 0, "synthetic log must write cleanly");
+    drop(log);
+
+    // Linear replay: decode every record of every segment.
+    let linear_bytes: u64 = sealed_segments(&dir)
+        .expect("list segments")
+        .iter()
+        .map(|(_, p)| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    let mut reference: BTreeMap<(u32, u64), Vec<Detection>> = BTreeMap::new();
+    let t = Instant::now();
+    let stats = scan_detections(&dir, fingerprint, |rec| {
+        reference.insert((rec.repo, rec.frame), rec.dets);
+    })
+    .expect("linear replay");
+    let linear_wall_s = t.elapsed().as_secs_f64();
+    assert_eq!(stats.records_loaded, cfg.records);
+
+    // One-time compaction.
+    let t = Instant::now();
+    let creport = compact(&dir, fingerprint, cfg.chunk_frames).expect("compact");
+    let compact_wall_s = t.elapsed().as_secs_f64();
+    assert!(creport.completed && creport.rewritten);
+
+    // Columnar warm start: open, then serve the probe working set.
+    let t = Instant::now();
+    let store = ColumnarStore::open(&container_path(&dir), fingerprint).expect("open container");
+    let open_wall_s = t.elapsed().as_secs_f64();
+    let container_bytes = store.file_len();
+
+    let in_probe = |repo: u32, frame: u64| repo == 0 && frame / cfg.chunk_frames < cfg.probe_chunks;
+    let mut mismatching_frames = 0u64;
+    let mut probed_frames = 0u64;
+    let t = Instant::now();
+    for ((repo, frame), dets) in reference.iter().filter(|((r, f), _)| in_probe(*r, *f)) {
+        probed_frames += 1;
+        match store.get(*repo, *frame) {
+            Some(got) if same_frame(&got, dets) => {}
+            _ => mismatching_frames += 1,
+        }
+    }
+    let probe_wall_s = t.elapsed().as_secs_f64();
+    let columnar_bytes_touched = store.bytes_touched();
+    assert!(probed_frames > 0, "probe working set must be non-empty");
+
+    // Full bit-identity sweep: container content == linear replay.
+    let t = Instant::now();
+    let mut seen = 0u64;
+    let skipped = store.for_each_frame(|repo, frame, got| {
+        seen += 1;
+        match reference.get(&(repo, frame)) {
+            Some(dets) if same_frame(got, dets) => {}
+            _ => mismatching_frames += 1,
+        }
+    });
+    let verify_wall_s = t.elapsed().as_secs_f64();
+    mismatching_frames += skipped + (reference.len() as u64).abs_diff(seen);
+
+    let (engine_cold_invocations, engine_replay_invocations, engine_container_hits) =
+        engine_phase(&base.join("engine"), cfg.seed);
+
+    let _ = std::fs::remove_dir_all(&base);
+    StoreCmpReport {
+        records: cfg.records,
+        detections,
+        linear_bytes,
+        linear_wall_s,
+        compact_wall_s,
+        container_bytes,
+        open_wall_s,
+        probe_wall_s,
+        columnar_bytes_touched,
+        probed_frames,
+        verify_wall_s,
+        mismatching_frames,
+        engine_cold_invocations,
+        engine_replay_invocations,
+        engine_container_hits,
+    }
+}
+
+/// Render a report as the hand-rolled JSON the bench artifact records.
+pub fn to_json(report: &StoreCmpReport) -> String {
+    let speedup = if report.columnar_startup_s() > 0.0 {
+        report.linear_wall_s / report.columnar_startup_s()
+    } else {
+        f64::INFINITY
+    };
+    let io_ratio = if report.linear_bytes > 0 {
+        report.columnar_bytes_touched as f64 / report.linear_bytes as f64
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"store_cmp\",\n",
+            "  \"records\": {},\n",
+            "  \"detections\": {},\n",
+            "  \"linear\": {{ \"bytes_read\": {}, \"wall_s\": {:.6} }},\n",
+            "  \"compaction\": {{ \"wall_s\": {:.6}, \"container_bytes\": {} }},\n",
+            "  \"columnar\": {{ \"open_wall_s\": {:.6}, \"probe_wall_s\": {:.6}, ",
+            "\"startup_wall_s\": {:.6}, \"bytes_touched\": {}, \"probed_frames\": {} }},\n",
+            "  \"verify\": {{ \"full_sweep_wall_s\": {:.6}, \"mismatching_frames\": {}, ",
+            "\"bit_identical\": {} }},\n",
+            "  \"engine_replay\": {{ \"cold_invocations\": {}, \"replay_invocations\": {}, ",
+            "\"container_hits\": {} }},\n",
+            "  \"startup_speedup\": {:.3},\n",
+            "  \"io_ratio\": {:.6},\n",
+            "  \"columnar_wins\": {}\n",
+            "}}\n",
+        ),
+        report.records,
+        report.detections,
+        report.linear_bytes,
+        report.linear_wall_s,
+        report.compact_wall_s,
+        report.container_bytes,
+        report.open_wall_s,
+        report.probe_wall_s,
+        report.columnar_startup_s(),
+        report.columnar_bytes_touched,
+        report.probed_frames,
+        report.verify_wall_s,
+        report.mismatching_frames,
+        report.mismatching_frames == 0,
+        report.engine_cold_invocations,
+        report.engine_replay_invocations,
+        report.engine_container_hits,
+        speedup,
+        io_ratio,
+        report.columnar_wins(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columnar_warm_start_beats_linear_replay() {
+        let cfg = StoreCmpConfig {
+            records: 8_000,
+            dets_per_frame: 2,
+            repos: 3,
+            chunk_frames: 1024,
+            probe_chunks: 2,
+            seed: 7,
+        };
+        let report = run(&cfg);
+        assert_eq!(report.detections, 16_000);
+        assert_eq!(report.mismatching_frames, 0);
+        assert!(report.columnar_bytes_touched < report.linear_bytes);
+        assert_eq!(report.engine_replay_invocations, 0);
+        assert!(report.engine_container_hits > 0);
+        assert!(report.engine_cold_invocations > 0);
+        let json = to_json(&report);
+        assert!(json.contains("\"bit_identical\": true"));
+    }
+}

@@ -128,6 +128,17 @@ pub fn encode_detections(repo: u32, frame: u64, dets: &[Detection], out: &mut Ve
     }
 }
 
+/// Read just the `(repo, frame)` key off a detection-record payload
+/// without decoding (or allocating) the detections behind it. This is
+/// what lets startup preload and the compactor *stream* the log: the key
+/// decides whether a record is even wanted before the expensive decode.
+pub fn peek_detection_key(payload: &[u8]) -> Result<(u32, u64), CodecError> {
+    let mut c = Cursor { data: payload };
+    let repo = c.u32()?;
+    let frame = c.u64()?;
+    Ok((repo, frame))
+}
+
 /// Decode a detection-record payload.
 pub fn decode_detections(payload: &[u8]) -> Result<DetectionRecord, CodecError> {
     let mut c = Cursor { data: payload };
@@ -221,6 +232,14 @@ mod tests {
         assert_eq!(rec.repo, 3);
         assert_eq!(rec.frame, 99_999);
         assert_eq!(rec.dets, dets);
+    }
+
+    #[test]
+    fn peek_matches_decode() {
+        let mut buf = Vec::new();
+        encode_detections(7, 123_456, &[det(0, None), det(1, Some(3))], &mut buf);
+        assert_eq!(peek_detection_key(&buf), Ok((7, 123_456)));
+        assert!(peek_detection_key(&buf[..11]).is_err());
     }
 
     #[test]

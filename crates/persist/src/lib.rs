@@ -42,12 +42,60 @@ pub mod log;
 
 pub use beliefs::{BeliefKey, BeliefStore};
 pub use catalog::{CatalogEntry, RepoCatalog};
-pub use codec::{BeliefSnapshot, CodecError, DetectionRecord};
-pub use log::{scan_detections, DetectionLog, LoadStats};
+pub use codec::{peek_detection_key, BeliefSnapshot, CodecError, DetectionRecord};
+pub use log::{
+    scan_detections, scan_detections_raw, scan_segment_file, sealed_segments, DetectionLog,
+    LoadStats, RawDetectionRecord, RecordVerdict, SegmentOutcome,
+};
 
 use exsample_detect::NoiseModel;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
+
+/// How the columnar container (`exsample-colstore`) is used on top of
+/// the log. This lives in `exsample-persist` (plain data, no colstore
+/// dependency) so the engine can carry it inside [`PersistConfig`]
+/// without a dependency cycle — `exsample-colstore` depends on this
+/// crate for segment scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnarConfig {
+    /// Frames per temporal index chunk in the container. Independent of
+    /// any query's chunking: smaller chunks mean finer-grained warm-start
+    /// I/O, larger chunks mean a smaller index.
+    pub chunk_frames: u64,
+    /// Compact sealed log segments into the container at engine startup
+    /// (before the log writer opens). Disable to only *read* an existing
+    /// container.
+    pub compact_on_start: bool,
+}
+
+impl ColumnarConfig {
+    /// Defaults: 4096-frame chunks, compaction at startup.
+    pub fn new() -> Self {
+        ColumnarConfig {
+            chunk_frames: 4096,
+            compact_on_start: true,
+        }
+    }
+
+    /// Set the temporal chunk width (frames).
+    pub fn chunk_frames(mut self, frames: u64) -> Self {
+        self.chunk_frames = frames.max(1);
+        self
+    }
+
+    /// Enable or disable compaction at startup.
+    pub fn compact_on_start(mut self, yes: bool) -> Self {
+        self.compact_on_start = yes;
+        self
+    }
+}
+
+impl Default for ColumnarConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Where and how to persist detections and beliefs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,17 +111,21 @@ pub struct PersistConfig {
     /// [`detector_fingerprint`]). Segments and snapshots written under a
     /// different fingerprint are invalidated (skipped) at load.
     pub fingerprint: u64,
+    /// Columnar-container usage; `None` keeps the pure log pipeline
+    /// (exactly the pre-colstore behavior).
+    pub columnar: Option<ColumnarConfig>,
 }
 
 impl PersistConfig {
     /// Config with default flush interval (64) and segment capacity
-    /// (4096) and a zero fingerprint.
+    /// (4096), a zero fingerprint, and no columnar container.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistConfig {
             dir: dir.into(),
             flush_every: 64,
             segment_records: 4096,
             fingerprint: 0,
+            columnar: None,
         }
     }
 
@@ -92,6 +144,12 @@ impl PersistConfig {
     /// Set the segment rotation capacity (records).
     pub fn segment_records(mut self, records: usize) -> Self {
         self.segment_records = records;
+        self
+    }
+
+    /// Enable the columnar container with `cfg`.
+    pub fn columnar(mut self, cfg: ColumnarConfig) -> Self {
+        self.columnar = Some(cfg);
         self
     }
 }

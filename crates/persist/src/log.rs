@@ -20,7 +20,9 @@
 //! [`DetectionLog::open`] starts a fresh segment lazily on first append,
 //! which keeps recovery logic trivial (old segments are immutable).
 
-use crate::codec::{decode_detections, encode_detections, DetectionRecord};
+use crate::codec::{
+    decode_detections, encode_detections, peek_detection_key, CodecError, DetectionRecord,
+};
 use crate::PersistConfig;
 use exsample_detect::Detection;
 use exsample_store::framing::{
@@ -83,7 +85,7 @@ impl DetectionLog {
     /// positions the writer after the newest existing segment.
     pub fn open(cfg: &PersistConfig) -> std::io::Result<Self> {
         fs::create_dir_all(&cfg.dir)?;
-        let next_segment = segment_files(&cfg.dir)?
+        let next_segment = sealed_segments(&cfg.dir)?
             .last()
             .map_or(0, |(last, _)| last + 1);
         Ok(DetectionLog {
@@ -184,7 +186,12 @@ impl Drop for DetectionLog {
 /// sorted oldest first. Returns each entry's *actual* path, so
 /// non-canonically named files (e.g. a hand-made `seg-1.xsd`) are still
 /// readable rather than re-derived into a name that does not exist.
-fn segment_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+///
+/// Every listed segment is *sealed*: the writer never appends to a
+/// pre-existing file (each [`DetectionLog::open`] starts a fresh segment),
+/// so as long as no [`DetectionLog`] opened *after* this call has written,
+/// the listed files are immutable — the compactor's fold set.
+pub fn sealed_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     if !dir.exists() {
         return Ok(out);
@@ -206,88 +213,197 @@ fn segment_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
-/// Scan every segment in `dir`, delivering each checksum-valid record
-/// whose segment matches `fingerprint` to `sink`, oldest segment first.
+/// One log record *before* detection decode: the peeked `(repo, frame)`
+/// key plus the checksum-valid payload. Callers that don't want the
+/// record (cache already full, container already has the frame) skip
+/// [`RawDetectionRecord::decode`] entirely — no per-detection allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RawDetectionRecord<'a> {
+    /// Repository id (the engine's registration index).
+    pub repo: u32,
+    /// Frame index within the repository.
+    pub frame: u64,
+    /// The full encoded payload (including the key bytes).
+    pub payload: &'a [u8],
+}
+
+impl RawDetectionRecord<'_> {
+    /// Decode the full record (detections included).
+    pub fn decode(&self) -> Result<DetectionRecord, CodecError> {
+        decode_detections(self.payload)
+    }
+}
+
+/// What a scan sink decides after seeing one raw record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordVerdict {
+    /// Count the record as loaded and keep scanning.
+    Keep,
+    /// Abandon the rest of *this segment* (counted as a damaged tail) and
+    /// continue with the next one — the decode-error path.
+    Abandon,
+    /// Stop the whole scan immediately (e.g. the cache is full); nothing
+    /// is counted as damage.
+    Stop,
+}
+
+/// Header-match outcome of scanning one segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// Wrong magic, unsupported version, or foreign fingerprint — the
+    /// segment was not touched.
+    Skipped,
+    /// Header matched and records were streamed to the sink.
+    Loaded {
+        /// Records the sink kept.
+        records: u64,
+        /// Whether a damaged (or undecodable) suffix was abandoned.
+        damaged_tail: bool,
+        /// Whether the sink stopped the scan early.
+        stopped: bool,
+    },
+}
+
+/// Stream the checksum-valid records of one segment file to `sink` if its
+/// header matches `fingerprint`. IO errors reading the file surface to
+/// the caller; everything else is an outcome, not an error.
+pub fn scan_segment_file(
+    path: &Path,
+    fingerprint: u64,
+    mut sink: impl FnMut(RawDetectionRecord<'_>) -> RecordVerdict,
+) -> std::io::Result<SegmentOutcome> {
+    let data = fs::read(path)?;
+    let body = match read_segment_header(&data, SEGMENT_MAGIC) {
+        Ok((hdr, body)) if hdr.version == SEGMENT_VERSION && hdr.fingerprint == fingerprint => body,
+        Ok((hdr, _)) => {
+            eprintln!(
+                "exsample-persist: skipping {} (version {} fingerprint {:#x}, expected {} / {:#x})",
+                path.display(),
+                hdr.version,
+                hdr.fingerprint,
+                SEGMENT_VERSION,
+                fingerprint
+            );
+            return Ok(SegmentOutcome::Skipped);
+        }
+        Err(e) => {
+            eprintln!("exsample-persist: skipping {}: {e}", path.display());
+            return Ok(SegmentOutcome::Skipped);
+        }
+    };
+    let mut records = 0;
+    let mut damaged_tail = false;
+    let mut stopped = false;
+    let mut rest = body;
+    loop {
+        match next_record(rest) {
+            RecordStep::Record { payload, rest: r } => {
+                rest = r;
+                let (repo, frame) = match peek_detection_key(payload) {
+                    Ok(key) => key,
+                    Err(e) => {
+                        // Checksum-valid but unparseable: writer-version
+                        // skew; treat like damage.
+                        damaged_tail = true;
+                        eprintln!(
+                            "exsample-persist: abandoning tail of {}: {e}",
+                            path.display()
+                        );
+                        break;
+                    }
+                };
+                match sink(RawDetectionRecord {
+                    repo,
+                    frame,
+                    payload,
+                }) {
+                    RecordVerdict::Keep => records += 1,
+                    RecordVerdict::Abandon => {
+                        damaged_tail = true;
+                        eprintln!("exsample-persist: abandoning tail of {}", path.display());
+                        break;
+                    }
+                    RecordVerdict::Stop => {
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+            RecordStep::End => break,
+            RecordStep::Truncated | RecordStep::Corrupt => {
+                damaged_tail = true;
+                eprintln!(
+                    "exsample-persist: abandoning damaged tail of {}",
+                    path.display()
+                );
+                break;
+            }
+        }
+    }
+    Ok(SegmentOutcome::Loaded {
+        records,
+        damaged_tail,
+        stopped,
+    })
+}
+
+/// Stream every segment in `dir` (oldest first) through `sink` without
+/// decoding detections — the sink sees each record's peeked key and raw
+/// payload and decides per record whether the decode is worth paying
+/// ([`RecordVerdict`]). A [`RecordVerdict::Stop`] ends the directory scan.
 ///
 /// Mismatched or damaged data is *skipped and counted*, never fatal: the
 /// only errors surfaced are directory-level IO failures. A missing
 /// directory is an empty log.
-pub fn scan_detections(
+pub fn scan_detections_raw(
     dir: &Path,
     fingerprint: u64,
-    mut sink: impl FnMut(DetectionRecord),
+    mut sink: impl FnMut(RawDetectionRecord<'_>) -> RecordVerdict,
 ) -> std::io::Result<LoadStats> {
     let mut stats = LoadStats::default();
-    for (_, path) in segment_files(dir)? {
-        let data = match fs::read(&path) {
-            Ok(data) => data,
+    for (_, path) in sealed_segments(dir)? {
+        match scan_segment_file(&path, fingerprint, &mut sink) {
+            Ok(SegmentOutcome::Skipped) => stats.segments_skipped += 1,
+            Ok(SegmentOutcome::Loaded {
+                records,
+                damaged_tail,
+                stopped,
+            }) => {
+                stats.segments_loaded += 1;
+                stats.records_loaded += records;
+                stats.damaged_tails += u64::from(damaged_tail);
+                if stopped {
+                    break;
+                }
+            }
             Err(e) => {
                 // The file vanished or became unreadable between the
                 // directory listing and the read: skip it like any other
                 // damaged segment.
                 stats.segments_skipped += 1;
                 eprintln!("exsample-persist: skipping {}: {e}", path.display());
-                continue;
-            }
-        };
-        let body = match read_segment_header(&data, SEGMENT_MAGIC) {
-            Ok((hdr, body)) if hdr.version == SEGMENT_VERSION && hdr.fingerprint == fingerprint => {
-                body
-            }
-            Ok((hdr, _)) => {
-                stats.segments_skipped += 1;
-                eprintln!(
-                    "exsample-persist: skipping {} (version {} fingerprint {:#x}, expected {} / {:#x})",
-                    path.display(),
-                    hdr.version,
-                    hdr.fingerprint,
-                    SEGMENT_VERSION,
-                    fingerprint
-                );
-                continue;
-            }
-            Err(e) => {
-                stats.segments_skipped += 1;
-                eprintln!("exsample-persist: skipping {}: {e}", path.display());
-                continue;
-            }
-        };
-        stats.segments_loaded += 1;
-        let mut rest = body;
-        loop {
-            match next_record(rest) {
-                RecordStep::Record { payload, rest: r } => {
-                    rest = r;
-                    match decode_detections(payload) {
-                        Ok(rec) => {
-                            stats.records_loaded += 1;
-                            sink(rec);
-                        }
-                        Err(e) => {
-                            // A checksum-valid but undecodable record means
-                            // writer-version skew; treat like damage.
-                            stats.damaged_tails += 1;
-                            eprintln!(
-                                "exsample-persist: abandoning tail of {}: {e}",
-                                path.display()
-                            );
-                            break;
-                        }
-                    }
-                }
-                RecordStep::End => break,
-                RecordStep::Truncated | RecordStep::Corrupt => {
-                    stats.damaged_tails += 1;
-                    eprintln!(
-                        "exsample-persist: abandoning damaged tail of {}",
-                        path.display()
-                    );
-                    break;
-                }
             }
         }
     }
     Ok(stats)
+}
+
+/// Scan every segment in `dir`, delivering each checksum-valid record
+/// whose segment matches `fingerprint` to `sink` *fully decoded*, oldest
+/// segment first. A convenience wrapper over [`scan_detections_raw`] for
+/// callers that want every record.
+pub fn scan_detections(
+    dir: &Path,
+    fingerprint: u64,
+    mut sink: impl FnMut(DetectionRecord),
+) -> std::io::Result<LoadStats> {
+    scan_detections_raw(dir, fingerprint, |raw| match raw.decode() {
+        Ok(rec) => {
+            sink(rec);
+            RecordVerdict::Keep
+        }
+        Err(_) => RecordVerdict::Abandon,
+    })
 }
 
 #[cfg(test)]
@@ -363,7 +479,7 @@ mod tests {
         }
         drop(log);
         let indices = |dir: &Path| -> Vec<u64> {
-            segment_files(dir)
+            sealed_segments(dir)
                 .unwrap()
                 .into_iter()
                 .map(|(i, _)| i)

@@ -51,8 +51,11 @@ pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
 /// `Stats`/`StatsReply` exchange serving fleet-wide statistics
 /// aggregation in the cluster layer. v3 added the §III-F batching
 /// fields: `QuerySpec.batch` (optional per-query detector batch size)
-/// and the `dispatch_s`/`dispatches` members of `SessionCharges`.
-pub const PROTO_VERSION: u16 = 3;
+/// and the `dispatch_s`/`dispatches` members of `SessionCharges`. v4
+/// added the columnar-container members of `PersistStats`
+/// (`container_frames`, `container_chunks`, `container_hits`,
+/// `container_bytes_touched`, `container_skipped`, `preload_skipped`).
+pub const PROTO_VERSION: u16 = 4;
 
 /// Upper bound on one frame's payload, enforced on both send and
 /// receive: a corrupt or hostile length prefix must not provoke an

@@ -499,6 +499,12 @@ fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
             put_u64(out, p.beliefs_resident);
             put_u64(out, p.log_write_errors);
             put_u64(out, p.snapshot_write_errors);
+            put_u64(out, p.container_frames);
+            put_u64(out, p.container_chunks);
+            put_u64(out, p.container_hits);
+            put_u64(out, p.container_bytes_touched);
+            put_u64(out, p.container_skipped);
+            put_u64(out, p.preload_skipped);
         }
     }
     put_u64(out, stats.live_sessions);
@@ -525,6 +531,12 @@ fn get_service_stats(c: &mut Cursor) -> Result<ServiceStats, WireCodecError> {
             beliefs_resident: c.u64()?,
             log_write_errors: c.u64()?,
             snapshot_write_errors: c.u64()?,
+            container_frames: c.u64()?,
+            container_chunks: c.u64()?,
+            container_hits: c.u64()?,
+            container_bytes_touched: c.u64()?,
+            container_skipped: c.u64()?,
+            preload_skipped: c.u64()?,
         }),
         _ => return Err(WireCodecError("bad option tag")),
     };
@@ -802,6 +814,12 @@ mod tests {
                 beliefs_resident: 3,
                 log_write_errors: 0,
                 snapshot_write_errors: 1,
+                container_frames: 450,
+                container_chunks: 12,
+                container_hits: 321,
+                container_bytes_touched: 9_876,
+                container_skipped: 1,
+                preload_skipped: 49,
             }),
             live_sessions: u64::MAX,
         };

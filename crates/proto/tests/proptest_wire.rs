@@ -191,6 +191,12 @@ fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
                 beliefs_resident: w[1].rotate_left(37),
                 log_write_errors: w[2].rotate_left(41),
                 snapshot_write_errors: w[3].rotate_left(43),
+                container_frames: w[4].rotate_left(47),
+                container_chunks: w[5].rotate_left(53),
+                container_hits: w[0].rotate_left(59),
+                container_bytes_touched: w[1].rotate_left(61),
+                container_skipped: w[2].rotate_left(3),
+                preload_skipped: w[3].rotate_left(5),
             }),
             live_sessions: w[5],
         }),

@@ -1,0 +1,122 @@
+//! Warm starts that read only the chunks they touch: the columnar store.
+//!
+//! Each process run is one engine *incarnation* over a shared persist
+//! directory with the columnar container enabled. On startup the engine
+//! sweeps crashed compaction temps, folds every sealed log segment into
+//! the memory-mapped container (superseding the segments), and then
+//! serves previously-detected frames straight from the container's
+//! varint columns — no log replay, no detector.
+//!
+//! ```text
+//! cargo run --release --example columnar_restart [-- <persist-dir>]
+//! ```
+//!
+//! Run it twice on the same directory: the first run pays the detector
+//! for every sampled frame and leaves a sealed log; the second run
+//! compacts, then replays the identical fleet for **zero** detector
+//! invocations, every frame a container hit. CI runs exactly that and
+//! fails unless run 2 prints `total detector invocations: 0` with
+//! `container hits` > 0.
+
+use exsample::core::driver::StopCond;
+use exsample::detect::NoiseModel;
+use exsample::engine::{
+    dataset_fingerprint, detector_fingerprint, ColumnarConfig, Engine, EngineConfig, PersistConfig,
+    QuerySpec, RepoId, SessionStatus,
+};
+use exsample::videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
+use std::sync::Arc;
+
+const DET_SEED: u64 = 11;
+
+fn repository() -> Arc<GroundTruth> {
+    Arc::new(
+        DatasetSpec::single_class(
+            100_000,
+            ClassSpec::new(
+                "cyclist",
+                120,
+                60.0,
+                SkewSpec::CentralNormal { frac95: 0.15 },
+            ),
+        )
+        .generate(2027),
+    )
+}
+
+/// The standard fleet, cold beliefs for exact replayability across runs.
+fn run_fleet(engine: &Engine, repo: RepoId) -> u64 {
+    let ids: Vec<_> = (0..4)
+        .map(|q| {
+            engine
+                .submit(
+                    QuerySpec::new(repo, ClassId(0), StopCond::results(100 + q))
+                        .chunks(16)
+                        .seed(60 + q)
+                        .warm_start(false),
+                )
+                .expect("valid query")
+        })
+        .collect();
+    for id in ids {
+        let report = engine.wait(id).expect("session finishes");
+        assert_eq!(report.status, SessionStatus::Done);
+    }
+    engine.detector_invocations()
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).map_or_else(
+        || std::env::temp_dir().join(format!("exsample-columnar-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    println!("persist directory: {}\n", dir.display());
+    let gt = repository();
+
+    // Detector config AND footage identity: swapping either invalidates
+    // both the log and the container instead of serving stale detections.
+    let fingerprint =
+        detector_fingerprint(&NoiseModel::none(), DET_SEED) ^ dataset_fingerprint(&gt);
+    let engine = Engine::new(EngineConfig {
+        persist: Some(
+            PersistConfig::new(&dir)
+                .fingerprint(fingerprint)
+                // Narrow chunks so a query's warm start maps to a small,
+                // cheap slice of the container.
+                .columnar(ColumnarConfig::new().chunk_frames(2048)),
+        ),
+        ..EngineConfig::default()
+    });
+
+    let stats = engine.persist_stats().expect("persistence on");
+    println!(
+        "engine up: container holds {} frames in {} chunk group(s); \
+         {} log records streamed into the cache ({} skipped as container-covered)",
+        stats.container_frames,
+        stats.container_chunks,
+        stats.preloaded_frames,
+        stats.preload_skipped,
+    );
+
+    let repo = engine.register_repo("columnar-cam", gt.clone(), NoiseModel::none(), DET_SEED);
+    let invocations = run_fleet(&engine, repo);
+    let stats = engine.persist_stats().expect("persistence on");
+    println!(
+        "fleet of 4 queries: {} detector invocations; {} frames served from \
+         the container ({} container bytes actually read)",
+        invocations, stats.container_hits, stats.container_bytes_touched,
+    );
+    println!("cache: {}", engine.cache_stats());
+
+    // Machine-readable lines compared across process runs by CI: run 2
+    // must print zero invocations and a positive container-hit count.
+    println!("\ntotal detector invocations: {invocations}");
+    println!("container hits: {}", stats.container_hits);
+    drop(engine);
+
+    // Only clean up self-made scratch dirs; an explicit argument means
+    // the caller owns the directory (and wants it to persist).
+    if std::env::args().nth(1).is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

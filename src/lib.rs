@@ -27,6 +27,11 @@
 //!   CRC-checked detection log plus belief snapshots, so a restarted
 //!   engine answers previously-detected frames without re-running the
 //!   detector and new queries warm-start from persisted chunk beliefs.
+//! * [`colstore`] — the compacted form of that store: an immutable,
+//!   memory-mapped columnar container with varint-delta columns and a
+//!   per-chunk temporal index, rewritten from sealed log segments by a
+//!   crash-safe compactor, so warm starts read only the chunks a query
+//!   touches instead of replaying the whole log.
 //! * [`proto`] — the serving layer's wire protocol: a versioned,
 //!   length-prefixed binary framing with a remote `SearchService` client
 //!   and a server multiplexing many connections over one engine, so the
@@ -76,6 +81,7 @@
 
 pub use exsample_baselines as baselines;
 pub use exsample_cluster as cluster;
+pub use exsample_colstore as colstore;
 pub use exsample_core as core;
 pub use exsample_detect as detect;
 pub use exsample_engine as engine;

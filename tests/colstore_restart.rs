@@ -1,0 +1,252 @@
+//! Integration: the memory-mapped columnar container across engine
+//! restarts.
+//!
+//! Covers the columnar-store acceptance criteria end to end through the
+//! facade crate: startup compaction folds the sealed log into the
+//! container; a reopened engine replays a previous query with **zero**
+//! detector invocations, serving every frame from the mapped container
+//! (`container_hits`) with bit-identical results; a fingerprint change
+//! invalidates the container non-fatally and non-destructively; a crash
+//! mid-compaction between incarnations loses nothing.
+
+use exsample::colstore::{compact_with_kill, container_path, KillPoint};
+use exsample::core::driver::StopCond;
+use exsample::detect::NoiseModel;
+use exsample::engine::{
+    detector_fingerprint, ColumnarConfig, Engine, EngineConfig, PersistConfig, QuerySpec, RepoId,
+    SessionReport, SessionStatus,
+};
+use exsample::persist::sealed_segments;
+use exsample::videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const FRAMES: u64 = 20_000;
+const DET_SEED: u64 = 5;
+const CHUNK_FRAMES: u64 = 512;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn repository() -> Arc<GroundTruth> {
+    Arc::new(
+        DatasetSpec::single_class(
+            FRAMES,
+            ClassSpec::new("car", 60, 50.0, SkewSpec::CentralNormal { frac95: 0.2 }),
+        )
+        .generate(17),
+    )
+}
+
+fn engine_on(dir: &PathBuf, fingerprint: u64) -> (Engine, RepoId) {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        quantum: 8,
+        persist: Some(
+            PersistConfig::new(dir)
+                .fingerprint(fingerprint)
+                .columnar(ColumnarConfig::new().chunk_frames(CHUNK_FRAMES)),
+        ),
+        ..EngineConfig::default()
+    });
+    let repo = engine.register_repo("colstore-repo", repository(), NoiseModel::none(), DET_SEED);
+    (engine, repo)
+}
+
+fn fingerprint() -> u64 {
+    detector_fingerprint(&NoiseModel::none(), DET_SEED)
+}
+
+/// The reference query, replayable bit-for-bit (cold beliefs).
+fn query(repo: RepoId) -> QuerySpec {
+    QuerySpec::new(repo, ClassId(0), StopCond::results(30))
+        .chunks(8)
+        .seed(9)
+        .warm_start(false)
+}
+
+fn run_query(engine: &Engine, spec: QuerySpec) -> SessionReport {
+    let report = engine
+        .wait(engine.submit(spec).expect("valid spec"))
+        .expect("session finishes");
+    assert_eq!(report.status, SessionStatus::Done);
+    report
+}
+
+fn curve(report: &SessionReport) -> Vec<(u64, u64)> {
+    report
+        .trace
+        .points()
+        .iter()
+        .map(|p| (p.samples, p.found))
+        .collect()
+}
+
+#[test]
+fn restart_replays_from_container_with_zero_invocations() {
+    let dir = scratch_dir("colstore-zero-invocations");
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let first = run_query(&engine, query(repo));
+    let paid = engine.detector_invocations();
+    assert!(paid > 0, "cold run must invoke the detector");
+    drop(engine);
+
+    // Startup compaction folded the whole log into the container.
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let ps = engine.persist_stats().expect("persistence configured");
+    assert_eq!(ps.container_frames, paid);
+    assert!(ps.container_chunks > 0);
+    assert_eq!(ps.container_skipped, 0);
+    assert!(container_path(&dir).exists());
+    assert!(
+        sealed_segments(&dir).expect("list").is_empty(),
+        "compaction must supersede the folded segments"
+    );
+    // Nothing left to stream-preload: the container IS the warm state.
+    assert_eq!(ps.records_loaded, 0);
+    assert_eq!(ps.preloaded_frames, 0);
+
+    // The replay never touches the detector: every sampled frame is a
+    // cache miss resolved from the mapped container.
+    let replay = run_query(&engine, query(repo));
+    assert_eq!(
+        engine.detector_invocations(),
+        0,
+        "replayed frames must come from the container"
+    );
+    let ps = engine.persist_stats().expect("persistence configured");
+    assert_eq!(ps.container_hits, paid);
+    assert!(ps.container_bytes_touched > 0);
+    assert!(
+        ps.container_bytes_touched
+            <= std::fs::metadata(container_path(&dir))
+                .expect("metadata")
+                .len(),
+        "cannot touch more bytes than the container holds"
+    );
+    assert_eq!(engine.cache_stats().warm_loads, paid);
+    assert_eq!(replay.charges.cache_hits, replay.charges.frames);
+
+    // Bit-identical search: same frames, same results, same curve.
+    assert_eq!(curve(&replay), curve(&first));
+    drop(engine);
+
+    // Container-served frames never re-enter the log: a third incarnation
+    // still sees zero sealed segments and replays for free again.
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    assert!(sealed_segments(&dir).expect("list").is_empty());
+    let again = run_query(&engine, query(repo));
+    assert_eq!(engine.detector_invocations(), 0);
+    assert_eq!(curve(&again), curve(&first));
+}
+
+#[test]
+fn fingerprint_mismatch_skips_container_non_fatally() {
+    let dir = scratch_dir("colstore-upgrade");
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let first = run_query(&engine, query(repo));
+    let paid = engine.detector_invocations();
+    drop(engine);
+    // Build the container under the original fingerprint.
+    let (engine, _) = engine_on(&dir, fingerprint());
+    assert_eq!(
+        engine.persist_stats().expect("stats").container_frames,
+        paid
+    );
+    drop(engine);
+
+    // "Detector upgrade": the container is skipped (counted), never
+    // deleted, and every frame is recomputed — no failure anywhere.
+    let (engine, repo) = engine_on(&dir, 0xDEAD_BEEF);
+    let ps = engine.persist_stats().expect("persistence configured");
+    assert_eq!(ps.container_skipped, 1);
+    assert_eq!(ps.container_frames, 0);
+    assert_eq!(ps.container_hits, 0);
+    run_query(&engine, query(repo));
+    assert_eq!(engine.detector_invocations(), paid);
+    assert!(
+        container_path(&dir).exists(),
+        "a mismatched container must not be destroyed"
+    );
+    drop(engine);
+
+    // Rolling back to the original detector finds the container intact
+    // and replays for free, ignoring the foreign segments the "upgraded"
+    // engine wrote.
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let ps = engine.persist_stats().expect("persistence configured");
+    assert_eq!(ps.container_skipped, 0);
+    assert_eq!(ps.container_frames, paid);
+    let replay = run_query(&engine, query(repo));
+    assert_eq!(engine.detector_invocations(), 0);
+    assert_eq!(curve(&replay), curve(&first));
+}
+
+#[test]
+fn crash_mid_compaction_between_incarnations_loses_nothing() {
+    let dir = scratch_dir("colstore-crash");
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let first = run_query(&engine, query(repo));
+    let paid = engine.detector_invocations();
+    drop(engine);
+
+    // Crash while writing the temp container: the next engine sweeps the
+    // orphan, compacts cleanly, and replays from the result.
+    let report = compact_with_kill(
+        &dir,
+        fingerprint(),
+        CHUNK_FRAMES,
+        Some(KillPoint::MidTmpWrite),
+    )
+    .expect("killed run returns");
+    assert!(!report.completed);
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let ps = engine.persist_stats().expect("persistence configured");
+    assert_eq!(ps.container_frames, paid);
+    let replay = run_query(&engine, query(repo));
+    assert_eq!(engine.detector_invocations(), 0);
+    assert_eq!(curve(&replay), curve(&first));
+    drop(engine);
+
+    // Crash after the rename but before segment cleanup: container and
+    // segments coexist; the next startup dedups — no loss, no double
+    // counting, same container content.
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let more = run_query(
+        &engine,
+        QuerySpec::new(repo, ClassId(0), StopCond::results(40))
+            .chunks(8)
+            .seed(123)
+            .warm_start(false),
+    );
+    assert_eq!(more.status, SessionStatus::Done);
+    let extra = engine.detector_invocations();
+    drop(engine);
+    let report = compact_with_kill(
+        &dir,
+        fingerprint(),
+        CHUNK_FRAMES,
+        Some(KillPoint::BeforeCleanup),
+    )
+    .expect("killed run returns");
+    assert!(!report.completed && report.rewritten);
+    assert!(
+        !sealed_segments(&dir).expect("list").is_empty(),
+        "the kill point must leave the folded segments behind"
+    );
+
+    let (engine, repo) = engine_on(&dir, fingerprint());
+    let ps = engine.persist_stats().expect("persistence configured");
+    assert_eq!(
+        ps.container_frames,
+        paid + extra,
+        "duplicated log records must collapse in the keyed merge"
+    );
+    assert!(sealed_segments(&dir).expect("list").is_empty());
+    let replay = run_query(&engine, query(repo));
+    assert_eq!(engine.detector_invocations(), 0);
+    assert_eq!(curve(&replay), curve(&first));
+}
