@@ -1,0 +1,89 @@
+//! Measures the cost of the observability layer: the identical batched
+//! multi-query workload on an engine with instrumentation on vs. off,
+//! interleaved replicates, min-of-K wall time per arm. Gates on the
+//! instrumentation overhead staying under 3% and writes
+//! `BENCH_obs.json` at the repo root with the submit/poll/dispatch
+//! latency quantiles the instrumented arm observed.
+
+use exsample_experiments::{obs_cmp, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut cfg = obs_cmp::ObsCmpConfig::default_workload();
+    if scale == Scale::Quick {
+        cfg.frames = 10_000;
+        cfg.instances = 40;
+        cfg.samples_per_query = 400;
+        cfg.replicates = 2;
+    }
+    eprintln!(
+        "obs_cmp: {} queries × {} samples over {} frames, {} interleaved replicate pairs ({scale:?}) …",
+        cfg.queries, cfg.samples_per_query, cfg.frames, cfg.replicates
+    );
+    let t0 = std::time::Instant::now();
+    let report = obs_cmp::run(&cfg);
+
+    println!("\n# Observability overhead: instrumented vs. uninstrumented engine\n");
+    println!(
+        "| arm | wall time (min of {}) |\n|---|---|\n\
+         | uninstrumented | {:.1} ms |\n\
+         | instrumented | {:.1} ms |",
+        cfg.replicates,
+        report.base_wall_s * 1e3,
+        report.obs_wall_s * 1e3,
+    );
+    println!(
+        "attributed overhead: {:+.2}% ({:.0} ns/unit cold-cache × {} units / {:.1} ms base wall) [gated]",
+        report.overhead_frac() * 100.0,
+        report.unit_cost_ns,
+        report.units_per_run,
+        report.base_wall_s * 1e3,
+    );
+    println!(
+        "wall-clock A/B: {:+.2}% (median of {} ABBA blocks; noise-floor-limited, informational)",
+        report.wall_overhead_frac() * 100.0,
+        report.pair_ratios.len(),
+    );
+    println!(
+        "block ratios: [{}]",
+        report
+            .pair_ratios
+            .iter()
+            .map(|r| format!("{:+.2}%", (r - 1.0) * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "dispatch_ns: count {} p50 {} p99 {} | submit_ns: p50 {} p99 {} | poll_ns: p50 {} p99 {} | flight events {}",
+        report.dispatch.total(),
+        report.dispatch.quantile(0.5),
+        report.dispatch.quantile(0.99),
+        report.submit.quantile(0.5),
+        report.submit.quantile(0.99),
+        report.poll.quantile(0.5),
+        report.poll.quantile(0.99),
+        report.flight_events,
+    );
+
+    assert!(report.dispatch.total() > 0, "dispatches must be observed");
+    assert!(report.flight_events > 0, "flight recorder must hold events");
+    if scale == Scale::Full {
+        assert!(
+            report.overhead_ok(),
+            "attributed instrumentation overhead must stay under 3%, measured {:+.2}%",
+            report.overhead_frac() * 100.0
+        );
+    }
+
+    let out = std::env::var("EXSAMPLE_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json"));
+    std::fs::write(&out, obs_cmp::to_json(&report)).expect("write BENCH_obs.json");
+    eprintln!(
+        "wrote {} ({:.1}s)",
+        out.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

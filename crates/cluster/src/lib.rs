@@ -24,6 +24,12 @@
 //!   is marked down with typed [`ServiceError::ShardDown`] /
 //!   [`SubmitError::ShardDown`] errors surfaced to the caller instead of
 //!   panics, and [`ShardRouter::revive`] puts it back after repair.
+//! * [`FleetDiagnostics`] — fleet-level observability: per-shard latency
+//!   histograms merged by metric name (so `dispatch_ns` p99 is over the
+//!   union of every shard's dispatches) and counters summed, degraded-
+//!   tolerant like [`ClusterStats`]; the router's strict
+//!   `SearchService::diagnostics` additionally re-namespaces flight-event
+//!   session ids into the router's id space.
 //!
 //! [`ServiceError::ShardDown`]: exsample_engine::ServiceError::ShardDown
 //! [`SubmitError::ShardDown`]: exsample_engine::SubmitError::ShardDown
@@ -39,6 +45,6 @@ pub mod router;
 
 pub use placement::{place, rendezvous_score};
 pub use router::{
-    global_repo, global_session, split_repo, split_session, ClusterStats, IdKind, IdOverflow,
-    ShardHealth, ShardRouter, ShardService, MAX_SHARDS,
+    global_repo, global_session, split_repo, split_session, ClusterStats, FleetDiagnostics, IdKind,
+    IdOverflow, ShardHealth, ShardRouter, ShardService, MAX_SHARDS,
 };

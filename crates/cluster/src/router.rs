@@ -29,9 +29,11 @@
 
 use crate::placement;
 use exsample_engine::{
-    CacheStats, PersistStats, QuerySpec, RepoId, RepoInfo, SearchService, ServiceError,
-    ServiceStats, SessionId, SessionReport, SessionSnapshot, SubmitError,
+    CacheStats, Diagnostics, PersistStats, QuerySpec, RepoId, RepoInfo, SearchService,
+    ServiceError, ServiceStats, SessionId, SessionReport, SessionSnapshot, SubmitError,
 };
+use exsample_obs::{HistSnapshot, NO_SESSION};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Hard cap on shards per router: the slot must fit the 8 bits reserved
@@ -181,6 +183,65 @@ impl ClusterStats {
     /// Number of shards that did not report (down or failing).
     pub fn shards_down(&self) -> usize {
         self.shards.iter().filter(|(_, s)| s.is_none()).count()
+    }
+}
+
+/// Fleet-wide observability: each shard's [`Diagnostics`] plus the
+/// fleet-level merge — histograms folded together *by metric name*
+/// (log-bucketed snapshots merge exactly, so `histogram("dispatch_ns")`
+/// is the latency distribution over every dispatch anywhere in the
+/// fleet) and counters summed by name. Produced by
+/// [`ShardRouter::fleet_diagnostics`], which — like
+/// [`ShardRouter::cluster_stats`] — keeps working in a degraded fleet:
+/// unreachable shards report `None` and are left out of the merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetDiagnostics {
+    /// `(shard name, diagnostics)` per shard, in slot order; `None` when
+    /// the shard is down or its diagnostics call failed (which marks it
+    /// down). Event session ids here are *shard-local*.
+    pub shards: Vec<(String, Option<Diagnostics>)>,
+    /// Histogram snapshots merged by metric name over reachable shards,
+    /// sorted by name.
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// Counters summed by name over reachable shards, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl FleetDiagnostics {
+    /// Number of shards that did not report (down or failing).
+    pub fn shards_down(&self) -> usize {
+        self.shards.iter().filter(|(_, d)| d.is_none()).count()
+    }
+
+    /// The fleet-merged snapshot of the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// The fleet-summed reading of the counter named `name`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Fold one shard's diagnostics into the fleet-level name-keyed merge.
+fn merge_diagnostics(
+    hists: &mut BTreeMap<String, HistSnapshot>,
+    counters: &mut BTreeMap<String, u64>,
+    diag: &Diagnostics,
+) {
+    for (name, snap) in &diag.histograms {
+        hists.entry(name.clone()).or_default().merge(snap);
+    }
+    for (name, value) in &diag.counters {
+        let total = counters.entry(name.clone()).or_insert(0);
+        *total = total.saturating_add(*value);
     }
 }
 
@@ -379,6 +440,31 @@ impl ShardRouter {
         out
     }
 
+    /// Fleet-wide observability, degraded-tolerant: per-shard
+    /// [`Diagnostics`] plus histograms merged and counters summed over
+    /// every *reachable* shard. A shard failing its diagnostics call is
+    /// marked down and reported as `None` — exactly the
+    /// [`ShardRouter::cluster_stats`] contract, because observability
+    /// must keep working exactly when part of the fleet does not.
+    pub fn fleet_diagnostics(&self) -> FleetDiagnostics {
+        let mut hists = BTreeMap::new();
+        let mut counters = BTreeMap::new();
+        let mut out = FleetDiagnostics::default();
+        for shard in &self.shards {
+            let diag = match self.check_up(shard) {
+                Ok(()) => self.observe(shard, shard.svc.diagnostics()).ok(),
+                Err(_) => None,
+            };
+            if let Some(d) = &diag {
+                merge_diagnostics(&mut hists, &mut counters, d);
+            }
+            out.shards.push((shard.name.clone(), diag));
+        }
+        out.histograms = hists.into_iter().collect();
+        out.counters = counters.into_iter().collect();
+        out
+    }
+
     // ---- routing internals ----
 
     /// Fail fast when the shard is marked down.
@@ -565,6 +651,44 @@ impl SearchService for ShardRouter {
             out.live_sessions += s.live_sessions;
         }
         Ok(out)
+    }
+
+    /// Fleet-merged diagnostics over every shard: histograms folded by
+    /// metric name, counters summed, and flight events concatenated in
+    /// slot order with their session ids re-namespaced into the
+    /// router's id space (`u64::MAX` — unowned work — passes through
+    /// untouched). Strict, like [`SearchService::stats`]: an
+    /// unreachable shard fails the call with its typed error, because a
+    /// silent partial merge reads as "the fleet's p99 is lower than it
+    /// is". Use [`ShardRouter::fleet_diagnostics`] for the
+    /// degraded-tolerant per-shard form.
+    fn diagnostics(&self) -> Result<Diagnostics, ServiceError> {
+        let mut hists = BTreeMap::new();
+        let mut counters = BTreeMap::new();
+        let mut events = Vec::new();
+        for (slot, shard) in self.shards.iter().enumerate() {
+            self.check_up(shard)?;
+            let diag = self.observe(shard, shard.svc.diagnostics())?;
+            merge_diagnostics(&mut hists, &mut counters, &diag);
+            for mut event in diag.events {
+                if event.session != NO_SESSION {
+                    event.session = global_session(slot, SessionId(event.session))
+                        .map_err(|e| {
+                            ServiceError::Transport(format!(
+                                "shard {:?} reported a foreign session id: {e}",
+                                shard.name
+                            ))
+                        })?
+                        .0;
+                }
+                events.push(event);
+            }
+        }
+        Ok(Diagnostics {
+            histograms: hists.into_iter().collect(),
+            counters: counters.into_iter().collect(),
+            events,
+        })
     }
 }
 

@@ -1,0 +1,224 @@
+//! Fleet-level observability contract: a router merges per-shard
+//! latency histograms by metric name — p99 over the *union* of shards,
+//! verified against known recorded values — sums counters, tolerates
+//! down shards in the degraded form, and re-namespaces flight-event
+//! session ids in the strict form.
+
+use exsample_cluster::{split_session, ShardRouter, ShardService};
+use exsample_core::driver::StopCond;
+use exsample_detect::NoiseModel;
+use exsample_engine::{Engine, EngineConfig, QuerySpec, SearchService, ServiceError, SessionId};
+use exsample_obs::NO_SESSION;
+use exsample_proto::transport::DuplexStream;
+use exsample_proto::{duplex, RemoteClient, SearchServer};
+use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn truth(seed: u64) -> Arc<GroundTruth> {
+    Arc::new(
+        DatasetSpec::single_class(
+            10_000,
+            ClassSpec::new("car", 40, 120.0, SkewSpec::CentralNormal { frac95: 0.2 }),
+        )
+        .generate(seed),
+    )
+}
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        quantum: 8,
+        ..EngineConfig::default()
+    }))
+}
+
+/// A transport that can be severed from the outside: reads and writes
+/// fail with `ConnectionReset` once `broken` is set.
+struct Breakable {
+    inner: DuplexStream,
+    broken: Arc<AtomicBool>,
+}
+
+impl std::io::Read for Breakable {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.broken.load(Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "link severed",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl std::io::Write for Breakable {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.broken.load(Ordering::Relaxed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "link severed",
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A two-shard fleet: shard "a" in-process, shard "b" behind the wire
+/// protocol over a severable link. Returns the router, both engines,
+/// and the switch that severs shard "b".
+fn fleet() -> (ShardRouter, Arc<Engine>, Arc<Engine>, Arc<AtomicBool>) {
+    let engine_a = engine();
+    let engine_b = engine();
+    let server = Arc::new(SearchServer::new(engine_b.clone()));
+    let (client_io, server_io) = duplex();
+    let broken = Arc::new(AtomicBool::new(false));
+    {
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            let _ = srv.serve_connection(server_io);
+        });
+    }
+    let remote = Arc::new(
+        RemoteClient::connect(Breakable {
+            inner: client_io,
+            broken: broken.clone(),
+        })
+        .expect("handshake"),
+    );
+    let router = ShardRouter::new(vec![
+        ("a".into(), engine_a.clone() as ShardService),
+        ("b".into(), remote as ShardService),
+    ]);
+    (router, engine_a, engine_b, broken)
+}
+
+/// Both shards record known latencies into `dispatch_ns`; the fleet
+/// merge must report quantiles over the union — shard A's p99 is three
+/// orders of magnitude below the fleet's, because every slow dispatch
+/// lives on shard B.
+#[test]
+fn fleet_p99_covers_the_union_of_shards() {
+    let (router, engine_a, engine_b, _broken) = fleet();
+    // Shard A: 50 fast dispatches (1 µs — bucket ceiling 1023 ns).
+    let hist_a = engine_a.obs().registry().histogram("dispatch_ns");
+    for _ in 0..50 {
+        hist_a.record(1_000);
+    }
+    // Shard B (reached over the wire): 50 slow dispatches (1 ms —
+    // bucket ceiling 1_048_575 ns).
+    let hist_b = engine_b.obs().registry().histogram("dispatch_ns");
+    for _ in 0..50 {
+        hist_b.record(1_000_000);
+    }
+    engine_a.obs().registry().counter("test_total").add(3);
+    engine_b.obs().registry().counter("test_total").add(4);
+
+    let fleet = router.fleet_diagnostics();
+    assert_eq!(fleet.shards_down(), 0);
+    assert_eq!(
+        fleet
+            .shards
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>(),
+        ["a", "b"]
+    );
+
+    // The merged distribution covers all 100 observations.
+    let merged = fleet.histogram("dispatch_ns").expect("merged histogram");
+    assert_eq!(merged.total(), 100);
+    assert_eq!(merged.quantile(0.5), 1_023, "fleet p50 is a fast dispatch");
+    assert_eq!(
+        merged.quantile(0.99),
+        1_048_575,
+        "fleet p99 must come from shard B's slow half"
+    );
+    // Shard A alone never saw a slow dispatch.
+    let a_alone = fleet.shards[0].1.as_ref().expect("shard A reported");
+    assert_eq!(
+        a_alone.histogram("dispatch_ns").unwrap().quantile(0.99),
+        1_023
+    );
+    // Counters sum across shards.
+    assert_eq!(fleet.counter("test_total"), Some(7));
+
+    // The strict trait form agrees with the degraded-tolerant one.
+    let strict = router.diagnostics().expect("all shards up");
+    assert_eq!(strict.histogram("dispatch_ns"), Some(merged));
+    assert_eq!(strict.counter("test_total"), Some(7));
+}
+
+/// A severed shard degrades `fleet_diagnostics` (reported as `None`,
+/// left out of the merge) but fails the strict trait call with the
+/// typed error.
+#[test]
+fn fleet_diagnostics_tolerates_a_down_shard() {
+    let (router, engine_a, _engine_b, broken) = fleet();
+    engine_a
+        .obs()
+        .registry()
+        .histogram("dispatch_ns")
+        .record(1_000);
+    broken.store(true, Ordering::Relaxed);
+
+    let fleet = router.fleet_diagnostics();
+    assert_eq!(fleet.shards_down(), 1);
+    assert!(fleet.shards[0].1.is_some(), "shard A still reports");
+    assert!(fleet.shards[1].1.is_none(), "shard B is unreachable");
+    // Shard A's data still reaches the merge.
+    assert_eq!(fleet.histogram("dispatch_ns").unwrap().total(), 1);
+
+    match router.diagnostics() {
+        Err(ServiceError::ShardDown { shard, .. }) => assert_eq!(shard, "b"),
+        other => panic!("strict diagnostics must fail typed, got {other:?}"),
+    }
+}
+
+/// Flight events crossing the router carry namespaced session ids: a
+/// session run on shard B (slot 1) shows up with slot bits set, and
+/// unowned work (`NO_SESSION`) passes through untouched.
+#[test]
+fn strict_diagnostics_namespaces_event_session_ids() {
+    let (router, _engine_a, _engine_b, _broken) = fleet();
+    let repo_b = {
+        // Register footage directly on shard B's engine (slot 1).
+        let infos = router.repos().expect("catalog");
+        assert!(infos.is_empty(), "fresh fleet");
+        _engine_b.register_repo("cam-b", truth(5), NoiseModel::none(), 5);
+        router
+            .repos()
+            .expect("catalog")
+            .into_iter()
+            .find(|r| r.name == "cam-b")
+            .expect("shard B repo in fleet catalog")
+            .id
+    };
+    let id = router
+        .submit(QuerySpec::new(repo_b, ClassId(0), StopCond::samples(200)).seed(4))
+        .expect("submit routes to shard B");
+    router.wait(id).expect("session finishes");
+    assert_eq!(split_session(id).0, 1, "session lives on slot 1");
+
+    let diag = router.diagnostics().expect("fleet diagnostics");
+    let owned: Vec<u64> = diag
+        .events
+        .iter()
+        .filter(|e| e.session != NO_SESSION)
+        .map(|e| e.session)
+        .collect();
+    assert!(!owned.is_empty(), "the session left events behind");
+    // Every owned event from this fleet belongs to slot 1 and maps back
+    // to the session the router handed out.
+    for s in owned {
+        assert_eq!(split_session(SessionId(s)).0, 1);
+    }
+    assert!(
+        diag.events.iter().any(|e| e.session == id.0),
+        "events carry the router-visible session id"
+    );
+}

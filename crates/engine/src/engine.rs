@@ -47,8 +47,11 @@
 //! frame first — those stops are fair but not bit-reproducible.
 
 use crate::cache::{CacheStats, CachedDetections, FrameCache, Lookup, MissGuard};
+use crate::obs::EngineObs;
 use crate::scheduler::Scheduler;
-use crate::service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
+use crate::service::{
+    Diagnostics, RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError,
+};
 use crate::session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
     SessionSnapshot, SessionStatus,
@@ -64,6 +67,7 @@ use exsample_detect::{
     dispatch_batch, Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
     TrackerDiscriminator,
 };
+use exsample_obs::{Stage, NO_SESSION};
 use exsample_persist::{
     dataset_fingerprint, scan_detections_raw, BeliefStore, DetectionLog, LoadStats, PersistConfig,
     RecordVerdict, RepoCatalog,
@@ -121,6 +125,18 @@ pub struct EngineConfig {
     /// reaps at its next touch. Pick a TTL comfortably above the slowest
     /// client's poll interval. `None` (the default) never reaps.
     pub session_ttl: Option<Duration>,
+    /// Record latency histograms and flight-recorder events (on by
+    /// default). Instrumentation is observational only — wall-clock
+    /// reads and relaxed atomics — so session traces are identical
+    /// either way; switching it off removes even that cost, which is
+    /// the baseline the `obs_cmp` benchmark measures against. Metrics
+    /// are still *registered* when off (with zero readings), so
+    /// [`Engine::diagnostics`] keeps a stable shape.
+    pub observe: bool,
+    /// Capacity of the flight recorder's event ring (most recent events
+    /// win). Sized so a typical debugging window — a few thousand
+    /// dispatches — stays resident.
+    pub flight_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +152,8 @@ impl Default for EngineConfig {
             cost_model: CostModel::default(),
             persist: None,
             session_ttl: None,
+            observe: true,
+            flight_capacity: 4096,
         }
     }
 }
@@ -331,6 +349,9 @@ struct Shared {
     cache: FrameCache,
     config: EngineConfig,
     persist: Option<PersistShared>,
+    /// Instrumentation hub (`Arc` so the write-behind closure can hold
+    /// it independently of the engine's lifetime).
+    obs: Arc<EngineObs>,
     stop: AtomicBool,
 }
 
@@ -361,6 +382,7 @@ impl Engine {
         assert!(config.quantum > 0, "quantum must be positive");
         assert!(config.batch > 0, "batch must be positive");
         assert!(config.detector_fps > 0.0, "detector_fps must be positive");
+        let obs = Arc::new(EngineObs::new(config.observe, config.flight_capacity));
         let mut cache = FrameCache::new(config.cache_capacity, config.cache_shards);
         let persist = config.persist.as_ref().map(|pc| {
             // Columnar pipeline first, before the log writer exists: sweep
@@ -375,6 +397,8 @@ impl Engine {
                     eprintln!("exsample-engine: orphan sweep failed: {e}");
                 }
                 if cc.compact_on_start {
+                    let mut span = obs.span_flight(Stage::Compaction, NO_SESSION);
+                    span.set_key(cc.chunk_frames);
                     if let Err(e) =
                         exsample_colstore::compact(&pc.dir, pc.fingerprint, cc.chunk_frames)
                     {
@@ -439,7 +463,12 @@ impl Engine {
             }
             let log = Arc::new(Mutex::new(log));
             let sink = log.clone();
+            let wb_obs = obs.clone();
             cache.set_write_behind(Box::new(move |key, dets| {
+                // The cache does not know which session published the
+                // miss; write-behind events are unowned.
+                let mut span = wb_obs.span_flight(Stage::WriteBehind, NO_SESSION);
+                span.set_key(key.1);
                 sink.lock()
                     .expect("detection log poisoned")
                     .append(key.0 .0, key.1, dets);
@@ -474,6 +503,7 @@ impl Engine {
             cache,
             config,
             persist,
+            obs,
             stop: AtomicBool::new(false),
         });
         let workers = (0..workers)
@@ -481,7 +511,22 @@ impl Engine {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("exsample-engine-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        // On a worker panic, dump the flight recorder —
+                        // the last few thousand structured events are
+                        // exactly the context a post-mortem needs — then
+                        // let the panic proceed unchanged.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker_loop(&shared)
+                        }));
+                        if let Err(panic) = run {
+                            eprintln!(
+                                "exsample-engine: worker panicked; {}",
+                                shared.obs.flight().render()
+                            );
+                            std::panic::resume_unwind(panic);
+                        }
+                    })
                     .expect("spawn engine worker")
             })
             .collect();
@@ -696,6 +741,9 @@ impl Engine {
         );
         state.scheduler.register(id, spec.weight);
         drop(state);
+        if self.shared.obs.enabled() {
+            self.shared.obs.sessions_submitted_total.inc();
+        }
         self.shared.work_cv.notify_all();
         Ok(id)
     }
@@ -903,6 +951,27 @@ impl Engine {
         }
     }
 
+    /// The engine's observability snapshot: every registered latency
+    /// histogram and counter plus the flight recorder's resident
+    /// events. Cheap — atomic loads and one ring copy; no state lock.
+    /// With [`EngineConfig::observe`] off, the shape is identical but
+    /// every reading is zero.
+    pub fn diagnostics(&self) -> Diagnostics {
+        let obs = &self.shared.obs;
+        Diagnostics {
+            histograms: obs.registry().histograms(),
+            counters: obs.registry().counters(),
+            events: obs.flight().dump(),
+        }
+    }
+
+    /// The instrumentation hub — other layers (e.g. the wire server)
+    /// time their own stages into the same registry and flight
+    /// recorder through this.
+    pub fn obs(&self) -> &EngineObs {
+        &self.shared.obs
+    }
+
     fn lock_state(&self) -> MutexGuard<'_, EngineState> {
         let mut state = self.shared.state.lock().expect("engine state poisoned");
         // Orphan-session GC piggybacks on every API touch: cheap (a front
@@ -989,6 +1058,10 @@ impl SearchService for Engine {
     fn stats(&self) -> Result<ServiceStats, ServiceError> {
         Ok(Engine::service_stats(self))
     }
+
+    fn diagnostics(&self) -> Result<Diagnostics, ServiceError> {
+        Ok(Engine::diagnostics(self))
+    }
 }
 
 impl Drop for Engine {
@@ -1046,7 +1119,19 @@ fn worker_loop(shared: &Shared) {
         let cancel = slot.cancel.clone();
         drop(state);
 
-        let outcome = step_quantum(&mut core, shared, &cancel);
+        // The lease span covers the session checkout: everything between
+        // taking the core and being ready to release the lease. Measured
+        // manually (not via guard) because the release itself happens
+        // back under the state lock.
+        let lease_t0 = shared.obs.enabled().then(Instant::now);
+        let outcome = step_quantum(&mut core, shared, &cancel, id);
+        if let Some(t0) = lease_t0 {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shared
+                .obs
+                .record(Stage::Lease, id.0, ns, outcome.delta.frames);
+            shared.obs.frames_total.add(outcome.delta.frames);
+        }
 
         state = shared.state.lock().expect("engine state poisoned");
         // Fairness floor: an all-hit quantum costs ~0 modelled seconds,
@@ -1095,6 +1180,9 @@ fn worker_loop(shared: &Shared) {
         if let Some(core) = retired {
             state.finished_sessions += 1;
             state.scheduler.deactivate(id);
+            if shared.obs.enabled() {
+                shared.obs.sessions_finished_total.inc();
+            }
             // The TTL clock starts at finalization; reap opportunistically
             // so a busy engine collects orphans even with no API traffic.
             if let Some(ttl) = shared.config.session_ttl {
@@ -1127,11 +1215,15 @@ fn worker_loop(shared: &Shared) {
             if let Some(key) = snapshot_key {
                 let persist = shared.persist.as_ref().expect("checked above");
                 drop(state);
-                persist
-                    .beliefs
-                    .lock()
-                    .expect("belief store poisoned")
-                    .persist_key(key);
+                {
+                    let mut span = shared.obs.span_flight(Stage::BeliefSnapshot, id.0);
+                    span.set_key(key.2 as u64);
+                    persist
+                        .beliefs
+                        .lock()
+                        .expect("belief store poisoned")
+                        .persist_key(key);
+                }
                 state = shared.state.lock().expect("engine state poisoned");
             }
         } else {
@@ -1183,6 +1275,7 @@ fn resolve_batch(
     shared: &Shared,
     drawn: &[u64],
     resolved: &mut Vec<Option<ResolvedFrame>>,
+    sid: SessionId,
 ) {
     let cost_model = shared.config.cost_model;
     resolved.clear();
@@ -1232,7 +1325,11 @@ fn resolve_batch(
     if !reservations.is_empty() {
         // One dispatch for every miss in the batch: decode, then detect
         // back-to-back, then publish. The first miss carries the
-        // dispatch-overhead bill.
+        // dispatch-overhead bill. The span covers all three phases; its
+        // event key is the miss count, so summing dispatch-event keys
+        // reproduces the engine's detector-invocation total.
+        let mut span = shared.obs.span_flight(Stage::Dispatch, sid.0);
+        span.set_key(reservations.len() as u64);
         let miss_frames: Vec<u64> = reservations.iter().map(|(k, _)| drawn[*k]).collect();
         let mut io = Vec::with_capacity(miss_frames.len());
         for &frame in &miss_frames {
@@ -1257,6 +1354,11 @@ fn resolve_batch(
     }
     for (k, wait) in waits {
         let frame = drawn[k];
+        // Covers this key's whole resolution: the actual park on the
+        // computing session plus (rarely) the recompute of an abandoned
+        // entry. Key is the frame index waited on.
+        let mut wait_span = shared.obs.span_flight(Stage::CacheWait, sid.0);
+        wait_span.set_key(frame);
         let mut wait = Some(wait);
         resolved[k] = Some(loop {
             let pending = match wait.take() {
@@ -1288,6 +1390,11 @@ fn resolve_batch(
                                 }
                             }
                         }
+                        // A real detector invocation: record it as its
+                        // own single-frame dispatch so dispatch events
+                        // still account for every invocation.
+                        let mut dspan = shared.obs.span_flight(Stage::Dispatch, sid.0);
+                        dspan.set_key(1);
                         let before = *core.container.stats();
                         core.container
                             .read_frame(frame)
@@ -1338,7 +1445,12 @@ fn resolve_batch(
 /// inference wastes. Their detections stay in the shared cache (later
 /// sessions hit them for free) but are *not* billed to this session's
 /// ledger: the clock stops where the search stopped.
-fn step_quantum(core: &mut SessionCore, shared: &Shared, cancel: &AtomicBool) -> QuantumOutcome {
+fn step_quantum(
+    core: &mut SessionCore,
+    shared: &Shared,
+    cancel: &AtomicBool,
+    sid: SessionId,
+) -> QuantumOutcome {
     let detect_frame_s = 1.0 / shared.config.detector_fps;
     let cost_model = shared.config.cost_model;
     let mut out = QuantumOutcome {
@@ -1363,7 +1475,14 @@ fn step_quantum(core: &mut SessionCore, shared: &Shared, cancel: &AtomicBool) ->
             out.finished = true;
             break;
         }
-        resolve_batch(core, shared, &drawn, &mut resolved);
+        {
+            // Histogram-only span (no flight event): at B=1 this fires
+            // per frame, which would churn the event ring for no
+            // diagnostic value.
+            let mut span = shared.obs.span(Stage::BatchAssembly, sid.0);
+            span.set_key(drawn.len() as u64);
+            resolve_batch(core, shared, &drawn, &mut resolved, sid);
+        }
         for (k, &frame) in drawn.iter().enumerate() {
             let r = resolved[k].take().expect("resolve_batch fills every slot");
             core.class_dets.clear();

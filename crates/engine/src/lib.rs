@@ -73,6 +73,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod obs;
 pub mod scheduler;
 pub mod service;
 pub mod session;
@@ -85,8 +86,9 @@ pub use engine::{Engine, EngineConfig, EngineError, PersistStats};
 pub use exsample_persist::{
     dataset_fingerprint, detector_fingerprint, ColumnarConfig, PersistConfig,
 };
+pub use obs::EngineObs;
 pub use scheduler::Scheduler;
-pub use service::{RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
+pub use service::{Diagnostics, RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 pub use session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
     SessionSnapshot, SessionStatus,

@@ -1,0 +1,212 @@
+//! The engine's instrumentation hub: one [`Registry`], one
+//! [`FlightRecorder`], and pre-resolved histogram handles for every
+//! engine stage, so hot paths record through plain `Arc` derefs and
+//! relaxed atomics — never through the registry lock.
+//!
+//! Instrumentation is strictly observational (wall clock + atomics); it
+//! cannot perturb a session's deterministic trace. With
+//! [`EngineConfig::observe`](crate::EngineConfig::observe) off, spans
+//! are inert and never read the clock, which is the uninstrumented
+//! baseline the `obs_cmp` benchmark compares against.
+
+use exsample_obs::{Counter, FlightRecorder, LatencyHistogram, Registry, SpanGuard, Stage};
+use std::sync::Arc;
+
+/// Pre-registered metric handles plus the flight recorder; owned by the
+/// engine's shared state and reachable from every worker.
+///
+/// The metric catalog (names, units, span taxonomy) is documented in
+/// `docs/OBSERVABILITY.md`.
+#[derive(Debug)]
+pub struct EngineObs {
+    enabled: bool,
+    registry: Arc<Registry>,
+    flight: FlightRecorder,
+    dispatch: Arc<LatencyHistogram>,
+    batch_assembly: Arc<LatencyHistogram>,
+    cache_wait: Arc<LatencyHistogram>,
+    lease: Arc<LatencyHistogram>,
+    write_behind: Arc<LatencyHistogram>,
+    belief_snapshot: Arc<LatencyHistogram>,
+    compaction: Arc<LatencyHistogram>,
+    server_submit: Arc<LatencyHistogram>,
+    server_poll: Arc<LatencyHistogram>,
+    server_stream: Arc<LatencyHistogram>,
+    /// Frames stepped across all sessions (bumped once per quantum).
+    pub frames_total: Arc<Counter>,
+    /// Queries accepted by `submit`.
+    pub sessions_submitted_total: Arc<Counter>,
+    /// Sessions finalized (finished or cancelled).
+    pub sessions_finished_total: Arc<Counter>,
+}
+
+impl EngineObs {
+    /// Build the hub, registering the full engine metric catalog up
+    /// front so diagnostics always expose a stable shape. `enabled`
+    /// gates *recording* only.
+    pub fn new(enabled: bool, flight_capacity: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        EngineObs {
+            enabled,
+            dispatch: registry.histogram("dispatch_ns"),
+            batch_assembly: registry.histogram("batch_assembly_ns"),
+            cache_wait: registry.histogram("cache_wait_ns"),
+            lease: registry.histogram("lease_ns"),
+            write_behind: registry.histogram("write_behind_ns"),
+            belief_snapshot: registry.histogram("belief_snapshot_ns"),
+            compaction: registry.histogram("compaction_ns"),
+            server_submit: registry.histogram("server_submit_ns"),
+            server_poll: registry.histogram("server_poll_ns"),
+            server_stream: registry.histogram("server_stream_ns"),
+            frames_total: registry.counter("frames_total"),
+            sessions_submitted_total: registry.counter("sessions_submitted_total"),
+            sessions_finished_total: registry.counter("sessions_finished_total"),
+            flight: FlightRecorder::new(flight_capacity),
+            registry,
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metric registry (for render/collect and for other layers —
+    /// e.g. the wire server — to register their own metrics alongside
+    /// the engine's).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The engine histogram for `stage`.
+    fn hist(&self, stage: Stage) -> &Arc<LatencyHistogram> {
+        match stage {
+            Stage::Dispatch => &self.dispatch,
+            Stage::BatchAssembly => &self.batch_assembly,
+            Stage::CacheWait => &self.cache_wait,
+            Stage::Lease => &self.lease,
+            Stage::WriteBehind => &self.write_behind,
+            Stage::BeliefSnapshot => &self.belief_snapshot,
+            Stage::Compaction => &self.compaction,
+            // Recorded by the wire server (`exsample-proto`), which
+            // reaches the same hub through `Engine::obs`.
+            Stage::Submit => &self.server_submit,
+            Stage::Poll => &self.server_poll,
+            Stage::Stream => &self.server_stream,
+        }
+    }
+
+    /// A histogram-only span (no flight event) — for high-frequency
+    /// stages where a per-occurrence event would churn the ring.
+    pub fn span(&self, stage: Stage, session: u64) -> SpanGuard<'_> {
+        if self.enabled {
+            SpanGuard::start(Some(self.hist(stage)), None, session, stage)
+        } else {
+            SpanGuard::disabled(stage)
+        }
+    }
+
+    /// A span that records the histogram *and* leaves a structured
+    /// flight event behind.
+    pub fn span_flight(&self, stage: Stage, session: u64) -> SpanGuard<'_> {
+        if self.enabled {
+            SpanGuard::start(Some(self.hist(stage)), Some(&self.flight), session, stage)
+        } else {
+            SpanGuard::disabled(stage)
+        }
+    }
+
+    /// Record an already-measured duration for `stage` (used where a
+    /// guard cannot span the region, e.g. across lock boundaries),
+    /// with a flight event.
+    pub fn record(&self, stage: Stage, session: u64, duration_ns: u64, key: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hist(stage).record(duration_ns);
+        self.flight.record(session, stage, duration_ns, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let obs = EngineObs::new(false, 16);
+        {
+            let mut s = obs.span_flight(Stage::Dispatch, 1);
+            s.set_key(4);
+        }
+        obs.record(Stage::Lease, 1, 99, 0);
+        assert!(obs
+            .registry()
+            .histograms()
+            .iter()
+            .all(|(_, s)| s.is_empty()));
+        assert!(obs.flight().dump().is_empty());
+    }
+
+    #[test]
+    fn catalog_is_registered_up_front() {
+        let obs = EngineObs::new(true, 16);
+        let names: Vec<String> = obs
+            .registry()
+            .histograms()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        for expect in [
+            "batch_assembly_ns",
+            "belief_snapshot_ns",
+            "cache_wait_ns",
+            "compaction_ns",
+            "dispatch_ns",
+            "lease_ns",
+            "write_behind_ns",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+        let counters: Vec<String> = obs
+            .registry()
+            .counters()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(counters.iter().any(|n| n == "frames_total"));
+    }
+
+    #[test]
+    fn enabled_spans_land_in_hist_and_flight() {
+        let obs = EngineObs::new(true, 16);
+        {
+            let mut s = obs.span_flight(Stage::Dispatch, 7);
+            s.set_key(3);
+        }
+        {
+            let _s = obs.span(Stage::BatchAssembly, 7);
+        }
+        let hists = obs.registry().histograms();
+        let get = |name: &str| {
+            hists
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.total())
+                .unwrap()
+        };
+        assert_eq!(get("dispatch_ns"), 1);
+        assert_eq!(get("batch_assembly_ns"), 1);
+        // Only the flight-recording span left an event.
+        let events = obs.flight().dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, Stage::Dispatch);
+        assert_eq!(events[0].key, 3);
+        assert_eq!(events[0].session, 7);
+    }
+}

@@ -29,6 +29,7 @@
 use crate::cache::CacheStats;
 use crate::engine::PersistStats;
 use crate::session::{QuerySpec, RepoId, SessionId, SessionReport, SessionSnapshot};
+use exsample_obs::{FlightEvent, HistSnapshot};
 
 /// Everything a client can know about a registered repository, returned
 /// by the [`SearchService::repos`] catalog call.
@@ -66,6 +67,45 @@ pub struct ServiceStats {
     pub persist: Option<PersistStats>,
     /// Sessions currently resident (running or finished-but-not-forgotten).
     pub live_sessions: u64,
+}
+
+/// One service's observability snapshot, returned by
+/// [`SearchService::diagnostics`]: every latency histogram and counter
+/// in its metric registry plus the recent structured events of its
+/// flight recorder (see `docs/OBSERVABILITY.md` for the catalog).
+///
+/// Over the wire this is protocol v5's `DiagnosticsReply`; a cluster
+/// router merges the per-shard histograms (by name) and sums the
+/// counters into fleet-level distributions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    /// Latency histogram snapshots, sorted by metric name. Values are
+    /// nanoseconds.
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// Counter and gauge readings, sorted by metric name.
+    pub counters: Vec<(String, u64)>,
+    /// Recent flight-recorder events, oldest first. Session ids are
+    /// raw [`SessionId`] values (namespaced by cluster routers), with
+    /// `u64::MAX` marking unowned work.
+    pub events: Vec<FlightEvent>,
+}
+
+impl Diagnostics {
+    /// The snapshot of the histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// The reading of the counter (or gauge) named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
 }
 
 /// Why a submission was rejected. Raised at submit time over both
@@ -204,6 +244,13 @@ pub trait SearchService {
     /// resident session count. Cheap (no detector work); a cluster router
     /// sums this per shard into fleet-wide statistics.
     fn stats(&self) -> Result<ServiceStats, ServiceError>;
+
+    /// The service's observability snapshot: latency histograms,
+    /// counters, and recent flight-recorder events. Cheap (atomic loads
+    /// plus one ring copy); safe to poll from a metrics scraper. A
+    /// cluster router merges this per shard into fleet-level
+    /// distributions.
+    fn diagnostics(&self) -> Result<Diagnostics, ServiceError>;
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! | [`ablate`] | DESIGN.md ablations: prior, selector, within-chunk order, batch |
 //! | [`engine_cmp`] | engine-shared vs. independent execution of overlapping queries |
 //! | [`persist_cmp`] | cold vs. warm engine start over a persisted detection store |
+//! | [`obs_cmp`] | instrumented vs. uninstrumented engine: observability overhead |
 //!
 //! Supporting modules: [`presets`] (the six evaluation datasets,
 //! calibrated to the paper's reported frame counts, instance counts and
@@ -31,6 +32,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod obs_cmp;
 pub mod parallel;
 pub mod persist_cmp;
 pub mod presets;

@@ -1,0 +1,265 @@
+//! The flight recorder: a fixed-size ring of recent structured events.
+//!
+//! Every instrumented operation can leave one [`FlightEvent`] behind —
+//! a monotonic tick, the owning session, the pipeline [`Stage`], the
+//! measured duration, and a stage-specific key (e.g. frames in a
+//! dispatched batch). The ring keeps the most recent `capacity` events;
+//! [`FlightRecorder::dump`] returns them in order for diagnostics
+//! replies, and [`FlightRecorder::render`] formats them for the
+//! worker-panic dump.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel session id for events not owned by any session (startup
+/// compaction, server accept loops, ...).
+pub const NO_SESSION: u64 = u64::MAX;
+
+/// Which instrumented operation an event or span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// One detector batch dispatch (decode + detect + publish).
+    Dispatch,
+    /// Assembling one batch: cache partition, warm fills, dispatch,
+    /// pending waits.
+    BatchAssembly,
+    /// Waiting on another session's in-flight computation of a frame.
+    CacheWait,
+    /// One scheduler lease: session checkout through release.
+    Lease,
+    /// One write-behind append to the durable log.
+    WriteBehind,
+    /// One durable belief-snapshot write at session finish.
+    BeliefSnapshot,
+    /// Log-to-columnar compaction at engine start.
+    Compaction,
+    /// Server-side handling of one submit request.
+    Submit,
+    /// Server-side handling of one poll request.
+    Poll,
+    /// Server-side handling of one streaming subscription.
+    Stream,
+}
+
+impl Stage {
+    /// Stable lowercase name, matching the metric catalog.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stage::Dispatch => "dispatch",
+            Stage::BatchAssembly => "batch_assembly",
+            Stage::CacheWait => "cache_wait",
+            Stage::Lease => "lease",
+            Stage::WriteBehind => "write_behind",
+            Stage::BeliefSnapshot => "belief_snapshot",
+            Stage::Compaction => "compaction",
+            Stage::Submit => "submit",
+            Stage::Poll => "poll",
+            Stage::Stream => "stream",
+        }
+    }
+
+    /// Stable wire tag.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            Stage::Dispatch => 0,
+            Stage::BatchAssembly => 1,
+            Stage::CacheWait => 2,
+            Stage::Lease => 3,
+            Stage::WriteBehind => 4,
+            Stage::BeliefSnapshot => 5,
+            Stage::Compaction => 6,
+            Stage::Submit => 7,
+            Stage::Poll => 8,
+            Stage::Stream => 9,
+        }
+    }
+
+    /// Decode a wire tag.
+    pub fn from_u8(tag: u8) -> Option<Stage> {
+        Some(match tag {
+            0 => Stage::Dispatch,
+            1 => Stage::BatchAssembly,
+            2 => Stage::CacheWait,
+            3 => Stage::Lease,
+            4 => Stage::WriteBehind,
+            5 => Stage::BeliefSnapshot,
+            6 => Stage::Compaction,
+            7 => Stage::Submit,
+            8 => Stage::Poll,
+            9 => Stage::Stream,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic per-recorder sequence number, starting at 1.
+    pub tick: u64,
+    /// Owning session's raw id, or [`NO_SESSION`].
+    pub session: u64,
+    /// What was measured.
+    pub stage: Stage,
+    /// Measured wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Stage-specific payload: frames in a dispatched batch, the frame
+    /// index waited on, bytes written, ... (see `docs/OBSERVABILITY.md`).
+    pub key: u64,
+}
+
+/// A slot in the ring. Tick 0 marks a never-written slot.
+const EMPTY: FlightEvent = FlightEvent {
+    tick: 0,
+    session: NO_SESSION,
+    stage: Stage::Dispatch,
+    duration_ns: 0,
+    key: 0,
+};
+
+/// Fixed-capacity ring buffer of the most recent [`FlightEvent`]s.
+///
+/// Recording claims a slot with one atomic fetch-add and writes it
+/// under that slot's own mutex — writers only contend when the ring
+/// wraps onto a slot another writer still holds, which at sane
+/// capacities is never.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    head: AtomicU64,
+    slots: Box<[Mutex<FlightEvent>]>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(EMPTY)).collect(),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events recorded over the recorder's lifetime (not just those
+    /// still resident).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn record(&self, session: u64, stage: Stage, duration_ns: u64, key: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("flight slot poisoned") = FlightEvent {
+            tick: seq + 1,
+            session,
+            stage,
+            duration_ns,
+            key,
+        };
+    }
+
+    /// The resident events, oldest first.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .slots
+            .iter()
+            .map(|s| *s.lock().expect("flight slot poisoned"))
+            .filter(|e| e.tick != 0)
+            .collect();
+        events.sort_by_key(|e| e.tick);
+        events
+    }
+
+    /// Human-readable dump, one event per line — used for the
+    /// worker-panic dump and `examples/observability.rs`.
+    pub fn render(&self) -> String {
+        let events = self.dump();
+        let mut out = format!(
+            "flight recorder: {} resident of {} recorded (capacity {})\n",
+            events.len(),
+            self.recorded(),
+            self.capacity()
+        );
+        for e in events {
+            let session = if e.session == NO_SESSION {
+                "-".to_owned()
+            } else {
+                e.session.to_string()
+            };
+            out.push_str(&format!(
+                "  #{:<6} session={:<4} stage={:<15} duration_ns={:<12} key={}\n",
+                e.tick,
+                session,
+                e.stage.as_str(),
+                e.duration_ns,
+                e.key
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_tags_roundtrip() {
+        for tag in 0..=9u8 {
+            let stage = Stage::from_u8(tag).unwrap();
+            assert_eq!(stage.as_u8(), tag);
+            assert!(!stage.as_str().is_empty());
+        }
+        assert_eq!(Stage::from_u8(10), None);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.record(i, Stage::Dispatch, i * 100, i);
+        }
+        let events = fr.dump();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.tick).collect::<Vec<_>>(),
+            [7, 8, 9, 10]
+        );
+        assert_eq!(fr.recorded(), 10);
+    }
+
+    #[test]
+    fn partial_ring_dumps_in_order() {
+        let fr = FlightRecorder::new(8);
+        fr.record(1, Stage::Lease, 5, 0);
+        fr.record(NO_SESSION, Stage::Compaction, 9, 0);
+        let events = fr.dump();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, Stage::Lease);
+        assert_eq!(events[1].session, NO_SESSION);
+        let text = fr.render();
+        assert!(text.contains("stage=compaction"));
+        assert!(text.contains("session=-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        FlightRecorder::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Dependency-light observability for the ExSample service stack.
+//!
+//! Every layer of the workspace — engine hot loops, the wire server, the
+//! cluster router — needs to answer "where does wall-clock go?" without
+//! perturbing the workload it measures. This crate provides the three
+//! primitives they share:
+//!
+//! * [`LatencyHistogram`] — a mergeable, log-bucketed (power-of-two)
+//!   latency histogram over `u64` atomics. Recording is two relaxed
+//!   atomic adds; no locks, no allocation. [`HistSnapshot`] freezes one
+//!   into a plain value with [`HistSnapshot::merge`],
+//!   [`HistSnapshot::quantile`] (p50/p90/p99), and a bytewise-stable
+//!   [`HistSnapshot::encode`]/[`HistSnapshot::decode`] pair used on the
+//!   wire.
+//! * [`Registry`] — named counters, gauges, and histograms. Handles are
+//!   `Arc`s resolved once at setup; the registry's lock is only touched
+//!   at registration and render time, never on the hot path. [`Counter`]
+//!   is striped across cache-line-padded shards so concurrent recorders
+//!   do not bounce a cache line. [`Registry::render_text`] emits a
+//!   Prometheus-style text exposition.
+//! * [`FlightRecorder`] — a fixed-size ring buffer of recent structured
+//!   [`FlightEvent`]s (monotonic tick, session, [`Stage`], duration,
+//!   key), dumpable on demand and on worker panic. [`SpanGuard`] is the
+//!   span-style timing API (see also the [`span!`] macro): start a guard,
+//!   and on drop the elapsed wall time lands in a histogram and,
+//!   optionally, the flight recorder.
+//!
+//! Instrumentation here is strictly *observational*: it reads the wall
+//! clock and bumps atomics, and therefore cannot change any session's
+//! deterministic trace.
+//!
+//! # Example
+//!
+//! ```
+//! use exsample_obs::{FlightRecorder, Registry, SpanGuard, Stage, NO_SESSION};
+//!
+//! let registry = Registry::new();
+//! let dispatch = registry.histogram("dispatch_ns");
+//! let flight = FlightRecorder::new(64);
+//!
+//! {
+//!     let mut span = SpanGuard::start(Some(&dispatch), Some(&flight), NO_SESSION, Stage::Dispatch);
+//!     span.set_key(8); // e.g. frames in the dispatched batch
+//! } // drop records duration into the histogram and the flight recorder
+//!
+//! assert_eq!(dispatch.snapshot().total(), 1);
+//! assert_eq!(flight.dump().len(), 1);
+//! assert!(registry.render_text().contains("exsample_dispatch_ns_count 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use flight::{FlightEvent, FlightRecorder, Stage, NO_SESSION};
+pub use hist::{bucket_ceiling, bucket_of, HistSnapshot, LatencyHistogram, SnapshotDecodeError};
+pub use registry::{Counter, Gauge, Metric, Registry};
+pub use span::SpanGuard;
+
+/// Start a [`SpanGuard`] through any object with a
+/// `span(stage) -> SpanGuard` method (e.g. the engine's instrumentation
+/// hub). Sugar for `$obs.span($stage)` with an optional session id.
+///
+/// ```
+/// use exsample_obs::{LatencyHistogram, SpanGuard, Stage, NO_SESSION};
+/// use std::sync::Arc;
+///
+/// struct Obs {
+///     lease: Arc<LatencyHistogram>,
+/// }
+/// impl Obs {
+///     fn span(&self, stage: Stage) -> SpanGuard<'_> {
+///         SpanGuard::start(Some(&self.lease), None, NO_SESSION, stage)
+///     }
+/// }
+///
+/// let obs = Obs { lease: Arc::new(LatencyHistogram::new()) };
+/// let _span = exsample_obs::span!(obs, Stage::Lease, 7);
+/// assert_eq!(obs.lease.snapshot().total(), 0); // recorded when the span drops
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $stage:expr) => {
+        $obs.span($stage)
+    };
+    ($obs:expr, $stage:expr, $session:expr) => {{
+        let mut span = $obs.span($stage);
+        span.set_session($session);
+        span
+    }};
+}

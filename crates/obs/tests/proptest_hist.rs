@@ -1,0 +1,122 @@
+//! Property tests for the latency histogram: merge is associative and
+//! commutative (even with saturated buckets), the snapshot encoding is
+//! a bytewise-stable bijection, and quantiles are monotone and bound
+//! the recorded values.
+
+use exsample_obs::{bucket_ceiling, bucket_of, HistSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+/// Expand random words into a snapshot, steering some lanes to the
+/// extremes: zero counts, saturated (`u64::MAX`) counts, and top/bottom
+/// buckets.
+fn make_snapshot(words: &[u64]) -> HistSnapshot {
+    let mut s = HistSnapshot::default();
+    for (i, &w) in words.iter().enumerate() {
+        let bucket = (w % 64) as usize;
+        s.counts[bucket] = match w % 5 {
+            0 => 0,
+            1 => u64::MAX,
+            2 => u64::MAX - (w >> 32),
+            _ => w >> 8,
+        };
+        s.sum = s.sum.wrapping_add(w.rotate_left(i as u32));
+    }
+    s
+}
+
+fn merged(a: &HistSnapshot, b: &HistSnapshot) -> HistSnapshot {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging snapshots is associative and commutative, including when
+    /// bucket counts saturate at `u64::MAX`.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        wa in prop::collection::vec(any::<u64>(), 0..12),
+        wb in prop::collection::vec(any::<u64>(), 0..12),
+        wc in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let (a, b, c) = (make_snapshot(&wa), make_snapshot(&wb), make_snapshot(&wc));
+        prop_assert_eq!(merged(&merged(&a, &b), &c).counts, merged(&a, &merged(&b, &c)).counts);
+        prop_assert_eq!(merged(&a, &b).counts, merged(&b, &a).counts);
+    }
+
+    /// Recording values one at a time then merging the live histograms
+    /// equals recording everything into one histogram.
+    #[test]
+    fn record_then_merge_matches_single_histogram(
+        xs in prop::collection::vec(any::<u64>(), 0..24),
+        ys in prop::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let (a, b, all) = (LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new());
+        for &x in &xs {
+            a.record(x);
+            all.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            all.record(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    /// decode(encode(s)) == s, and re-encoding reproduces the exact
+    /// bytes — for arbitrary snapshots including empty and saturated.
+    #[test]
+    fn snapshot_encoding_is_bytewise_stable(
+        words in prop::collection::vec(any::<u64>(), 0..16),
+    ) {
+        for s in [make_snapshot(&words), HistSnapshot::default()] {
+            let bytes = s.encode();
+            let back = HistSnapshot::decode(&bytes).expect("own encoding decodes");
+            prop_assert_eq!(back, s);
+            prop_assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    /// No strict prefix of an encoded snapshot decodes.
+    #[test]
+    fn truncated_snapshots_never_decode(
+        words in prop::collection::vec(any::<u64>(), 0..16),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = make_snapshot(&words).encode();
+        let cut = cut.index(bytes.len());
+        prop_assert!(HistSnapshot::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Quantiles are monotone non-decreasing in p.
+    #[test]
+    fn quantiles_are_monotone(
+        words in prop::collection::vec(any::<u64>(), 0..16),
+        pa in 0u64..101,
+        pb in 0u64..101,
+    ) {
+        let s = make_snapshot(&words);
+        let (lo, hi) = (pa.min(pb), pa.max(pb));
+        prop_assert!(s.quantile(lo as f64 / 100.0) <= s.quantile(hi as f64 / 100.0));
+    }
+
+    /// Every recorded value is bounded above by its bucket ceiling, and
+    /// the max quantile lands on the largest value's bucket.
+    #[test]
+    fn quantile_bounds_recorded_values(
+        xs in prop::collection::vec(any::<u64>(), 1..24),
+    ) {
+        let h = LatencyHistogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.total(), xs.len() as u64);
+        let max = *xs.iter().max().unwrap();
+        prop_assert!(s.quantile(1.0) >= max);
+        prop_assert_eq!(s.quantile(1.0), bucket_ceiling(bucket_of(max)));
+    }
+}

@@ -4,9 +4,10 @@ use crate::transport::Framed;
 use crate::wire::{Message, WireError};
 use crate::{MAX_POLL_WINDOW, PROTO_VERSION};
 use exsample_engine::{
-    QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, ServiceStats, SessionId,
+    Diagnostics, QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, ServiceStats, SessionId,
     SessionReport, SessionSnapshot, SessionStatus, SubmitError,
 };
+use exsample_obs::HistSnapshot;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::Mutex;
@@ -150,6 +151,32 @@ impl<T: Read + Write> RemoteClient<T> {
             Message::Error(err) => Err(lifecycle_error(err)),
             _ => Err(ServiceError::Transport(
                 "unexpected response to Poll".into(),
+            )),
+        }
+    }
+
+    /// Operational counters *plus* the server's latency-histogram
+    /// snapshots, in one round trip (protocol v5's `Stats` with the
+    /// `detail` flag set). Use plain [`stats`](SearchService::stats)
+    /// when the distributions are not needed — that reply is a few
+    /// hundred bytes smaller.
+    pub fn stats_detailed(
+        &self,
+    ) -> Result<(ServiceStats, Vec<(String, HistSnapshot)>), ServiceError> {
+        match self
+            .call(&Message::Stats { detail: true })
+            .map_err(ServiceError::Transport)?
+        {
+            Message::StatsReply {
+                stats,
+                detail: Some(hists),
+            } => Ok((stats, hists)),
+            Message::StatsReply { detail: None, .. } => Err(ServiceError::Transport(
+                "server ignored the stats detail flag".into(),
+            )),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Stats".into(),
             )),
         }
     }
@@ -340,13 +367,26 @@ impl<T: Read + Write> SearchService for RemoteClient<T> {
 
     fn stats(&self) -> Result<ServiceStats, ServiceError> {
         match self
-            .call(&Message::Stats)
+            .call(&Message::Stats { detail: false })
             .map_err(ServiceError::Transport)?
         {
-            Message::StatsReply(stats) => Ok(stats),
+            Message::StatsReply { stats, .. } => Ok(stats),
             Message::Error(err) => Err(lifecycle_error(err)),
             _ => Err(ServiceError::Transport(
                 "unexpected response to Stats".into(),
+            )),
+        }
+    }
+
+    fn diagnostics(&self) -> Result<Diagnostics, ServiceError> {
+        match self
+            .call(&Message::Diagnostics)
+            .map_err(ServiceError::Transport)?
+        {
+            Message::DiagnosticsReply(diag) => Ok(diag),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Diagnostics".into(),
             )),
         }
     }

@@ -40,7 +40,9 @@ pub mod wire;
 pub use client::RemoteClient;
 pub use server::SearchServer;
 pub use transport::{duplex, DuplexStream, Framed};
-pub use wire::{decode_message, encode_message, Message, WireCodecError, WireError};
+pub use wire::{
+    decode_message, encode_message, Message, WireCodecError, WireError, MAX_SNAPSHOT_LEN,
+};
 
 /// Magic bytes opening every connection ("eXSample Remote Protocol").
 pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
@@ -55,7 +57,12 @@ pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
 /// added the columnar-container members of `PersistStats`
 /// (`container_frames`, `container_chunks`, `container_hits`,
 /// `container_bytes_touched`, `container_skipped`, `preload_skipped`).
-pub const PROTO_VERSION: u16 = 4;
+/// v5 added the observability surface: `Stats` gained a `detail` flag
+/// (the reply then carries latency-histogram snapshots, capped at
+/// [`MAX_SNAPSHOT_LEN`] each and refused — never truncated — beyond it)
+/// and the `Diagnostics`/`DiagnosticsReply` exchange carrying every
+/// histogram, counter, and recent flight-recorder event of a shard.
+pub const PROTO_VERSION: u16 = 5;
 
 /// Upper bound on one frame's payload, enforced on both send and
 /// receive: a corrupt or hostile length prefix must not provoke an

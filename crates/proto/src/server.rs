@@ -1,9 +1,10 @@
 //! The network front end: one engine, many client connections.
 
 use crate::transport::Framed;
-use crate::wire::{Message, WireError};
+use crate::wire::{Message, WireError, MAX_SNAPSHOT_LEN};
 use crate::{MAX_POLL_WINDOW, PROTO_VERSION};
 use exsample_engine::{Engine, EngineError, SessionId, SessionStatus};
+use exsample_obs::{HistSnapshot, Stage, NO_SESSION};
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
@@ -82,10 +83,15 @@ impl SearchServer {
             match msg {
                 Message::Repos => framed.send(&Message::RepoList(self.engine.repos()))?,
                 Message::Submit(spec) => {
+                    let mut span = self.engine.obs().span_flight(Stage::Submit, NO_SESSION);
                     let reply = match self.engine.submit(spec) {
-                        Ok(id) => Message::Submitted(id),
+                        Ok(id) => {
+                            span.set_session(id.0);
+                            Message::Submitted(id)
+                        }
                         Err(e) => Message::Error(engine_error(e)),
                     };
+                    drop(span);
                     framed.send(&reply)?;
                 }
                 Message::Poll {
@@ -94,10 +100,15 @@ impl SearchServer {
                     window,
                 } => {
                     let window = Some(window.unwrap_or(MAX_POLL_WINDOW).min(MAX_POLL_WINDOW));
+                    let mut span = self.engine.obs().span_flight(Stage::Poll, session.0);
                     let reply = match self.engine.poll_window(session, cursor, window) {
-                        Ok(snap) => Message::Snapshot(snap),
+                        Ok(snap) => {
+                            span.set_key(snap.events.len() as u64);
+                            Message::Snapshot(snap)
+                        }
                         Err(e) => Message::Error(engine_error(e)),
                     };
+                    drop(span);
                     framed.send(&reply)?;
                 }
                 Message::Cancel { session } => {
@@ -121,7 +132,33 @@ impl SearchServer {
                     };
                     framed.send(&reply)?;
                 }
-                Message::Stats => framed.send(&Message::StatsReply(self.engine.service_stats()))?,
+                Message::Stats { detail } => {
+                    let stats = self.engine.service_stats();
+                    let reply = if detail {
+                        let hists = self.engine.obs().registry().histograms();
+                        match check_snapshots(&hists) {
+                            Ok(()) => Message::StatsReply {
+                                stats,
+                                detail: Some(hists),
+                            },
+                            Err(err) => Message::Error(err),
+                        }
+                    } else {
+                        Message::StatsReply {
+                            stats,
+                            detail: None,
+                        }
+                    };
+                    framed.send(&reply)?;
+                }
+                Message::Diagnostics => {
+                    let diag = self.engine.diagnostics();
+                    let reply = match check_snapshots(&diag.histograms) {
+                        Ok(()) => Message::DiagnosticsReply(diag),
+                        Err(err) => Message::Error(err),
+                    };
+                    framed.send(&reply)?;
+                }
                 Message::Subscribe {
                     session,
                     cursor,
@@ -158,13 +195,22 @@ impl SearchServer {
     ) -> io::Result<()> {
         let window = window.clamp(1, MAX_POLL_WINDOW);
         loop {
+            // One span per pushed batch: the producing side of the
+            // stream (engine wait + batch assembly), not the client's
+            // think time between acks.
+            let mut span = self.engine.obs().span_flight(Stage::Stream, session.0);
             let snap = match self.engine.poll_wait(session, cursor, Some(window)) {
-                Ok(snap) => snap,
+                Ok(snap) => {
+                    span.set_key(snap.events.len() as u64);
+                    snap
+                }
                 Err(e) => {
+                    drop(span);
                     framed.send(&Message::Error(engine_error(e)))?;
                     return Ok(());
                 }
             };
+            drop(span);
             // A short batch from a finished session means the log is
             // drained: that batch is terminal, no ack expected. (A full
             // terminal batch costs one extra empty round to notice.)
@@ -273,6 +319,23 @@ fn is_disconnect(e: &io::Error) -> bool {
             | io::ErrorKind::ConnectionReset
             | io::ErrorKind::ConnectionAborted
     )
+}
+
+/// Refuse to serve any histogram snapshot that would exceed the wire
+/// cap: the reply is a typed [`WireError::SnapshotTooLarge`], never a
+/// silently truncated distribution.
+fn check_snapshots(hists: &[(String, HistSnapshot)]) -> Result<(), WireError> {
+    for (name, snap) in hists {
+        let len = snap.encode().len() as u32;
+        if len > MAX_SNAPSHOT_LEN {
+            return Err(WireError::SnapshotTooLarge {
+                name: name.clone(),
+                len,
+                max: MAX_SNAPSHOT_LEN,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Engine errors crossing the wire keep their exact meaning.

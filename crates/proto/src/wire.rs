@@ -12,10 +12,21 @@ use exsample_core::belief::{BeliefPrior, ChunkStats, Selector};
 use exsample_core::driver::{SearchTrace, StopCond, TracePoint};
 use exsample_core::within::WithinKind;
 use exsample_engine::{
-    CacheStats, DiscriminatorKind, PersistStats, QuerySpec, RepoId, RepoInfo, ResultEvent,
-    ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot, SessionStatus,
+    CacheStats, Diagnostics, DiscriminatorKind, PersistStats, QuerySpec, RepoId, RepoInfo,
+    ResultEvent, ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot,
+    SessionStatus,
 };
+use exsample_obs::{FlightEvent, HistSnapshot, Stage};
 use exsample_videosim::ClassId;
+
+/// Upper bound on one encoded histogram snapshot crossing the wire.
+/// Today's snapshots are a fixed few hundred bytes; the bound leaves
+/// room for future bucket layouts while keeping a corrupt or hostile
+/// length prefix from provoking a large allocation. Oversized snapshots
+/// are **rejected with a typed error** — on decode as a
+/// [`WireCodecError`], on the serving side as
+/// [`WireError::SnapshotTooLarge`] — never silently truncated.
+pub const MAX_SNAPSHOT_LEN: u32 = 4096;
 
 /// Decode failure: the payload does not parse as a protocol message.
 /// With frame checksums verified by the transport this indicates a peer
@@ -47,6 +58,17 @@ pub enum WireError {
     /// The peer violated the protocol (e.g. an `Ack` outside a
     /// subscription, or a response tag sent as a request).
     Malformed(String),
+    /// A histogram snapshot exceeded [`MAX_SNAPSHOT_LEN`] and was
+    /// refused outright — the protocol never truncates a distribution
+    /// and lets it masquerade as complete.
+    SnapshotTooLarge {
+        /// Metric name of the offending snapshot.
+        name: String,
+        /// Its encoded length in bytes.
+        len: u32,
+        /// The limit it exceeded ([`MAX_SNAPSHOT_LEN`]).
+        max: u32,
+    },
 }
 
 /// One protocol message, either direction. Requests are client → server;
@@ -106,7 +128,17 @@ pub enum Message {
     /// Fetch the service's operational counters (cache, durable store,
     /// resident sessions); answered with [`Message::StatsReply`]. This is
     /// what a cluster router scatter-gathers into fleet-wide statistics.
-    Stats,
+    Stats {
+        /// With `detail` set the reply additionally carries the
+        /// service's latency-histogram snapshots (protocol v5); without
+        /// it the reply is the cheap counters-only form.
+        detail: bool,
+    },
+    /// Fetch the service's observability snapshot — histograms,
+    /// counters, flight-recorder events; answered with
+    /// [`Message::DiagnosticsReply`]. This is what a cluster router
+    /// merges into fleet-level distributions.
+    Diagnostics,
 
     // ---- responses ----
     /// The repository catalog, in id order.
@@ -120,7 +152,16 @@ pub enum Message {
     /// Cancellation acknowledged.
     CancelOk,
     /// The service's operational counters ([`Message::Stats`] answer).
-    StatsReply(ServiceStats),
+    StatsReply {
+        /// The counters every reply carries.
+        stats: ServiceStats,
+        /// Latency-histogram snapshots by metric name — present exactly
+        /// when the request asked for `detail`.
+        detail: Option<Vec<(String, HistSnapshot)>>,
+    },
+    /// The service's observability snapshot ([`Message::Diagnostics`]
+    /// answer).
+    DiagnosticsReply(Diagnostics),
     /// The request failed.
     Error(WireError),
 }
@@ -135,6 +176,7 @@ const TAG_FORGET: u8 = 0x06;
 const TAG_SUBSCRIBE: u8 = 0x07;
 const TAG_ACK: u8 = 0x08;
 const TAG_STATS: u8 = 0x09;
+const TAG_DIAGNOSTICS: u8 = 0x0A;
 const TAG_REPO_LIST: u8 = 0x41;
 const TAG_SUBMITTED: u8 = 0x42;
 const TAG_SNAPSHOT: u8 = 0x43;
@@ -142,6 +184,7 @@ const TAG_REPORT: u8 = 0x44;
 const TAG_CANCEL_OK: u8 = 0x45;
 const TAG_ERROR: u8 = 0x46;
 const TAG_STATS_REPLY: u8 = 0x47;
+const TAG_DIAGNOSTICS_REPLY: u8 = 0x48;
 
 /// Little-endian pull parser over a payload slice.
 struct Cursor<'a> {
@@ -547,6 +590,105 @@ fn get_service_stats(c: &mut Cursor) -> Result<ServiceStats, WireCodecError> {
     })
 }
 
+fn put_hist_snapshot(out: &mut Vec<u8>, snap: &HistSnapshot) {
+    let bytes = snap.encode();
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(&bytes);
+}
+
+fn get_hist_snapshot(c: &mut Cursor) -> Result<HistSnapshot, WireCodecError> {
+    let len = c.u32()?;
+    if len > MAX_SNAPSHOT_LEN {
+        return Err(WireCodecError("snapshot too large"));
+    }
+    let bytes = c.take(len as usize)?;
+    HistSnapshot::decode(bytes).map_err(|_| WireCodecError("bad histogram snapshot"))
+}
+
+fn put_named_hists(out: &mut Vec<u8>, hists: &[(String, HistSnapshot)]) {
+    put_u32(out, hists.len() as u32);
+    for (name, snap) in hists {
+        put_string(out, name);
+        put_hist_snapshot(out, snap);
+    }
+}
+
+fn get_named_hists(c: &mut Cursor) -> Result<Vec<(String, HistSnapshot)>, WireCodecError> {
+    // Minimal entry: empty name (4) + snapshot length prefix (4).
+    let n = c.count(8)?;
+    let mut hists = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = c.string()?;
+        hists.push((name, get_hist_snapshot(c)?));
+    }
+    Ok(hists)
+}
+
+fn put_counters(out: &mut Vec<u8>, counters: &[(String, u64)]) {
+    put_u32(out, counters.len() as u32);
+    for (name, value) in counters {
+        put_string(out, name);
+        put_u64(out, *value);
+    }
+}
+
+fn get_counters(c: &mut Cursor) -> Result<Vec<(String, u64)>, WireCodecError> {
+    let n = c.count(12)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = c.string()?;
+        counters.push((name, c.u64()?));
+    }
+    Ok(counters)
+}
+
+/// Byte size of one encoded [`FlightEvent`]: tick, session, stage tag,
+/// duration, key.
+const FLIGHT_EVENT_SIZE: usize = 8 + 8 + 1 + 8 + 8;
+
+fn put_flight_events(out: &mut Vec<u8>, events: &[FlightEvent]) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        put_u64(out, e.tick);
+        put_u64(out, e.session);
+        out.push(e.stage.as_u8());
+        put_u64(out, e.duration_ns);
+        put_u64(out, e.key);
+    }
+}
+
+fn get_flight_events(c: &mut Cursor) -> Result<Vec<FlightEvent>, WireCodecError> {
+    let n = c.count(FLIGHT_EVENT_SIZE)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tick = c.u64()?;
+        let session = c.u64()?;
+        let stage = Stage::from_u8(c.u8()?).ok_or(WireCodecError("bad stage tag"))?;
+        events.push(FlightEvent {
+            tick,
+            session,
+            stage,
+            duration_ns: c.u64()?,
+            key: c.u64()?,
+        });
+    }
+    Ok(events)
+}
+
+fn put_diagnostics(out: &mut Vec<u8>, diag: &Diagnostics) {
+    put_named_hists(out, &diag.histograms);
+    put_counters(out, &diag.counters);
+    put_flight_events(out, &diag.events);
+}
+
+fn get_diagnostics(c: &mut Cursor) -> Result<Diagnostics, WireCodecError> {
+    Ok(Diagnostics {
+        histograms: get_named_hists(c)?,
+        counters: get_counters(c)?,
+        events: get_flight_events(c)?,
+    })
+}
+
 fn put_repo_info(out: &mut Vec<u8>, info: &RepoInfo) {
     put_u32(out, info.id.0);
     put_u64(out, info.frames);
@@ -587,6 +729,12 @@ fn put_wire_error(out: &mut Vec<u8>, err: &WireError) {
             out.push(5);
             put_string(out, why);
         }
+        WireError::SnapshotTooLarge { name, len, max } => {
+            out.push(6);
+            put_string(out, name);
+            put_u32(out, *len);
+            put_u32(out, *max);
+        }
     }
 }
 
@@ -597,6 +745,11 @@ fn get_wire_error(c: &mut Cursor) -> Result<WireError, WireCodecError> {
         3 => WireError::SessionRunning(c.u64()?),
         4 => WireError::InvalidSpec(c.string()?),
         5 => WireError::Malformed(c.string()?),
+        6 => WireError::SnapshotTooLarge {
+            name: c.string()?,
+            len: c.u32()?,
+            max: c.u32()?,
+        },
         _ => return Err(WireCodecError("bad error tag")),
     })
 }
@@ -652,7 +805,11 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             out.push(TAG_ACK);
             put_u64(out, *cursor);
         }
-        Message::Stats => out.push(TAG_STATS),
+        Message::Stats { detail } => {
+            out.push(TAG_STATS);
+            out.push(*detail as u8);
+        }
+        Message::Diagnostics => out.push(TAG_DIAGNOSTICS),
         Message::RepoList(infos) => {
             out.push(TAG_REPO_LIST);
             put_u32(out, infos.len() as u32);
@@ -673,9 +830,20 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             put_report(out, report);
         }
         Message::CancelOk => out.push(TAG_CANCEL_OK),
-        Message::StatsReply(stats) => {
+        Message::StatsReply { stats, detail } => {
             out.push(TAG_STATS_REPLY);
             put_service_stats(out, stats);
+            match detail {
+                None => out.push(0),
+                Some(hists) => {
+                    out.push(1);
+                    put_named_hists(out, hists);
+                }
+            }
+        }
+        Message::DiagnosticsReply(diag) => {
+            out.push(TAG_DIAGNOSTICS_REPLY);
+            put_diagnostics(out, diag);
         }
         Message::Error(err) => {
             out.push(TAG_ERROR);
@@ -714,7 +882,8 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
             window: c.u32()?,
         },
         TAG_ACK => Message::Ack { cursor: c.u64()? },
-        TAG_STATS => Message::Stats,
+        TAG_STATS => Message::Stats { detail: c.bool()? },
+        TAG_DIAGNOSTICS => Message::Diagnostics,
         TAG_REPO_LIST => {
             // Minimal RepoInfo: fixed fields + empty name.
             let n = c.count(4 + 8 + 2 + 8 + 4)?;
@@ -728,7 +897,16 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
         TAG_SNAPSHOT => Message::Snapshot(get_snapshot(&mut c)?),
         TAG_REPORT => Message::Report(get_report(&mut c)?),
         TAG_CANCEL_OK => Message::CancelOk,
-        TAG_STATS_REPLY => Message::StatsReply(get_service_stats(&mut c)?),
+        TAG_STATS_REPLY => {
+            let stats = get_service_stats(&mut c)?;
+            let detail = match c.u8()? {
+                0 => None,
+                1 => Some(get_named_hists(&mut c)?),
+                _ => return Err(WireCodecError("bad option tag")),
+            };
+            Message::StatsReply { stats, detail }
+        }
+        TAG_DIAGNOSTICS_REPLY => Message::DiagnosticsReply(get_diagnostics(&mut c)?),
         TAG_ERROR => Message::Error(get_wire_error(&mut c)?),
         _ => return Err(WireCodecError("unknown message tag")),
     };
@@ -777,7 +955,9 @@ mod tests {
                 cursor: 0,
                 window: 16,
             },
-            Message::Stats,
+            Message::Stats { detail: false },
+            Message::Stats { detail: true },
+            Message::Diagnostics,
         ] {
             assert_eq!(roundtrip(&msg), msg);
         }
@@ -797,10 +977,11 @@ mod tests {
             persist: None,
             live_sessions: 4,
         };
-        assert_eq!(
-            roundtrip(&Message::StatsReply(memory_only)),
-            Message::StatsReply(memory_only)
-        );
+        let msg = Message::StatsReply {
+            stats: memory_only,
+            detail: None,
+        };
+        assert_eq!(roundtrip(&msg), msg);
         let durable = ServiceStats {
             cache,
             persist: Some(PersistStats {
@@ -823,10 +1004,106 @@ mod tests {
             }),
             live_sessions: u64::MAX,
         };
-        assert_eq!(
-            roundtrip(&Message::StatsReply(durable)),
-            Message::StatsReply(durable)
+        let msg = Message::StatsReply {
+            stats: durable,
+            detail: Some(vec![
+                ("dispatch_ns".into(), sample_snapshot()),
+                ("empty_ns".into(), HistSnapshot::default()),
+            ]),
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// A snapshot with values in several buckets, including extremes.
+    fn sample_snapshot() -> HistSnapshot {
+        let hist = exsample_obs::LatencyHistogram::new();
+        for v in [0u64, 1, 900, 1_000_000, u64::MAX] {
+            hist.record(v);
+        }
+        hist.snapshot()
+    }
+
+    #[test]
+    fn diagnostics_reply_round_trips() {
+        let diag = Diagnostics {
+            histograms: vec![
+                ("dispatch_ns".into(), sample_snapshot()),
+                ("lease_ns".into(), HistSnapshot::default()),
+            ],
+            counters: vec![("frames_total".into(), 12_345), ("zero".into(), 0)],
+            events: vec![
+                FlightEvent {
+                    tick: 1,
+                    session: u64::MAX,
+                    stage: Stage::Compaction,
+                    duration_ns: 88,
+                    key: 4_096,
+                },
+                FlightEvent {
+                    tick: 2,
+                    session: 7,
+                    stage: Stage::Dispatch,
+                    duration_ns: 1_234,
+                    key: 8,
+                },
+            ],
+        };
+        let msg = Message::DiagnosticsReply(diag);
+        assert_eq!(roundtrip(&msg), msg);
+        let empty = Message::DiagnosticsReply(Diagnostics::default());
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn oversized_snapshot_rejected_not_truncated() {
+        // A StatsReply whose detail list claims a snapshot larger than
+        // MAX_SNAPSHOT_LEN: the decoder must refuse it before reading
+        // (or worse, truncating) the body.
+        let mut buf = Vec::new();
+        encode_message(
+            &Message::StatsReply {
+                stats: ServiceStats::default(),
+                detail: Some(vec![("big".into(), HistSnapshot::default())]),
+            },
+            &mut buf,
         );
+        // The snapshot length prefix sits right after the metric name
+        // "big"; find and inflate it.
+        let name_pos = buf
+            .windows(3)
+            .position(|w| w == b"big")
+            .expect("metric name in payload");
+        let len_pos = name_pos + 3;
+        buf[len_pos..len_pos + 4].copy_from_slice(&(MAX_SNAPSHOT_LEN + 1).to_le_bytes());
+        assert_eq!(
+            decode_message(&buf),
+            Err(WireCodecError("snapshot too large"))
+        );
+    }
+
+    #[test]
+    fn unknown_stage_byte_rejected() {
+        let mut buf = Vec::new();
+        encode_message(
+            &Message::DiagnosticsReply(Diagnostics {
+                histograms: vec![],
+                counters: vec![],
+                events: vec![FlightEvent {
+                    tick: 1,
+                    session: 0,
+                    stage: Stage::Dispatch,
+                    duration_ns: 1,
+                    key: 1,
+                }],
+            }),
+            &mut buf,
+        );
+        // The stage byte is 17 bytes into the event record (after tick
+        // and session), which itself starts after tag + two empty lists
+        // + event count.
+        let stage_pos = buf.len() - FLIGHT_EVENT_SIZE + 16;
+        buf[stage_pos] = 0xEE;
+        assert_eq!(decode_message(&buf), Err(WireCodecError("bad stage tag")));
     }
 
     #[test]
@@ -863,6 +1140,11 @@ mod tests {
             WireError::SessionRunning(2),
             WireError::InvalidSpec("chunks must be positive".into()),
             WireError::Malformed("unexpected Ack".into()),
+            WireError::SnapshotTooLarge {
+                name: "dispatch_ns".into(),
+                len: 9_999,
+                max: MAX_SNAPSHOT_LEN,
+            },
         ] {
             assert_eq!(roundtrip(&Message::Error(err.clone())), Message::Error(err));
         }

@@ -7,11 +7,13 @@ use exsample_core::belief::{BeliefPrior, ChunkStats, Selector};
 use exsample_core::driver::{SearchTrace, StopCond, TracePoint};
 use exsample_core::within::WithinKind;
 use exsample_engine::{
-    CacheStats, DiscriminatorKind, PersistStats, QuerySpec, RepoId, RepoInfo, ResultEvent,
-    ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot, SessionStatus,
+    CacheStats, Diagnostics, DiscriminatorKind, PersistStats, QuerySpec, RepoId, RepoInfo,
+    ResultEvent, ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot,
+    SessionStatus,
 };
+use exsample_obs::{FlightEvent, HistSnapshot, Stage};
 use exsample_proto::wire::{decode_message, encode_message};
-use exsample_proto::{Framed, Message, WireError};
+use exsample_proto::{Framed, Message, WireError, MAX_SNAPSHOT_LEN};
 use exsample_videosim::ClassId;
 use proptest::prelude::*;
 
@@ -131,6 +133,41 @@ fn make_name(w: u64) -> String {
     }
 }
 
+/// An arbitrary histogram snapshot: every word seeds several bucket
+/// counts (extremes included — `u64::MAX` lanes survive the codec).
+fn make_hist(w: u64, aux: &[u64]) -> HistSnapshot {
+    let mut snap = HistSnapshot {
+        counts: [0; 64],
+        sum: w,
+    };
+    for (i, &a) in aux.iter().enumerate() {
+        snap.counts[(a as usize) % 64] = match i % 3 {
+            0 => a,
+            1 => u64::MAX,
+            _ => a >> 32,
+        };
+    }
+    snap
+}
+
+fn make_named_hists(w: u64, aux: &[u64]) -> Vec<(String, HistSnapshot)> {
+    aux.iter()
+        .map(|&a| (make_name(a), make_hist(w ^ a, aux)))
+        .collect()
+}
+
+fn make_flight_events(aux: &[u64]) -> Vec<FlightEvent> {
+    aux.iter()
+        .map(|&a| FlightEvent {
+            tick: a,
+            session: a.rotate_left(13),
+            stage: Stage::from_u8((a % 10) as u8).expect("stage tag in range"),
+            duration_ns: a.rotate_left(29),
+            key: a.rotate_left(47),
+        })
+        .collect()
+}
+
 /// One message of every kind, selected by `kind`, parameterized by `w`.
 fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
     match kind {
@@ -171,42 +208,62 @@ fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
         10 => Message::Snapshot(make_snapshot(w[0], aux)),
         11 => Message::Report(make_report(w[0], aux, &w[1..])),
         12 => Message::CancelOk,
-        14 => Message::Stats,
-        15 => Message::StatsReply(ServiceStats {
-            cache: CacheStats {
-                hits: w[0],
-                misses: w[1],
-                evictions: w[2],
-                entries: w[3],
-                warm_loads: w[4],
-            },
-            persist: (w[5] & 1 != 0).then(|| PersistStats {
-                segments_loaded: w[0].rotate_left(11),
-                segments_skipped: w[1].rotate_left(13),
-                records_loaded: w[2].rotate_left(17),
-                damaged_tails: w[3].rotate_left(19),
-                preloaded_frames: w[4].rotate_left(23),
-                snapshots_loaded: w[5].rotate_left(29),
-                snapshots_skipped: w[0].rotate_left(31),
-                beliefs_resident: w[1].rotate_left(37),
-                log_write_errors: w[2].rotate_left(41),
-                snapshot_write_errors: w[3].rotate_left(43),
-                container_frames: w[4].rotate_left(47),
-                container_chunks: w[5].rotate_left(53),
-                container_hits: w[0].rotate_left(59),
-                container_bytes_touched: w[1].rotate_left(61),
-                container_skipped: w[2].rotate_left(3),
-                preload_skipped: w[3].rotate_left(5),
-            }),
-            live_sessions: w[5],
+        14 => Message::Stats {
+            detail: w[0] & 1 != 0,
+        },
+        15 => Message::StatsReply {
+            stats: make_service_stats(w),
+            detail: (w[5] & 2 != 0).then(|| make_named_hists(w[0], aux)),
+        },
+        16 => Message::Diagnostics,
+        17 => Message::DiagnosticsReply(Diagnostics {
+            histograms: make_named_hists(w[0], aux),
+            counters: aux.iter().map(|&a| (make_name(a), a)).collect(),
+            events: make_flight_events(aux),
         }),
-        _ => Message::Error(match w[0] % 5 {
+        _ => Message::Error(match w[0] % 6 {
             0 => WireError::UnknownRepo(w[1] as u32),
             1 => WireError::UnknownSession(w[1]),
             2 => WireError::SessionRunning(w[1]),
             3 => WireError::InvalidSpec(make_name(w[1])),
-            _ => WireError::Malformed(make_name(w[1])),
+            4 => WireError::Malformed(make_name(w[1])),
+            _ => WireError::SnapshotTooLarge {
+                name: make_name(w[1]),
+                len: w[2] as u32,
+                max: MAX_SNAPSHOT_LEN,
+            },
         }),
+    }
+}
+
+fn make_service_stats(w: &[u64; 6]) -> ServiceStats {
+    ServiceStats {
+        cache: CacheStats {
+            hits: w[0],
+            misses: w[1],
+            evictions: w[2],
+            entries: w[3],
+            warm_loads: w[4],
+        },
+        persist: (w[5] & 1 != 0).then(|| PersistStats {
+            segments_loaded: w[0].rotate_left(11),
+            segments_skipped: w[1].rotate_left(13),
+            records_loaded: w[2].rotate_left(17),
+            damaged_tails: w[3].rotate_left(19),
+            preloaded_frames: w[4].rotate_left(23),
+            snapshots_loaded: w[5].rotate_left(29),
+            snapshots_skipped: w[0].rotate_left(31),
+            beliefs_resident: w[1].rotate_left(37),
+            log_write_errors: w[2].rotate_left(41),
+            snapshot_write_errors: w[3].rotate_left(43),
+            container_frames: w[4].rotate_left(47),
+            container_chunks: w[5].rotate_left(53),
+            container_hits: w[0].rotate_left(59),
+            container_bytes_touched: w[1].rotate_left(61),
+            container_skipped: w[2].rotate_left(3),
+            preload_skipped: w[3].rotate_left(5),
+        }),
+        live_sessions: w[5],
     }
 }
 
@@ -219,7 +276,7 @@ proptest! {
     /// bit patterns.
     #[test]
     fn every_message_kind_round_trips_bytewise(
-        kind in 0u8..16,
+        kind in 0u8..18,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..24),
     ) {
@@ -235,7 +292,7 @@ proptest! {
     /// Messages without raw-bit floats also satisfy structural equality.
     #[test]
     fn structural_equality_round_trip(
-        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15]),
+        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15, 16, 17]),
         w in prop::array::uniform6(any::<u64>()),
     ) {
         let msg = make_message(kind, &w, &[]);
@@ -249,7 +306,7 @@ proptest! {
     /// silently shorter message.
     #[test]
     fn truncated_payloads_never_decode(
-        kind in 0u8..16,
+        kind in 0u8..18,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 1..12),
         cut in any::<prop::sample::Index>(),
@@ -265,7 +322,7 @@ proptest! {
     /// checksum, or payload — is always detected by the transport.
     #[test]
     fn framed_bit_flips_always_detected(
-        kind in 0u8..16,
+        kind in 0u8..18,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..8),
         victim in any::<prop::sample::Index>(),

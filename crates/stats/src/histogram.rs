@@ -4,6 +4,27 @@
 //! per `(n, N1)` cell and compares the resulting empirical densities with
 //! the `Gamma(N1+α0, n+β0)` belief density.
 
+/// Why two histograms could not be merged: their bin layouts differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinMismatch {
+    /// `(lo, hi, bins)` of the destination histogram.
+    pub ours: (f64, f64, usize),
+    /// `(lo, hi, bins)` of the histogram being merged in.
+    pub theirs: (f64, f64, usize),
+}
+
+impl std::fmt::Display for BinMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram bin layouts differ: {:?} vs {:?}",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for BinMismatch {}
+
 /// A histogram with uniformly spaced bins over `[lo, hi)`.
 ///
 /// Out-of-range observations are counted in saturating end bins
@@ -53,21 +74,31 @@ impl Histogram {
     /// Merge another histogram with identical binning.
     ///
     /// # Panics
-    /// Panics if the bin layouts differ.
+    /// Panics if the bin layouts differ; use [`Histogram::try_merge`]
+    /// for a recoverable check.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.lo, other.lo, "Histogram::merge: lo differs");
-        assert_eq!(self.hi, other.hi, "Histogram::merge: hi differs");
-        assert_eq!(
-            self.counts.len(),
-            other.counts.len(),
-            "Histogram::merge: bins differ"
-        );
+        if let Err(e) = self.try_merge(other) {
+            panic!("Histogram::merge: {e}");
+        }
+    }
+
+    /// Merge another histogram, reporting mismatched bin layouts as a
+    /// typed [`BinMismatch`] instead of panicking. On error, `self` is
+    /// unchanged.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), BinMismatch> {
+        if self.lo != other.lo || self.hi != other.hi || self.counts.len() != other.counts.len() {
+            return Err(BinMismatch {
+                ours: (self.lo, self.hi, self.counts.len()),
+                theirs: (other.lo, other.hi, other.counts.len()),
+            });
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.total += other.total;
+        Ok(())
     }
 
     /// Number of bins.
@@ -158,6 +189,17 @@ impl Histogram {
         }
         self.hi
     }
+
+    /// The `p`-quantile of the binned data — the canonical quantile
+    /// entry point shared with the observability snapshots (alias of
+    /// [`Histogram::approx_quantile`]; linear interpolation within the
+    /// bin, ignores under/overflow).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0,1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.approx_quantile(p)
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +252,39 @@ mod tests {
         assert_eq!(a.count(1), 1);
         assert_eq!(a.underflow(), 1);
         assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 2.0, 2);
+        let c = Histogram::new(0.0, 1.0, 4);
+        a.add(0.1);
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(err.ours, (0.0, 1.0, 2));
+        assert_eq!(err.theirs, (0.0, 2.0, 2));
+        assert!(err.to_string().contains("bin layouts differ"));
+        assert!(a.try_merge(&c).is_err());
+        // Failed merges leave the destination untouched.
+        assert_eq!(a.total(), 1);
+        assert_eq!(a.count(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin layouts differ")]
+    fn merge_still_panics_on_mismatch() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.merge(&Histogram::new(0.0, 1.0, 3));
+    }
+
+    #[test]
+    fn quantile_is_approx_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.quantile(0.5), h.approx_quantile(0.5));
+        assert_eq!(h.quantile(0.99), h.approx_quantile(0.99));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use dist::{
     Bernoulli, Beta, Exponential, Gamma, Geometric, LogNormal, Normal, Poisson, Uniform,
 };
 pub use hash::{FxHashMap, FxHashSet};
-pub use histogram::Histogram;
+pub use histogram::{BinMismatch, Histogram};
 pub use moments::{quantile, quantile_of_sorted, OnlineMoments, Summary};
 pub use rng::Rng64;
 pub use sample::UniformNoReplacement;

@@ -41,6 +41,11 @@
 //!   remote clients, mixed), with rendezvous placement of repositories,
 //!   namespaced session routing, fleet-wide statistics, and typed
 //!   shard-failure errors.
+//! * [`obs`] — the observability substrate: lock-free counters and
+//!   log-bucketed latency histograms with mergeable wire-stable
+//!   snapshots, span-style timing guards, a per-engine flight recorder
+//!   of recent structured events, and a Prometheus-style text
+//!   exposition.
 //! * [`experiments`] — runners that regenerate every table and figure of
 //!   the paper's evaluation, plus the engine-vs-independent comparison.
 //!
@@ -86,6 +91,7 @@ pub use exsample_core as core;
 pub use exsample_detect as detect;
 pub use exsample_engine as engine;
 pub use exsample_experiments as experiments;
+pub use exsample_obs as obs;
 pub use exsample_optimal as optimal;
 pub use exsample_persist as persist;
 pub use exsample_proto as proto;
