@@ -1,0 +1,170 @@
+//! Admission errors cross the router as *per-request* answers, not
+//! shard failures. `Overloaded { retry_after_ms }` and `Unauthorized`
+//! come from a shard that is healthy but busy (or strict) — a router
+//! that marked it down on those would amplify a momentary shed into an
+//! outage, and a retrying client (`RemoteClient::submit_with_retry`)
+//! would never get its second chance.
+
+use exsample_cluster::{global_repo, global_session, split_session, ShardRouter, ShardService};
+use exsample_engine::{
+    QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, ServiceStats, SessionId,
+    SessionReport, SessionSnapshot, SessionStatus, SubmitError,
+};
+use exsample_videosim::ClassId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shard stub that answers like a reactor under admission pressure:
+/// while `shedding`, submits and polls return `Overloaded` and waits
+/// return `Unauthorized`; once the pressure clears, calls succeed.
+struct BusyShard {
+    repo_name: &'static str,
+    shedding: AtomicBool,
+}
+
+impl BusyShard {
+    fn new(repo_name: &'static str, shedding: bool) -> Arc<Self> {
+        Arc::new(BusyShard {
+            repo_name,
+            shedding: AtomicBool::new(shedding),
+        })
+    }
+
+    fn shedding(&self) -> bool {
+        self.shedding.load(Ordering::Relaxed)
+    }
+}
+
+impl SearchService for BusyShard {
+    fn repos(&self) -> Result<Vec<RepoInfo>, ServiceError> {
+        Ok(vec![RepoInfo {
+            id: RepoId(0),
+            name: self.repo_name.to_owned(),
+            frames: 1000,
+            classes: 1,
+            dataset_fingerprint: 7,
+        }])
+    }
+
+    fn submit(&self, _spec: QuerySpec) -> Result<SessionId, SubmitError> {
+        if self.shedding() {
+            return Err(SubmitError::Overloaded { retry_after_ms: 35 });
+        }
+        Ok(SessionId(11))
+    }
+
+    fn poll(
+        &self,
+        _id: SessionId,
+        _cursor: u64,
+        _window: Option<u32>,
+    ) -> Result<SessionSnapshot, ServiceError> {
+        if self.shedding() {
+            return Err(ServiceError::Overloaded { retry_after_ms: 35 });
+        }
+        Ok(SessionSnapshot {
+            status: SessionStatus::Done,
+            found: 1,
+            samples: 2,
+            charges: Default::default(),
+            events: Vec::new(),
+            next_cursor: 0,
+        })
+    }
+
+    fn cancel(&self, _id: SessionId) -> Result<(), ServiceError> {
+        Ok(())
+    }
+
+    fn wait(&self, _id: SessionId) -> Result<SessionReport, ServiceError> {
+        Err(ServiceError::Unauthorized("no ticket".to_owned()))
+    }
+
+    fn forget(&self, id: SessionId) -> Result<SessionReport, ServiceError> {
+        Err(ServiceError::UnknownSession(id))
+    }
+
+    fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        Ok(ServiceStats::default())
+    }
+
+    fn diagnostics(&self) -> Result<exsample_engine::Diagnostics, ServiceError> {
+        Ok(exsample_engine::Diagnostics::default())
+    }
+}
+
+fn spec(repo: RepoId) -> QuerySpec {
+    QuerySpec::new(
+        repo,
+        ClassId(0),
+        exsample_core::driver::StopCond::results(1),
+    )
+}
+
+fn assert_all_up(router: &ShardRouter) {
+    for h in router.health() {
+        assert!(
+            h.up,
+            "shard {:?} wrongly marked down: {:?}",
+            h.name, h.cause
+        );
+    }
+}
+
+#[test]
+fn overloaded_submits_pass_through_without_marking_the_shard_down() {
+    let busy = BusyShard::new("busy-repo", true);
+    let calm = BusyShard::new("calm-repo", false);
+    let router = ShardRouter::new(vec![
+        ("a-busy".to_owned(), busy.clone() as ShardService),
+        ("b-calm".to_owned(), calm as ShardService),
+    ]);
+
+    let busy_repo = global_repo(0, RepoId(0)).unwrap();
+    let calm_repo = global_repo(1, RepoId(0)).unwrap();
+
+    // The busy shard sheds: the typed answer crosses the router intact,
+    // retry hint and all...
+    assert_eq!(
+        router.submit(spec(busy_repo)),
+        Err(SubmitError::Overloaded { retry_after_ms: 35 })
+    );
+    // ...and the shard stays in rotation — a shed is not an outage.
+    assert_all_up(&router);
+
+    // Traffic to the other shard is untouched, and its session id comes
+    // back namespaced under its slot.
+    let sid = router.submit(spec(calm_repo)).expect("calm shard accepts");
+    assert_eq!(split_session(sid), (1, SessionId(11)));
+
+    // Once the pressure clears, the *same* router lands the submit with
+    // no revive step — nothing was ever marked down.
+    busy.shedding.store(false, Ordering::Relaxed);
+    let sid = router.submit(spec(busy_repo)).expect("retry lands");
+    assert_eq!(split_session(sid), (0, SessionId(11)));
+}
+
+#[test]
+fn overloaded_and_unauthorized_lifecycle_calls_are_per_request_answers() {
+    let busy = BusyShard::new("busy-repo", true);
+    let router = ShardRouter::new(vec![("only".to_owned(), busy.clone() as ShardService)]);
+    let sid = global_session(0, SessionId(11)).unwrap();
+
+    assert!(matches!(
+        router.poll(sid, 0, None),
+        Err(ServiceError::Overloaded { retry_after_ms: 35 })
+    ));
+    assert_all_up(&router);
+
+    assert!(matches!(
+        router.wait(sid),
+        Err(ServiceError::Unauthorized(why)) if why == "no ticket"
+    ));
+    assert_all_up(&router);
+
+    // The shard was never marked down, so the moment it stops shedding
+    // the identical poll succeeds.
+    busy.shedding.store(false, Ordering::Relaxed);
+    let snap = router.poll(sid, 0, None).expect("poll lands after shed");
+    assert_eq!(snap.status, SessionStatus::Done);
+}

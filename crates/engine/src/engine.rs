@@ -54,7 +54,7 @@ use crate::service::{
 };
 use crate::session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
-    SessionSnapshot, SessionStatus,
+    SessionSnapshot, SessionStatus, TenantBinding, TenantId,
 };
 use crate::threads::default_threads;
 use exsample_colstore::{ColumnarStore, OpenError};
@@ -313,6 +313,10 @@ struct Slot {
     /// Last client touch (submit/poll/wait); drives TTL-based reaping of
     /// finished sessions when [`EngineConfig::session_ttl`] is set.
     last_access: Instant,
+    /// Owning tenant when the session came through an authenticated
+    /// serving layer ([`Engine::submit_tagged`]); `None` for in-process
+    /// and anonymous submissions.
+    tenant: Option<TenantId>,
 }
 
 struct EngineState {
@@ -332,6 +336,11 @@ struct EngineState {
     scheduler: Scheduler,
     next_session: u64,
     finished_sessions: u64,
+    /// Per-tenant count of *running* sessions (tagged submissions only):
+    /// incremented at submit, decremented at finalization. This is the
+    /// serving layer's session-quota accounting, kept here so it cannot
+    /// drift from the authoritative session table.
+    tenant_running: FxHashMap<TenantId, u64>,
     /// Finished sessions awaiting TTL expiry, roughly ordered by their
     /// earliest possible reap time. Entries whose session was forgotten
     /// in the meantime are skipped; entries whose session was touched
@@ -496,6 +505,7 @@ impl Engine {
                 scheduler: Scheduler::new(),
                 next_session: 0,
                 finished_sessions: 0,
+                tenant_running: FxHashMap::default(),
                 reap_queue: VecDeque::new(),
             }),
             work_cv: Condvar::new(),
@@ -678,6 +688,23 @@ impl Engine {
     /// time budget, unknown repository or class) is rejected before it
     /// can consume any detector budget or panic mid-search.
     pub fn submit(&self, spec: QuerySpec) -> Result<SessionId, EngineError> {
+        self.submit_tagged(spec, None)
+    }
+
+    /// [`Engine::submit`] with an authenticated tenant binding, used by
+    /// the serving layer (`exsample-serve`).
+    ///
+    /// The binding tags the session for per-tenant accounting (see
+    /// [`Engine::tenant_running`]) and multiplies the spec's scheduler
+    /// weight by the tenant's tier weight, so tier priority composes
+    /// with per-query weights without the client being able to forge
+    /// it: the binding comes from the server's auth registry, never
+    /// from the wire spec.
+    pub fn submit_tagged(
+        &self,
+        spec: QuerySpec,
+        binding: Option<TenantBinding>,
+    ) -> Result<SessionId, EngineError> {
         spec.validate().map_err(EngineError::InvalidSpec)?;
         let mut state = self.lock_state();
         let repo = state
@@ -737,9 +764,17 @@ impl Engine {
                 chunk_stats: Vec::new(),
                 finish_order: 0,
                 last_access: Instant::now(),
+                tenant: binding.map(|b| b.tenant),
             },
         );
-        state.scheduler.register(id, spec.weight);
+        if let Some(b) = binding {
+            *state.tenant_running.entry(b.tenant).or_insert(0) += 1;
+        }
+        let weight = match binding {
+            Some(b) => spec.weight.saturating_mul(b.weight.max(1)),
+            None => spec.weight,
+        };
+        state.scheduler.register(id, weight);
         drop(state);
         if self.shared.obs.enabled() {
             self.shared.obs.sessions_submitted_total.inc();
@@ -852,6 +887,44 @@ impl Engine {
                 .wait(state)
                 .expect("engine state poisoned");
         }
+    }
+
+    /// Non-blocking [`Engine::wait`]: the final report if the session
+    /// has finished, `None` while it still runs. This is what a
+    /// readiness-driven server uses — it cannot afford to park a thread
+    /// per pending wait.
+    pub fn try_wait(&self, id: SessionId) -> Result<Option<SessionReport>, EngineError> {
+        let mut state = self.lock_state();
+        let slot = state
+            .sessions
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownSession(id))?;
+        slot.last_access = Instant::now();
+        Ok(slot.trace.as_ref().map(|trace| SessionReport {
+            status: slot.status,
+            trace: trace.clone(),
+            charges: slot.charges,
+            finish_order: slot.finish_order,
+            chunk_stats: slot.chunk_stats.clone(),
+        }))
+    }
+
+    /// Number of sessions currently *running* (admitted and not yet
+    /// finished or cancelled) — the admission layer's queue-depth
+    /// signal.
+    pub fn running_sessions(&self) -> usize {
+        self.lock_state().scheduler.active_sessions()
+    }
+
+    /// Number of running sessions tagged with `tenant` (see
+    /// [`Engine::submit_tagged`]). Zero for tenants with nothing
+    /// running.
+    pub fn tenant_running(&self, tenant: TenantId) -> u64 {
+        self.lock_state()
+            .tenant_running
+            .get(&tenant)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Drop every trace of a *finished* session (its event log, trace,
@@ -1180,6 +1253,17 @@ fn worker_loop(shared: &Shared) {
         if let Some(core) = retired {
             state.finished_sessions += 1;
             state.scheduler.deactivate(id);
+            // Release the tenant's quota slot the moment the session
+            // stops running — not at forget/reap, which can be much
+            // later (or never) and would wedge the tenant's admission.
+            if let Some(t) = state.sessions.get(&id).and_then(|s| s.tenant) {
+                if let Some(n) = state.tenant_running.get_mut(&t) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        state.tenant_running.remove(&t);
+                    }
+                }
+            }
             if shared.obs.enabled() {
                 shared.obs.sessions_finished_total.inc();
             }
@@ -1606,6 +1690,58 @@ mod tests {
         assert!(report.charges.total_s() > 0.0);
         // Engine seconds equal the charged ledger.
         assert!((report.trace.seconds() - report.charges.total_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenant_tagged_submits_are_counted_and_released() {
+        let (engine, repo) = small_engine(2);
+        let t = TenantId(7);
+        let binding = Some(TenantBinding {
+            tenant: t,
+            weight: 4,
+        });
+        let a = engine
+            .submit_tagged(
+                QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(1),
+                binding,
+            )
+            .unwrap();
+        let b = engine
+            .submit_tagged(
+                QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(2),
+                binding,
+            )
+            .unwrap();
+        // Untagged sessions never touch tenant accounting.
+        let c = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(3))
+            .unwrap();
+        assert!(engine.tenant_running(t) <= 2);
+        assert_eq!(engine.tenant_running(TenantId(8)), 0);
+        for id in [a, b, c] {
+            engine.wait(id).unwrap();
+        }
+        // Quota slots release at finalization, not at forget.
+        assert_eq!(engine.tenant_running(t), 0);
+        assert_eq!(engine.forget(a).unwrap().status, SessionStatus::Done);
+    }
+
+    #[test]
+    fn try_wait_is_none_until_finished() {
+        let (engine, repo) = small_engine(2);
+        let id = engine
+            .submit(QuerySpec::new(repo, ClassId(0), StopCond::results(5)).seed(9))
+            .unwrap();
+        // Running or finished, try_wait never blocks and never errors on
+        // a live session.
+        let early = engine.try_wait(id).unwrap();
+        let report = engine.wait(id).unwrap();
+        let late = engine.try_wait(id).unwrap().expect("finished");
+        assert_eq!(late.trace, report.trace);
+        if let Some(early) = early {
+            assert_eq!(early.trace, report.trace);
+        }
+        assert!(engine.try_wait(SessionId(999)).is_err());
     }
 
     #[test]

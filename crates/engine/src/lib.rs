@@ -91,6 +91,6 @@ pub use scheduler::Scheduler;
 pub use service::{Diagnostics, RepoInfo, SearchService, ServiceError, ServiceStats, SubmitError};
 pub use session::{
     DiscriminatorKind, QuerySpec, RepoId, ResultEvent, SessionCharges, SessionId, SessionReport,
-    SessionSnapshot, SessionStatus,
+    SessionSnapshot, SessionStatus, TenantBinding, TenantId,
 };
 pub use threads::default_threads;

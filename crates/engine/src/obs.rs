@@ -32,6 +32,9 @@ pub struct EngineObs {
     server_submit: Arc<LatencyHistogram>,
     server_poll: Arc<LatencyHistogram>,
     server_stream: Arc<LatencyHistogram>,
+    serve_accept: Arc<LatencyHistogram>,
+    serve_handshake: Arc<LatencyHistogram>,
+    serve_turn: Arc<LatencyHistogram>,
     /// Frames stepped across all sessions (bumped once per quantum).
     pub frames_total: Arc<Counter>,
     /// Queries accepted by `submit`.
@@ -58,6 +61,9 @@ impl EngineObs {
             server_submit: registry.histogram("server_submit_ns"),
             server_poll: registry.histogram("server_poll_ns"),
             server_stream: registry.histogram("server_stream_ns"),
+            serve_accept: registry.histogram("accept_ns"),
+            serve_handshake: registry.histogram("handshake_ns"),
+            serve_turn: registry.histogram("turn_ns"),
             frames_total: registry.counter("frames_total"),
             sessions_submitted_total: registry.counter("sessions_submitted_total"),
             sessions_finished_total: registry.counter("sessions_finished_total"),
@@ -98,6 +104,10 @@ impl EngineObs {
             Stage::Submit => &self.server_submit,
             Stage::Poll => &self.server_poll,
             Stage::Stream => &self.server_stream,
+            // Recorded by the reactor (`exsample-serve`), same route.
+            Stage::Accept => &self.serve_accept,
+            Stage::Handshake => &self.serve_handshake,
+            Stage::Turn => &self.serve_turn,
         }
     }
 

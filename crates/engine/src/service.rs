@@ -128,6 +128,17 @@ pub enum SubmitError {
     /// The remote transport failed (connection, framing, or protocol
     /// error). Never returned by the in-process engine.
     Transport(String),
+    /// The serving layer shed this submission under load (queue depth or
+    /// per-tenant quota); the client should retry after the hinted
+    /// delay. Never returned by the in-process engine.
+    Overloaded {
+        /// Server's suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The serving layer requires an authenticated tenant for this
+    /// operation and the connection has none (or presented a token it
+    /// rejected). Never returned by the in-process engine.
+    Unauthorized(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -139,6 +150,10 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "shard {shard:?} is down: {cause}")
             }
             SubmitError::Transport(why) => write!(f, "transport error: {why}"),
+            SubmitError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after {retry_after_ms} ms")
+            }
+            SubmitError::Unauthorized(why) => write!(f, "unauthorized: {why}"),
         }
     }
 }
@@ -172,6 +187,17 @@ pub enum ServiceError {
     /// The remote transport failed (connection, framing, or protocol
     /// error). Never returned by the in-process engine.
     Transport(String),
+    /// The serving layer shed this call under load; the client should
+    /// retry after the hinted delay. Never returned by the in-process
+    /// engine.
+    Overloaded {
+        /// Server's suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The serving layer requires an authenticated tenant for this
+    /// operation and the connection has none (or presented a token it
+    /// rejected). Never returned by the in-process engine.
+    Unauthorized(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -187,6 +213,10 @@ impl std::fmt::Display for ServiceError {
                 "protocol version mismatch: we speak v{ours}, peer speaks v{theirs}"
             ),
             ServiceError::Transport(why) => write!(f, "transport error: {why}"),
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after {retry_after_ms} ms")
+            }
+            ServiceError::Unauthorized(why) => write!(f, "unauthorized: {why}"),
         }
     }
 }

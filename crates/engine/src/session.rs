@@ -14,6 +14,24 @@ pub struct RepoId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
 
+/// Identifies one tenant of a shared engine. Assigned by the serving
+/// layer's authentication registry (`exsample-serve`); the engine treats
+/// it as an opaque accounting key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+/// A tenant identity bound to a submission by an *authenticated* serving
+/// layer — never derived from client-controlled spec fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBinding {
+    /// The authenticated tenant.
+    pub tenant: TenantId,
+    /// Tier weight multiplier (≥ 1): the session's effective scheduler
+    /// weight is `spec.weight × weight`, so a paying tenant's sessions
+    /// outschedule free-tier ones submitting identical specs.
+    pub weight: u32,
+}
+
 /// Which discriminator a session uses to decide "is this detection a new
 /// distinct object?" (paper §II-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -39,6 +39,15 @@ pub enum Stage {
     Poll,
     /// Server-side handling of one streaming subscription.
     Stream,
+    /// Reactor accept burst: draining a ready listener (key = number
+    /// of connections accepted).
+    Accept,
+    /// One connection's wire handshake, from accept to preamble
+    /// verified.
+    Handshake,
+    /// One reactor turn for a connection: decode, handle, and encode
+    /// every frame ready on it.
+    Turn,
 }
 
 impl Stage {
@@ -55,6 +64,9 @@ impl Stage {
             Stage::Submit => "submit",
             Stage::Poll => "poll",
             Stage::Stream => "stream",
+            Stage::Accept => "accept",
+            Stage::Handshake => "handshake",
+            Stage::Turn => "turn",
         }
     }
 
@@ -71,6 +83,9 @@ impl Stage {
             Stage::Submit => 7,
             Stage::Poll => 8,
             Stage::Stream => 9,
+            Stage::Accept => 10,
+            Stage::Handshake => 11,
+            Stage::Turn => 12,
         }
     }
 
@@ -87,6 +102,9 @@ impl Stage {
             7 => Stage::Submit,
             8 => Stage::Poll,
             9 => Stage::Stream,
+            10 => Stage::Accept,
+            11 => Stage::Handshake,
+            12 => Stage::Turn,
             _ => return None,
         })
     }
@@ -220,12 +238,12 @@ mod tests {
 
     #[test]
     fn stage_tags_roundtrip() {
-        for tag in 0..=9u8 {
+        for tag in 0..=12u8 {
             let stage = Stage::from_u8(tag).unwrap();
             assert_eq!(stage.as_u8(), tag);
             assert!(!stage.as_str().is_empty());
         }
-        assert_eq!(Stage::from_u8(10), None);
+        assert_eq!(Stage::from_u8(13), None);
     }
 
     #[test]

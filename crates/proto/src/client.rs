@@ -181,6 +181,54 @@ impl<T: Read + Write> RemoteClient<T> {
         }
     }
 
+    /// Authenticate this connection as a tenant (protocol v6): send the
+    /// bearer token, receive the resolved tenant id and tier weight. A
+    /// rejected token yields [`ServiceError::Unauthorized`]; the
+    /// connection itself stays usable (e.g. to retry with another
+    /// token). Servers without an auth registry answer every token with
+    /// the anonymous tenant `(0, 1)`.
+    pub fn authenticate(&self, token: &str) -> Result<(u32, u32), ServiceError> {
+        match self
+            .call(&Message::Hello {
+                token: token.to_owned(),
+            })
+            .map_err(ServiceError::Transport)?
+        {
+            Message::Welcome { tenant, weight } => Ok((tenant, weight)),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to Hello".into(),
+            )),
+        }
+    }
+
+    /// Submit with bounded retry on [`SubmitError::Overloaded`]: honors
+    /// the server's `retry_after_ms` hint between attempts (each wait
+    /// capped at two seconds so a hostile hint cannot hang the caller),
+    /// gives up after `attempts` sheds. All other outcomes — success or
+    /// a different error — return immediately.
+    pub fn submit_with_retry(
+        &self,
+        spec: &QuerySpec,
+        attempts: u32,
+    ) -> Result<SessionId, SubmitError> {
+        let mut shed = 0;
+        loop {
+            match self.submit(spec.clone()) {
+                Err(SubmitError::Overloaded { retry_after_ms }) => {
+                    shed += 1;
+                    if shed >= attempts.max(1) {
+                        return Err(SubmitError::Overloaded { retry_after_ms });
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        retry_after_ms.clamp(1, 2_000),
+                    ));
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Stream a session's results: subscribe from `cursor`, receive
     /// server-pushed batches of at most `window` events (clamped to
     /// `1..=MAX_POLL_WINDOW` on both ends), and invoke `on_batch` for each. The next batch is requested
@@ -242,6 +290,8 @@ fn lifecycle_error(err: WireError) -> ServiceError {
     match err {
         WireError::UnknownSession(s) => ServiceError::UnknownSession(SessionId(s)),
         WireError::SessionRunning(s) => ServiceError::SessionRunning(SessionId(s)),
+        WireError::Overloaded { retry_after_ms } => ServiceError::Overloaded { retry_after_ms },
+        WireError::Unauthorized(why) => ServiceError::Unauthorized(why),
         other => ServiceError::Transport(format!("server error: {other:?}")),
     }
 }
@@ -251,7 +301,23 @@ fn submit_error(err: WireError) -> SubmitError {
     match err {
         WireError::UnknownRepo(r) => SubmitError::UnknownRepo(RepoId(r)),
         WireError::InvalidSpec(why) => SubmitError::InvalidSpec(why),
+        WireError::Overloaded { retry_after_ms } => SubmitError::Overloaded { retry_after_ms },
+        WireError::Unauthorized(why) => SubmitError::Unauthorized(why),
         other => SubmitError::Transport(format!("server error: {other:?}")),
+    }
+}
+
+impl RemoteClient<std::net::TcpStream> {
+    /// [`RemoteClient::connect`] over TCP: dial `addr`, enable
+    /// `TCP_NODELAY` (the protocol is request/response; Nagle would add
+    /// a delayed-ack round trip to every call), and handshake.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        Self::connect(stream)
     }
 }
 

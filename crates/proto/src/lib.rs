@@ -38,7 +38,7 @@ pub mod transport;
 pub mod wire;
 
 pub use client::RemoteClient;
-pub use server::SearchServer;
+pub use server::{AcceptRetry, SearchServer};
 pub use transport::{duplex, DuplexStream, Framed};
 pub use wire::{
     decode_message, encode_message, Message, WireCodecError, WireError, MAX_SNAPSHOT_LEN,
@@ -62,7 +62,12 @@ pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
 /// [`MAX_SNAPSHOT_LEN`] each and refused — never truncated — beyond it)
 /// and the `Diagnostics`/`DiagnosticsReply` exchange carrying every
 /// histogram, counter, and recent flight-recorder event of a shard.
-pub const PROTO_VERSION: u16 = 5;
+/// v6 added the serving surface for `exsample-serve`: the
+/// `Hello`/`Welcome` tenant-authentication exchange and the
+/// `Overloaded { retry_after_ms }` / `Unauthorized` error forms, so an
+/// admission-controlled server can shed load with a typed, retryable
+/// answer instead of stalling or disconnecting.
+pub const PROTO_VERSION: u16 = 6;
 
 /// Upper bound on one frame's payload, enforced on both send and
 /// receive: a corrupt or hostile length prefix must not provoke an

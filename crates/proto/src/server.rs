@@ -82,6 +82,17 @@ impl SearchServer {
             };
             match msg {
                 Message::Repos => framed.send(&Message::RepoList(self.engine.repos()))?,
+                Message::Hello { token: _ } => {
+                    // The thread-per-connection server has no auth
+                    // registry: every token resolves to the anonymous
+                    // tenant at base weight, keeping v6 clients portable
+                    // across both servers. Admission control lives in
+                    // the reactor (`exsample-serve`).
+                    framed.send(&Message::Welcome {
+                        tenant: 0,
+                        weight: 1,
+                    })?;
+                }
                 Message::Submit(spec) => {
                     let mut span = self.engine.obs().span_flight(Stage::Submit, NO_SESSION);
                     let reply = match self.engine.submit(spec) {
@@ -255,26 +266,21 @@ impl SearchServer {
         std::thread::Builder::new()
             .name("exsample-proto-accept".into())
             .spawn(move || {
-                let mut consecutive_errors = 0u32;
+                let mut retry = AcceptRetry::default();
                 for conn in listener.incoming() {
                     let conn = match conn {
                         Ok(conn) => conn,
                         Err(e) => {
-                            // Transient accept failures (fd exhaustion, an
-                            // aborted connection) must not kill the accept
-                            // loop; a permanently broken listener must not
-                            // spin it either.
                             eprintln!("exsample-proto: accept error: {e}");
-                            consecutive_errors += 1;
-                            if consecutive_errors >= 100 {
+                            if !retry.on_error() {
                                 eprintln!("exsample-proto: listener unusable, giving up");
                                 return;
                             }
-                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            std::thread::sleep(AcceptRetry::BACKOFF);
                             continue;
                         }
                     };
-                    consecutive_errors = 0;
+                    retry.on_success();
                     let server = server.clone();
                     let _ = std::thread::Builder::new()
                         .name("exsample-proto-conn".into())
@@ -306,6 +312,67 @@ impl SearchServer {
         }
         framed.get_ref().set_read_timeout(None)?;
         self.serve_framed(&mut framed)
+    }
+}
+
+/// Bounded retry policy for an accept loop, shared by
+/// [`SearchServer::serve_unix`] and the reactor's accept path
+/// (`exsample-serve`).
+///
+/// Transient accept failures (fd exhaustion, an aborted connection)
+/// must not kill the loop; a permanently broken listener must not spin
+/// it either. The failure budget counts *consecutive* errors only and
+/// **must** be reset on every successful accept — without the reset, a
+/// long-lived listener dies from unrelated transient errors spread over
+/// days, which is a regression this type's unit tests pin down.
+#[derive(Debug)]
+pub struct AcceptRetry {
+    consecutive: u32,
+    limit: u32,
+}
+
+impl Default for AcceptRetry {
+    /// The default budget: give up after [`AcceptRetry::DEFAULT_LIMIT`]
+    /// consecutive failures.
+    fn default() -> Self {
+        AcceptRetry::new(AcceptRetry::DEFAULT_LIMIT)
+    }
+}
+
+impl AcceptRetry {
+    /// Default consecutive-failure budget.
+    pub const DEFAULT_LIMIT: u32 = 100;
+
+    /// How long to back off between failed accepts, giving a transient
+    /// condition (fd pressure) room to clear.
+    pub const BACKOFF: Duration = Duration::from_millis(10);
+
+    /// A policy giving up after `limit` consecutive failures.
+    pub fn new(limit: u32) -> Self {
+        AcceptRetry {
+            consecutive: 0,
+            limit: limit.max(1),
+        }
+    }
+
+    /// Record a successful accept: the listener is demonstrably alive,
+    /// so the failure budget refills completely.
+    pub fn on_success(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Record a failed accept. Returns `true` to keep trying (after
+    /// [`AcceptRetry::BACKOFF`]), `false` when the budget is exhausted
+    /// and the listener should be abandoned.
+    #[must_use]
+    pub fn on_error(&mut self) -> bool {
+        self.consecutive += 1;
+        self.consecutive < self.limit
+    }
+
+    /// Consecutive failures since the last successful accept.
+    pub fn consecutive(&self) -> u32 {
+        self.consecutive
     }
 }
 
@@ -345,5 +412,35 @@ fn engine_error(e: EngineError) -> WireError {
         EngineError::UnknownSession(s) => WireError::UnknownSession(s.0),
         EngineError::InvalidSpec(why) => WireError::InvalidSpec(why.to_string()),
         EngineError::SessionRunning(s) => WireError::SessionRunning(s.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_retry_gives_up_after_consecutive_failures() {
+        let mut retry = AcceptRetry::new(3);
+        assert!(retry.on_error());
+        assert!(retry.on_error());
+        assert!(!retry.on_error());
+    }
+
+    #[test]
+    fn accept_retry_resets_on_successful_accept() {
+        // Regression guard: errors spread over the listener's lifetime
+        // must never accumulate into a shutdown — only *consecutive*
+        // failures spend the budget.
+        let mut retry = AcceptRetry::new(3);
+        for _ in 0..1000 {
+            assert!(retry.on_error());
+            assert!(retry.on_error());
+            retry.on_success();
+            assert_eq!(retry.consecutive(), 0);
+        }
+        let mut degenerate = AcceptRetry::new(0);
+        assert!(!degenerate.on_error(), "limit is floored at one failure");
+        assert_eq!(AcceptRetry::default().limit, AcceptRetry::DEFAULT_LIMIT);
     }
 }

@@ -69,6 +69,16 @@ pub enum WireError {
         /// The limit it exceeded ([`MAX_SNAPSHOT_LEN`]).
         max: u32,
     },
+    /// The serving layer shed the request under load (queue depth or a
+    /// per-tenant quota). The connection stays healthy; the client
+    /// should back off for the hinted delay and retry (protocol v6).
+    Overloaded {
+        /// Server's suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request needs an authenticated tenant and the connection has
+    /// none, or its [`Message::Hello`] token was rejected (protocol v6).
+    Unauthorized(String),
 }
 
 /// One protocol message, either direction. Requests are client → server;
@@ -139,6 +149,15 @@ pub enum Message {
     /// [`Message::DiagnosticsReply`]. This is what a cluster router
     /// merges into fleet-level distributions.
     Diagnostics,
+    /// Authenticate the connection as a tenant (protocol v6). Answered
+    /// with [`Message::Welcome`] on success or
+    /// [`WireError::Unauthorized`] on a rejected token; either way the
+    /// connection survives. Servers without an auth registry answer
+    /// every token with the anonymous tenant.
+    Hello {
+        /// The tenant's bearer token.
+        token: String,
+    },
 
     // ---- responses ----
     /// The repository catalog, in id order.
@@ -162,6 +181,15 @@ pub enum Message {
     /// The service's observability snapshot ([`Message::Diagnostics`]
     /// answer).
     DiagnosticsReply(Diagnostics),
+    /// The connection is authenticated ([`Message::Hello`] answer,
+    /// protocol v6).
+    Welcome {
+        /// The tenant id the token resolved to.
+        tenant: u32,
+        /// The tenant's tier weight multiplier (≥ 1) applied to every
+        /// spec this connection submits.
+        weight: u32,
+    },
     /// The request failed.
     Error(WireError),
 }
@@ -177,6 +205,7 @@ const TAG_SUBSCRIBE: u8 = 0x07;
 const TAG_ACK: u8 = 0x08;
 const TAG_STATS: u8 = 0x09;
 const TAG_DIAGNOSTICS: u8 = 0x0A;
+const TAG_HELLO: u8 = 0x0B;
 const TAG_REPO_LIST: u8 = 0x41;
 const TAG_SUBMITTED: u8 = 0x42;
 const TAG_SNAPSHOT: u8 = 0x43;
@@ -185,6 +214,7 @@ const TAG_CANCEL_OK: u8 = 0x45;
 const TAG_ERROR: u8 = 0x46;
 const TAG_STATS_REPLY: u8 = 0x47;
 const TAG_DIAGNOSTICS_REPLY: u8 = 0x48;
+const TAG_WELCOME: u8 = 0x49;
 
 /// Little-endian pull parser over a payload slice.
 struct Cursor<'a> {
@@ -735,6 +765,14 @@ fn put_wire_error(out: &mut Vec<u8>, err: &WireError) {
             put_u32(out, *len);
             put_u32(out, *max);
         }
+        WireError::Overloaded { retry_after_ms } => {
+            out.push(7);
+            put_u64(out, *retry_after_ms);
+        }
+        WireError::Unauthorized(why) => {
+            out.push(8);
+            put_string(out, why);
+        }
     }
 }
 
@@ -750,6 +788,10 @@ fn get_wire_error(c: &mut Cursor) -> Result<WireError, WireCodecError> {
             len: c.u32()?,
             max: c.u32()?,
         },
+        7 => WireError::Overloaded {
+            retry_after_ms: c.u64()?,
+        },
+        8 => WireError::Unauthorized(c.string()?),
         _ => return Err(WireCodecError("bad error tag")),
     })
 }
@@ -810,6 +852,10 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             out.push(*detail as u8);
         }
         Message::Diagnostics => out.push(TAG_DIAGNOSTICS),
+        Message::Hello { token } => {
+            out.push(TAG_HELLO);
+            put_string(out, token);
+        }
         Message::RepoList(infos) => {
             out.push(TAG_REPO_LIST);
             put_u32(out, infos.len() as u32);
@@ -844,6 +890,11 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
         Message::DiagnosticsReply(diag) => {
             out.push(TAG_DIAGNOSTICS_REPLY);
             put_diagnostics(out, diag);
+        }
+        Message::Welcome { tenant, weight } => {
+            out.push(TAG_WELCOME);
+            put_u32(out, *tenant);
+            put_u32(out, *weight);
         }
         Message::Error(err) => {
             out.push(TAG_ERROR);
@@ -884,6 +935,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
         TAG_ACK => Message::Ack { cursor: c.u64()? },
         TAG_STATS => Message::Stats { detail: c.bool()? },
         TAG_DIAGNOSTICS => Message::Diagnostics,
+        TAG_HELLO => Message::Hello { token: c.string()? },
         TAG_REPO_LIST => {
             // Minimal RepoInfo: fixed fields + empty name.
             let n = c.count(4 + 8 + 2 + 8 + 4)?;
@@ -907,6 +959,10 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
             Message::StatsReply { stats, detail }
         }
         TAG_DIAGNOSTICS_REPLY => Message::DiagnosticsReply(get_diagnostics(&mut c)?),
+        TAG_WELCOME => Message::Welcome {
+            tenant: c.u32()?,
+            weight: c.u32()?,
+        },
         TAG_ERROR => Message::Error(get_wire_error(&mut c)?),
         _ => return Err(WireCodecError("unknown message tag")),
     };
@@ -958,6 +1014,16 @@ mod tests {
             Message::Stats { detail: false },
             Message::Stats { detail: true },
             Message::Diagnostics,
+            Message::Hello {
+                token: String::new(),
+            },
+            Message::Hello {
+                token: "tenant-α-token".into(),
+            },
+            Message::Welcome {
+                tenant: u32::MAX,
+                weight: 16,
+            },
         ] {
             assert_eq!(roundtrip(&msg), msg);
         }
@@ -1145,6 +1211,11 @@ mod tests {
                 len: 9_999,
                 max: MAX_SNAPSHOT_LEN,
             },
+            WireError::Overloaded {
+                retry_after_ms: u64::MAX,
+            },
+            WireError::Overloaded { retry_after_ms: 0 },
+            WireError::Unauthorized("unknown token".into()),
         ] {
             assert_eq!(roundtrip(&Message::Error(err.clone())), Message::Error(err));
         }

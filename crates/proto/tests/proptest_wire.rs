@@ -221,17 +221,28 @@ fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
             counters: aux.iter().map(|&a| (make_name(a), a)).collect(),
             events: make_flight_events(aux),
         }),
-        _ => Message::Error(match w[0] % 6 {
+        18 => Message::Hello {
+            token: make_name(w[0]),
+        },
+        19 => Message::Welcome {
+            tenant: w[0] as u32,
+            weight: (w[0] >> 32) as u32,
+        },
+        _ => Message::Error(match w[0] % 8 {
             0 => WireError::UnknownRepo(w[1] as u32),
             1 => WireError::UnknownSession(w[1]),
             2 => WireError::SessionRunning(w[1]),
             3 => WireError::InvalidSpec(make_name(w[1])),
             4 => WireError::Malformed(make_name(w[1])),
-            _ => WireError::SnapshotTooLarge {
+            5 => WireError::SnapshotTooLarge {
                 name: make_name(w[1]),
                 len: w[2] as u32,
                 max: MAX_SNAPSHOT_LEN,
             },
+            6 => WireError::Overloaded {
+                retry_after_ms: w[1],
+            },
+            _ => WireError::Unauthorized(make_name(w[1])),
         }),
     }
 }
@@ -276,7 +287,7 @@ proptest! {
     /// bit patterns.
     #[test]
     fn every_message_kind_round_trips_bytewise(
-        kind in 0u8..18,
+        kind in 0u8..20,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..24),
     ) {
@@ -292,7 +303,7 @@ proptest! {
     /// Messages without raw-bit floats also satisfy structural equality.
     #[test]
     fn structural_equality_round_trip(
-        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15, 16, 17]),
+        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15, 16, 17, 18, 19]),
         w in prop::array::uniform6(any::<u64>()),
     ) {
         let msg = make_message(kind, &w, &[]);
@@ -306,7 +317,7 @@ proptest! {
     /// silently shorter message.
     #[test]
     fn truncated_payloads_never_decode(
-        kind in 0u8..18,
+        kind in 0u8..20,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 1..12),
         cut in any::<prop::sample::Index>(),
@@ -322,7 +333,7 @@ proptest! {
     /// checksum, or payload — is always detected by the transport.
     #[test]
     fn framed_bit_flips_always_detected(
-        kind in 0u8..18,
+        kind in 0u8..20,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..8),
         victim in any::<prop::sample::Index>(),

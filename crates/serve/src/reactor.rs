@@ -1,0 +1,941 @@
+//! The readiness-driven reactor: one thread, one `epoll` instance, many
+//! non-blocking connections.
+//!
+//! Where [`SearchServer`](exsample_proto::SearchServer) spends a thread
+//! (and its stack) per connection, the reactor multiplexes every
+//! connection over a single event loop: sockets are registered oneshot
+//! with the [`polling`] poller, each delivered readiness event drives
+//! that connection's state machine forward exactly as far as its bytes
+//! allow, and the socket is re-armed with interest matching the new
+//! state (readable unless parked, writable iff output is queued). Ten
+//! thousand idle connections cost ten thousand file descriptors and a
+//! few megabytes of buffers — not ten thousand stacks.
+//!
+//! The wire conversation is byte-identical to the thread-per-connection
+//! server ([`FrameBuf`] shares `Framed`'s encoding), and the serving
+//! path never touches the engine's deterministic sampling state — so a
+//! trace obtained through the reactor is bit-identical to one obtained
+//! through `SearchServer` or the in-process engine. The integration
+//! tests pin this.
+//!
+//! What the reactor adds over the thread server is the **admission
+//! layer**: the `Hello` handshake binds connections to authenticated
+//! tenants ([`AuthRegistry`]), per-tenant connection and session quotas
+//! plus an engine-wide queue-depth bound shed excess load with typed
+//! `Overloaded { retry_after_ms }` answers ([`Admission`]), and tenant
+//! tiers multiply into the scheduler's weighted-fair leases so paying
+//! tenants make proportionally faster progress under contention.
+//!
+//! Blocking requests are turned into parked state machines: `Wait`
+//! parks the connection until [`Engine::try_wait`] resolves;
+//! `Subscribe` runs the same ack-windowed streaming protocol as the
+//! thread server, parking between batches instead of blocking in
+//! `poll_wait`. A parked connection stops draining frames (backpressure
+//! by not reading), exactly mirroring the thread server whose single
+//! connection thread is busy inside the blocking call.
+
+use crate::admission::{Admission, AdmissionError};
+use crate::auth::AuthRegistry;
+use crate::framebuf::{FrameBuf, ReadOutcome};
+use crate::ServeConfig;
+use exsample_engine::{Engine, EngineError, SessionStatus, TenantBinding, TenantId};
+use exsample_obs::{Counter, Gauge, HistSnapshot, Stage, NO_SESSION};
+use exsample_proto::{
+    AcceptRetry, Message, WireError, MAX_POLL_WINDOW, MAX_SNAPSHOT_LEN, PROTO_VERSION,
+};
+use polling::{Event, Events, Poller};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the loop re-polls the engine for parked connections
+/// (`Wait`ers and streams between batches). The engine has no readiness
+/// fd to select on, so parked progress is clocked; 2 ms keeps parked
+/// latency invisible next to detector costs without burning the core.
+const PARK_TICK: Duration = Duration::from_millis(2);
+
+/// Idle wait ceiling — bounds how stale the handshake-deadline sweep
+/// and stop-flag check can get when nothing is happening.
+const IDLE_WAIT: Duration = Duration::from_millis(500);
+
+/// A connection's byte stream: both socket families the reactor serves.
+trait ConnIo: Read + Write + Send {
+    fn raw_fd(&self) -> RawFd;
+}
+
+impl ConnIo for TcpStream {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+impl ConnIo for UnixStream {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Borrow-free `AsRawFd` carrier for poller calls on boxed streams.
+struct Fd(RawFd);
+
+impl AsRawFd for Fd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.0
+    }
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl ListenerKind {
+    fn accept(&self) -> io::Result<Box<dyn ConnIo>> {
+        match self {
+            ListenerKind::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                // Request/response round trips; Nagle only adds latency.
+                let _ = s.set_nodelay(true);
+                Ok(Box::new(s))
+            }
+            ListenerKind::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+
+    fn fd(&self) -> RawFd {
+        match self {
+            ListenerKind::Tcp(l) => l.as_raw_fd(),
+            ListenerKind::Unix(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+struct ListenerSlot {
+    kind: ListenerKind,
+    retry: AcceptRetry,
+    alive: bool,
+}
+
+/// Where a connection is in its lifecycle.
+enum Phase {
+    /// Waiting for the peer's 14-byte preamble (under a deadline).
+    Handshake,
+    /// Preambles exchanged; serving requests.
+    Serving,
+}
+
+/// A request that could not be answered immediately and parked its
+/// connection.
+enum Pending {
+    /// `Wait`: answered once the session finishes.
+    Wait { session: exsample_engine::SessionId },
+    /// `Subscribe`: the ack-windowed streaming state machine.
+    Stream {
+        session: exsample_engine::SessionId,
+        cursor: u64,
+        window: u32,
+        /// True between pushing a batch and receiving its `Ack` — the
+        /// only frame legal in that state.
+        awaiting_ack: bool,
+    },
+}
+
+struct Conn {
+    io: Box<dyn ConnIo>,
+    key: usize,
+    buf: FrameBuf,
+    phase: Phase,
+    tenant: Option<TenantBinding>,
+    pending: Option<Pending>,
+    /// Flush what is queued, then close (shed or protocol violation).
+    close_after_flush: bool,
+    opened: Instant,
+}
+
+impl Conn {
+    /// Parked = progress depends on the engine, not the socket: stop
+    /// draining frames (backpressure) and let the park tick drive it.
+    fn is_parked(&self) -> bool {
+        matches!(
+            self.pending,
+            Some(Pending::Wait { .. })
+                | Some(Pending::Stream {
+                    awaiting_ack: false,
+                    ..
+                })
+        )
+    }
+
+    fn interest(&self) -> Event {
+        Event {
+            key: self.key,
+            readable: !self.close_after_flush && !self.is_parked(),
+            writable: self.buf.has_pending_out(),
+        }
+    }
+}
+
+/// Live operational counters of a running reactor (see
+/// [`ServeHandle::stats`]). The same values are visible to every
+/// observer through the engine's metric registry as
+/// `exsample_accepted_total`, `exsample_shed_total`, and
+/// `exsample_connections_active`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Requests and connections shed with `Overloaded`.
+    pub shed: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+}
+
+/// Handle to a spawned reactor. Dropping it (or calling
+/// [`ServeHandle::shutdown`]) stops the event loop and joins its
+/// thread; open connections are dropped.
+pub struct ServeHandle {
+    stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
+    join: Option<JoinHandle<()>>,
+    accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    active: Arc<Gauge>,
+}
+
+impl ServeHandle {
+    /// Current operational counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.get(),
+            shed: self.shed.get(),
+            connections_active: self.active.get(),
+        }
+    }
+
+    /// Stop the event loop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.poller.notify();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+/// The async server under construction: bind listeners, then
+/// [`Reactor::spawn`] the event loop.
+pub struct Reactor {
+    engine: Arc<Engine>,
+    auth: AuthRegistry,
+    admission: Admission,
+    handshake_timeout: Duration,
+    poller: Arc<Poller>,
+    listeners: Vec<ListenerSlot>,
+}
+
+impl Reactor {
+    /// A reactor serving `engine` under `config`. Fails only if the OS
+    /// poller cannot be created (non-Linux targets: `Unsupported`).
+    pub fn new(engine: Arc<Engine>, config: ServeConfig) -> io::Result<Reactor> {
+        Ok(Reactor {
+            engine,
+            auth: config.auth,
+            admission: Admission::new(config.admission),
+            handshake_timeout: config.handshake_timeout,
+            poller: Arc::new(Poller::new()?),
+            listeners: Vec::new(),
+        })
+    }
+
+    /// Bind and register a TCP listener, returning the bound address
+    /// (useful with port 0).
+    pub fn listen_tcp(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.register_listener(ListenerKind::Tcp(listener))?;
+        Ok(local)
+    }
+
+    /// Bind and register a Unix-domain listener at `path`.
+    pub fn listen_unix(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        self.register_listener(ListenerKind::Unix(listener))
+    }
+
+    fn register_listener(&mut self, kind: ListenerKind) -> io::Result<()> {
+        let key = self.listeners.len();
+        self.poller.add(&Fd(kind.fd()), Event::readable(key))?;
+        self.listeners.push(ListenerSlot {
+            kind,
+            retry: AcceptRetry::default(),
+            alive: true,
+        });
+        Ok(())
+    }
+
+    /// Start the event loop on its own thread.
+    pub fn spawn(self) -> io::Result<ServeHandle> {
+        let registry = self.engine.obs().registry().clone();
+        let accepted = registry.counter("accepted_total");
+        let shed = registry.counter("shed_total");
+        let active = registry.gauge("connections_active");
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = self.poller.clone();
+        let event_loop = EventLoop {
+            engine: self.engine,
+            auth: self.auth,
+            admission: self.admission,
+            handshake_timeout: self.handshake_timeout,
+            poller: self.poller,
+            listeners: self.listeners,
+            stop: stop.clone(),
+            conns: HashMap::new(),
+            parked: HashSet::new(),
+            deadlines: VecDeque::new(),
+            next_key: 0,
+            accepted: accepted.clone(),
+            shed: shed.clone(),
+            active: active.clone(),
+        };
+        let join = std::thread::Builder::new()
+            .name("exsample-serve-reactor".into())
+            .spawn(move || event_loop.run())?;
+        Ok(ServeHandle {
+            stop,
+            poller,
+            join: Some(join),
+            accepted,
+            shed,
+            active,
+        })
+    }
+}
+
+struct EventLoop {
+    engine: Arc<Engine>,
+    auth: AuthRegistry,
+    admission: Admission,
+    handshake_timeout: Duration,
+    poller: Arc<Poller>,
+    listeners: Vec<ListenerSlot>,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<usize, Conn>,
+    /// Keys of parked connections, swept every [`PARK_TICK`].
+    parked: HashSet<usize>,
+    /// Handshake deadlines in accept order (uniform timeout ⇒ the front
+    /// is the earliest). Keys are never reused, so stale entries —
+    /// closed or already-handshaken connections — are skipped, not
+    /// misapplied.
+    deadlines: VecDeque<(usize, Instant)>,
+    next_key: usize,
+    accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    active: Arc<Gauge>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        // Connection keys live above the listener key range.
+        self.next_key = self.listeners.len();
+        let mut events = Events::with_capacity(1024);
+        while !self.stop.load(Ordering::Acquire) {
+            if self.poller.wait(&mut events, self.wait_timeout()).is_err() {
+                continue;
+            }
+            let delivered: Vec<Event> = events.iter().collect();
+            for ev in delivered {
+                if ev.key < self.listeners.len() {
+                    self.accept_burst(ev.key);
+                } else {
+                    self.conn_event(ev);
+                }
+            }
+            self.resolve_parked();
+            self.expire_handshakes();
+        }
+    }
+
+    fn wait_timeout(&self) -> Option<Duration> {
+        if !self.parked.is_empty() {
+            return Some(PARK_TICK);
+        }
+        if let Some((_, deadline)) = self.deadlines.front() {
+            let until = deadline.saturating_duration_since(Instant::now());
+            return Some(until.clamp(Duration::from_millis(1), IDLE_WAIT));
+        }
+        Some(IDLE_WAIT)
+    }
+
+    // ---- accepting ----
+
+    fn accept_burst(&mut self, lkey: usize) {
+        let mut fresh: Vec<Box<dyn ConnIo>> = Vec::new();
+        {
+            let slot = match self.listeners.get_mut(lkey) {
+                Some(slot) if slot.alive => slot,
+                _ => return,
+            };
+            loop {
+                match slot.kind.accept() {
+                    Ok(io) => {
+                        slot.retry.on_success();
+                        fresh.push(io);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => {
+                        eprintln!("exsample-serve: accept error: {e}");
+                        if !slot.retry.on_error() {
+                            eprintln!("exsample-serve: listener unusable, giving up");
+                            slot.alive = false;
+                        }
+                        // Either way, end this burst; a persistent error
+                        // redelivers readiness and spends the budget.
+                        break;
+                    }
+                }
+            }
+            if slot.alive {
+                let _ = self
+                    .poller
+                    .modify(&Fd(slot.kind.fd()), Event::readable(lkey));
+            } else {
+                let _ = self.poller.delete(&Fd(slot.kind.fd()));
+            }
+        }
+        if !fresh.is_empty() {
+            let engine = self.engine.clone();
+            let mut span = engine.obs().span_flight(Stage::Accept, NO_SESSION);
+            span.set_key(fresh.len() as u64);
+            for io in fresh {
+                self.open_conn(io);
+            }
+        }
+    }
+
+    fn open_conn(&mut self, io: Box<dyn ConnIo>) {
+        self.accepted.inc();
+        let key = self.next_key;
+        self.next_key += 1;
+        let mut conn = Conn {
+            io,
+            key,
+            buf: FrameBuf::new(),
+            phase: Phase::Handshake,
+            tenant: None,
+            pending: None,
+            close_after_flush: false,
+            opened: Instant::now(),
+        };
+        // Our preamble goes out first in all cases — even a shed peer
+        // deserves a parseable, typed answer.
+        conn.buf.queue_preamble(PROTO_VERSION);
+        if self.admission.admit_connection(self.conns.len()).is_err() {
+            self.shed.inc();
+            let retry_after_ms = self.admission.config().retry_after_ms;
+            let _ = conn
+                .buf
+                .queue(&Message::Error(WireError::Overloaded { retry_after_ms }));
+            conn.close_after_flush = true;
+        } else {
+            self.deadlines
+                .push_back((key, conn.opened + self.handshake_timeout));
+        }
+        if !self.flush(&mut conn) {
+            return;
+        }
+        if conn.close_after_flush && !conn.buf.has_pending_out() {
+            return;
+        }
+        if self
+            .poller
+            .add(&Fd(conn.io.raw_fd()), conn.interest())
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(key, conn);
+        self.active.set(self.conns.len() as u64);
+    }
+
+    // ---- connection events ----
+
+    fn conn_event(&mut self, ev: Event) {
+        let Some(mut conn) = self.conns.remove(&ev.key) else {
+            return;
+        };
+        if self.drive(&mut conn, ev.readable) {
+            self.keep(conn);
+        } else {
+            self.close(conn);
+        }
+    }
+
+    /// Advance one connection as far as its readiness allows. Returns
+    /// `false` when the connection is finished (close it).
+    fn drive(&mut self, conn: &mut Conn, readable: bool) -> bool {
+        if conn.buf.has_pending_out() && !self.flush(conn) {
+            return false;
+        }
+        if readable && !conn.close_after_flush {
+            match conn.buf.read_from(&mut *conn.io) {
+                Ok(ReadOutcome::Open) => {}
+                // EOF or any transport failure: the peer is gone. The
+                // thread server treats these identically (a clean end of
+                // service), and so do we.
+                Ok(ReadOutcome::Eof) | Err(_) => return false,
+            }
+            if !self.process_frames(conn) {
+                return false;
+            }
+        }
+        if !self.flush(conn) {
+            return false;
+        }
+        !conn.close_after_flush || conn.buf.has_pending_out()
+    }
+
+    /// Flush queued output; `false` = transport failure (close).
+    /// `WouldBlock` is success — writable interest takes over.
+    fn flush(&mut self, conn: &mut Conn) -> bool {
+        let Conn { buf, io, .. } = conn;
+        buf.write_to(&mut **io).is_ok()
+    }
+
+    /// Decode and serve every frame the buffer holds, stopping early if
+    /// the connection parks or turns terminal.
+    fn process_frames(&mut self, conn: &mut Conn) -> bool {
+        loop {
+            if conn.close_after_flush {
+                return true;
+            }
+            match conn.phase {
+                Phase::Handshake => match conn.buf.take_preamble() {
+                    Ok(None) => return true,
+                    Ok(Some(version)) => {
+                        if version != PROTO_VERSION {
+                            // The peer has our preamble and can report
+                            // the mismatch precisely; closing is the
+                            // whole answer (same policy as the thread
+                            // server).
+                            return false;
+                        }
+                        self.engine.obs().record(
+                            Stage::Handshake,
+                            NO_SESSION,
+                            conn.opened.elapsed().as_nanos() as u64,
+                            0,
+                        );
+                        conn.phase = Phase::Serving;
+                    }
+                    Err(_) => return false,
+                },
+                Phase::Serving => {
+                    if conn.is_parked() {
+                        // Backpressure: a parked connection stops
+                        // draining frames, exactly like the thread
+                        // server blocked inside wait/poll_wait.
+                        return true;
+                    }
+                    match conn.buf.next_frame() {
+                        Ok(None) => return true,
+                        Ok(Some(msg)) => {
+                            if !self.handle_message(conn, msg) {
+                                return false;
+                            }
+                        }
+                        Err(_) => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serve one decoded request. Returns `false` only on unqueueable
+    /// output (the connection is unusable).
+    fn handle_message(&mut self, conn: &mut Conn, msg: Message) -> bool {
+        // Inside a subscription window, `Ack` is the only legal frame.
+        if let Some(Pending::Stream {
+            awaiting_ack: true, ..
+        }) = conn.pending
+        {
+            match msg {
+                Message::Ack { cursor: acked } => {
+                    if let Some(Pending::Stream {
+                        cursor,
+                        awaiting_ack,
+                        ..
+                    }) = &mut conn.pending
+                    {
+                        *cursor = acked;
+                        *awaiting_ack = false;
+                    }
+                    return self.stream_progress(conn);
+                }
+                _ => {
+                    let ok = self.queue(
+                        conn,
+                        Message::Error(WireError::Malformed(
+                            "expected Ack during subscription".into(),
+                        )),
+                    );
+                    conn.close_after_flush = true;
+                    return ok;
+                }
+            }
+        }
+        // Clone the engine handle so the span's borrow doesn't pin
+        // `self` for the rest of the turn.
+        let engine = self.engine.clone();
+        let mut turn = engine.obs().span_flight(Stage::Turn, NO_SESSION);
+        match msg {
+            Message::Repos => {
+                let reply = Message::RepoList(self.engine.repos());
+                self.queue(conn, reply)
+            }
+            Message::Hello { token } => {
+                // Re-authentication releases the old binding first; a
+                // rejected token leaves the connection unauthenticated
+                // (and alive) either way.
+                if let Some(old) = conn.tenant.take() {
+                    self.admission.unbind_tenant(old.tenant);
+                }
+                let reply = match self.auth.authenticate(&token) {
+                    None => {
+                        Message::Error(WireError::Unauthorized("unknown tenant token".to_owned()))
+                    }
+                    Some(binding) => match self.admission.bind_tenant(binding.tenant) {
+                        Err(AdmissionError::Overloaded { retry_after_ms }) => {
+                            self.shed.inc();
+                            Message::Error(WireError::Overloaded { retry_after_ms })
+                        }
+                        Err(AdmissionError::Unauthorized(why)) => {
+                            Message::Error(WireError::Unauthorized(why))
+                        }
+                        Ok(()) => {
+                            conn.tenant = Some(binding);
+                            Message::Welcome {
+                                tenant: binding.tenant.0,
+                                weight: binding.weight,
+                            }
+                        }
+                    },
+                };
+                self.queue(conn, reply)
+            }
+            Message::Submit(spec) => {
+                let reply = match self
+                    .admission
+                    .admit_submit(conn.tenant.map(|b| b.tenant), &self.engine)
+                {
+                    Err(AdmissionError::Overloaded { retry_after_ms }) => {
+                        self.shed.inc();
+                        Message::Error(WireError::Overloaded { retry_after_ms })
+                    }
+                    Err(AdmissionError::Unauthorized(why)) => {
+                        Message::Error(WireError::Unauthorized(why))
+                    }
+                    Ok(()) => {
+                        // Unauthenticated connections run as the
+                        // anonymous tenant at base weight — still
+                        // tagged, so quota accounting sees them.
+                        let binding = conn.tenant.unwrap_or(TenantBinding {
+                            tenant: TenantId(0),
+                            weight: 1,
+                        });
+                        let mut span = self.engine.obs().span_flight(Stage::Submit, NO_SESSION);
+                        match self.engine.submit_tagged(spec, Some(binding)) {
+                            Ok(id) => {
+                                span.set_session(id.0);
+                                turn.set_session(id.0);
+                                Message::Submitted(id)
+                            }
+                            Err(e) => Message::Error(engine_error(e)),
+                        }
+                    }
+                };
+                self.queue(conn, reply)
+            }
+            Message::Poll {
+                session,
+                cursor,
+                window,
+            } => {
+                turn.set_session(session.0);
+                let window = Some(window.unwrap_or(MAX_POLL_WINDOW).min(MAX_POLL_WINDOW));
+                let mut span = self.engine.obs().span_flight(Stage::Poll, session.0);
+                let reply = match self.engine.poll_window(session, cursor, window) {
+                    Ok(snap) => {
+                        span.set_key(snap.events.len() as u64);
+                        Message::Snapshot(snap)
+                    }
+                    Err(e) => Message::Error(engine_error(e)),
+                };
+                drop(span);
+                self.queue(conn, reply)
+            }
+            Message::Cancel { session } => {
+                turn.set_session(session.0);
+                let reply = match self.engine.cancel(session) {
+                    Ok(()) => Message::CancelOk,
+                    Err(e) => Message::Error(engine_error(e)),
+                };
+                self.queue(conn, reply)
+            }
+            Message::Wait { session } => {
+                turn.set_session(session.0);
+                match self.engine.try_wait(session) {
+                    Ok(Some(report)) => self.queue(conn, Message::Report(report)),
+                    Ok(None) => {
+                        conn.pending = Some(Pending::Wait { session });
+                        true
+                    }
+                    Err(e) => self.queue(conn, Message::Error(engine_error(e))),
+                }
+            }
+            Message::Forget { session } => {
+                turn.set_session(session.0);
+                let reply = match self.engine.forget(session) {
+                    Ok(report) => Message::Report(report),
+                    Err(e) => Message::Error(engine_error(e)),
+                };
+                self.queue(conn, reply)
+            }
+            Message::Stats { detail } => {
+                let stats = self.engine.service_stats();
+                let reply = if detail {
+                    let hists = self.engine.obs().registry().histograms();
+                    match check_snapshots(&hists) {
+                        Ok(()) => Message::StatsReply {
+                            stats,
+                            detail: Some(hists),
+                        },
+                        Err(err) => Message::Error(err),
+                    }
+                } else {
+                    Message::StatsReply {
+                        stats,
+                        detail: None,
+                    }
+                };
+                self.queue(conn, reply)
+            }
+            Message::Diagnostics => {
+                let diag = self.engine.diagnostics();
+                let reply = match check_snapshots(&diag.histograms) {
+                    Ok(()) => Message::DiagnosticsReply(diag),
+                    Err(err) => Message::Error(err),
+                };
+                self.queue(conn, reply)
+            }
+            Message::Subscribe {
+                session,
+                cursor,
+                window,
+            } => {
+                turn.set_session(session.0);
+                conn.pending = Some(Pending::Stream {
+                    session,
+                    cursor,
+                    window: window.clamp(1, MAX_POLL_WINDOW),
+                    awaiting_ack: false,
+                });
+                self.stream_progress(conn)
+            }
+            _ => {
+                // A response tag, or an Ack outside a subscription: the
+                // peer is confused; tell it and hang up rather than
+                // guess at its state (same policy as the thread server).
+                let ok = self.queue(
+                    conn,
+                    Message::Error(WireError::Malformed("expected a request".into())),
+                );
+                conn.close_after_flush = true;
+                ok
+            }
+        }
+    }
+
+    fn queue(&mut self, conn: &mut Conn, msg: Message) -> bool {
+        conn.buf.queue(&msg).is_ok()
+    }
+
+    // ---- parked progress ----
+
+    fn resolve_parked(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let keys: Vec<usize> = self.parked.iter().copied().collect();
+        for key in keys {
+            let Some(mut conn) = self.conns.remove(&key) else {
+                self.parked.remove(&key);
+                continue;
+            };
+            let keep = self.progress(&mut conn)
+                // Unparking may have unblocked buffered frames.
+                && self.process_frames(&mut conn)
+                && self.flush(&mut conn)
+                && (!conn.close_after_flush || conn.buf.has_pending_out());
+            if keep {
+                self.keep(conn);
+            } else {
+                self.close(conn);
+            }
+        }
+    }
+
+    fn progress(&mut self, conn: &mut Conn) -> bool {
+        match conn.pending {
+            Some(Pending::Wait { session }) => match self.engine.try_wait(session) {
+                Ok(None) => true,
+                Ok(Some(report)) => {
+                    conn.pending = None;
+                    self.queue(conn, Message::Report(report))
+                }
+                Err(e) => {
+                    conn.pending = None;
+                    self.queue(conn, Message::Error(engine_error(e)))
+                }
+            },
+            Some(Pending::Stream {
+                awaiting_ack: false,
+                ..
+            }) => self.stream_progress(conn),
+            _ => true,
+        }
+    }
+
+    /// Try to push the next streamed batch. Mirrors the thread server's
+    /// subscription loop: empty + still running = stay parked; a short
+    /// batch from a finished session is terminal (no ack expected).
+    fn stream_progress(&mut self, conn: &mut Conn) -> bool {
+        let Some(Pending::Stream {
+            session,
+            cursor,
+            window,
+            awaiting_ack: false,
+        }) = conn.pending
+        else {
+            return true;
+        };
+        let start = Instant::now();
+        match self.engine.poll_window(session, cursor, Some(window)) {
+            Err(e) => {
+                conn.pending = None;
+                self.queue(conn, Message::Error(engine_error(e)))
+            }
+            Ok(snap) => {
+                if snap.events.is_empty() && snap.status == SessionStatus::Running {
+                    return true; // nothing yet; stay parked
+                }
+                // One recorded span per pushed batch, like the thread
+                // server — parked no-progress polls are not batches.
+                self.engine.obs().record(
+                    Stage::Stream,
+                    session.0,
+                    start.elapsed().as_nanos() as u64,
+                    snap.events.len() as u64,
+                );
+                let terminal =
+                    snap.status != SessionStatus::Running && (snap.events.len() as u32) < window;
+                let ok = self.queue(conn, Message::Snapshot(snap));
+                if terminal {
+                    conn.pending = None;
+                } else if let Some(Pending::Stream { awaiting_ack, .. }) = &mut conn.pending {
+                    *awaiting_ack = true;
+                }
+                ok
+            }
+        }
+    }
+
+    // ---- bookkeeping ----
+
+    fn keep(&mut self, conn: Conn) {
+        if conn.is_parked() {
+            self.parked.insert(conn.key);
+        } else {
+            self.parked.remove(&conn.key);
+        }
+        let _ = self.poller.modify(&Fd(conn.io.raw_fd()), conn.interest());
+        self.conns.insert(conn.key, conn);
+    }
+
+    fn close(&mut self, conn: Conn) {
+        let _ = self.poller.delete(&Fd(conn.io.raw_fd()));
+        if let Some(binding) = conn.tenant {
+            self.admission.unbind_tenant(binding.tenant);
+        }
+        self.parked.remove(&conn.key);
+        self.active.set(self.conns.len() as u64);
+    }
+
+    fn expire_handshakes(&mut self) {
+        let now = Instant::now();
+        while let Some(&(key, deadline)) = self.deadlines.front() {
+            if deadline > now {
+                break;
+            }
+            self.deadlines.pop_front();
+            let stalled = self
+                .conns
+                .get(&key)
+                .is_some_and(|c| matches!(c.phase, Phase::Handshake));
+            if stalled {
+                let conn = self.conns.remove(&key).expect("checked above");
+                self.close(conn);
+            }
+        }
+    }
+}
+
+/// Engine errors crossing the wire keep their exact meaning (mirror of
+/// the thread server's mapping).
+fn engine_error(e: EngineError) -> WireError {
+    match e {
+        EngineError::UnknownRepo(r) => WireError::UnknownRepo(r.0),
+        EngineError::UnknownSession(s) => WireError::UnknownSession(s.0),
+        EngineError::InvalidSpec(why) => WireError::InvalidSpec(why.to_string()),
+        EngineError::SessionRunning(s) => WireError::SessionRunning(s.0),
+    }
+}
+
+/// Refuse oversized histogram snapshots rather than truncate them —
+/// same policy as the thread server.
+fn check_snapshots(hists: &[(String, HistSnapshot)]) -> Result<(), WireError> {
+    for (name, snap) in hists {
+        let len = snap.encode().len() as u32;
+        if len > MAX_SNAPSHOT_LEN {
+            return Err(WireError::SnapshotTooLarge {
+                name: name.clone(),
+                len,
+                max: MAX_SNAPSHOT_LEN,
+            });
+        }
+    }
+    Ok(())
+}

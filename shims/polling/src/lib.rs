@@ -1,0 +1,589 @@
+//! Offline stand-in for the `polling` crate (v3): portable readiness
+//! polling with oneshot semantics.
+//!
+//! This build environment has no network, so the real crates.io package
+//! cannot be fetched; this shim pins the exact API subset the workspace
+//! uses, implemented directly over Linux `epoll` through hand-declared
+//! libc FFI (libc itself is always linked; no `libc` crate needed).
+//! Point the workspace dependency at the upstream version to switch
+//! back.
+//!
+//! Semantics mirrored from upstream:
+//!
+//! - **Oneshot**: every source is registered `EPOLLONESHOT`. After an
+//!   event is delivered for a source, that source stays registered but
+//!   delivers nothing further until re-armed with [`Poller::modify`].
+//! - **Level-triggered within a shot**: re-arming a source whose
+//!   readiness still holds delivers the event again immediately.
+//! - **Notify**: [`Poller::notify`] wakes a concurrent or future
+//!   [`Poller::wait`] from any thread (via an `eventfd` the poller owns;
+//!   the wakeup is consumed internally and never surfaces as an event).
+//!
+//! Extras kept from the upstream ecosystem's spirit:
+//! [`raise_nofile_limit`] (upstream users reach for the `rlimit` crate)
+//! so a 10k-connection benchmark can lift `RLIMIT_NOFILE` first.
+//!
+//! Non-Linux targets compile but return `Unsupported` from
+//! [`Poller::new`], keeping the workspace buildable everywhere while the
+//! serving stack stays Linux-only — same posture as the store's mmap
+//! path.
+
+/// Key reserved for the poller's internal notify channel; user sources
+/// must not use it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// Interest in readiness events for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back by [`Poller::wait`].
+    pub key: usize,
+    /// Interested in (or observed) readability.
+    pub readable: bool,
+    /// Interested in (or observed) writability.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both readability and writability.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// No interest — only hangup/error conditions (always reported by
+    /// epoll) will surface.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Reusable buffer of events delivered by one [`Poller::wait`] call.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer with a default capacity.
+    pub fn new() -> Events {
+        Events::with_capacity(1024)
+    }
+
+    /// An empty buffer that can hold `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Iterate over the delivered events.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of delivered events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Discard all delivered events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::{raise_nofile_limit, Poller};
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::{Event, Events, NOTIFY_KEY};
+    use std::io;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    // Hand-declared libc surface. The C library is always linked into
+    // Rust binaries on Linux, so declaring the symbols is enough.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    const RLIMIT_NOFILE: i32 = 7;
+
+    /// Kernel ABI for `struct epoll_event`: packed on x86-64 only.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// A oneshot readiness poller over an owned epoll instance.
+    ///
+    /// All methods take `&self`; the poller can be shared across
+    /// threads (e.g. a reactor waits while another thread notifies).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        notify_fd: RawFd,
+        /// Scratch buffer reused across waits, sized to the events
+        /// capacity of the largest wait seen so far.
+        scratch: Mutex<Vec<u64>>,
+    }
+
+    // The fds are owned for the poller's lifetime and every operation
+    // on them is thread-safe at the kernel level.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// Create a poller with its internal notify channel armed.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let notify_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            // The notify channel is the one non-oneshot registration:
+            // it must be able to wake every future wait without re-arms.
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY_KEY as u64,
+            };
+            if let Err(e) = cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, notify_fd, &mut ev) }) {
+                unsafe {
+                    close(notify_fd);
+                    close(epfd);
+                }
+                return Err(e);
+            }
+            Ok(Poller {
+                epfd,
+                notify_fd,
+                scratch: Mutex::new(Vec::new()),
+            })
+        }
+
+        fn interest(ev: Event) -> u32 {
+            let mut bits = EPOLLONESHOT | EPOLLRDHUP;
+            if ev.readable {
+                bits |= EPOLLIN;
+            }
+            if ev.writable {
+                bits |= EPOLLOUT;
+            }
+            bits
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, ev: Option<Event>) -> io::Result<()> {
+            let mut raw = ev.map(|ev| EpollEvent {
+                events: Self::interest(ev),
+                data: ev.key as u64,
+            });
+            let ptr = raw
+                .as_mut()
+                .map(|r| r as *mut EpollEvent)
+                .unwrap_or(std::ptr::null_mut());
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) }).map(|_| ())
+        }
+
+        /// Register `source` with interest `ev` (oneshot: delivers at
+        /// most one event until re-armed with [`Poller::modify`]).
+        ///
+        /// # Panics
+        ///
+        /// If `ev.key` is [`NOTIFY_KEY`], which is reserved.
+        pub fn add(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+            assert!(ev.key != NOTIFY_KEY, "key {NOTIFY_KEY} is reserved");
+            self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(ev))
+        }
+
+        /// Re-arm `source` with fresh interest.
+        ///
+        /// # Panics
+        ///
+        /// If `ev.key` is [`NOTIFY_KEY`], which is reserved.
+        pub fn modify(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+            assert!(ev.key != NOTIFY_KEY, "key {NOTIFY_KEY} is reserved");
+            self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(ev))
+        }
+
+        /// Remove `source` from the poller.
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+        }
+
+        /// Block until at least one source is ready, `timeout` elapses
+        /// (`None` = forever), or [`Poller::notify`] is called. Delivered
+        /// events are appended to `events` (cleared first); returns the
+        /// number delivered. A notify wakeup is consumed internally and
+        /// may legitimately yield zero events.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.clear();
+            let cap = events.inner.capacity().clamp(1, 4096);
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => {
+                    // Round up so sub-millisecond timeouts still sleep.
+                    let ms = d
+                        .as_millis()
+                        .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+                    ms.min(i32::MAX as u128) as i32
+                }
+            };
+            let mut scratch = self.scratch.lock().expect("poller scratch poisoned");
+            // Each epoll_event is 12 bytes packed; over-allocate as u64
+            // pairs to keep alignment simple.
+            scratch.resize(cap * 2, 0);
+            let n = loop {
+                let ret = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        scratch.as_mut_ptr() as *mut EpollEvent,
+                        cap as i32,
+                        timeout_ms,
+                    )
+                };
+                match cvt(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            let raw = scratch.as_ptr() as *const EpollEvent;
+            for i in 0..n {
+                let ev = unsafe { std::ptr::read_unaligned(raw.add(i)) };
+                let key = ev.data as usize;
+                if key == NOTIFY_KEY {
+                    // Drain the eventfd so the next wait can block.
+                    let mut buf = [0u8; 8];
+                    unsafe { read(self.notify_fd, buf.as_mut_ptr(), 8) };
+                    continue;
+                }
+                let bits = ev.events;
+                let hup = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.inner.push(Event {
+                    key,
+                    // Error/hangup conditions surface as both-ready so
+                    // the caller's next read/write observes the error.
+                    readable: bits & EPOLLIN != 0 || hup,
+                    writable: bits & EPOLLOUT != 0 || hup,
+                });
+            }
+            Ok(events.inner.len())
+        }
+
+        /// Wake a concurrent or future [`Poller::wait`]. Callable from
+        /// any thread; coalesces (many notifies, one wakeup).
+        pub fn notify(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            let ret = unsafe { write(self.notify_fd, one.as_ptr(), 8) };
+            // EAGAIN means the counter is already nonzero — a wakeup is
+            // pending, which is all notify promises.
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.notify_fd);
+                close(self.epfd);
+            }
+        }
+    }
+
+    /// Raise `RLIMIT_NOFILE`'s soft limit toward `want`, returning the
+    /// limit actually in effect afterwards. Privileged processes can
+    /// push the hard limit up too; unprivileged ones are clamped to it.
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+        if lim.cur >= want {
+            return Ok(lim.cur);
+        }
+        if lim.max < want {
+            // Try to lift the hard limit (works as root; harmless no-op
+            // attempt otherwise).
+            let raised = Rlimit {
+                cur: want,
+                max: want,
+            };
+            if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+                return Ok(want);
+            }
+        }
+        let capped = Rlimit {
+            cur: want.min(lim.max),
+            max: lim.max,
+        };
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &capped) })?;
+        Ok(capped.cur)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use fallback::{raise_nofile_limit, Poller};
+
+#[cfg(not(target_os = "linux"))]
+mod fallback {
+    use super::{Event, Events};
+    use std::io;
+    use std::time::Duration;
+
+    /// Stub poller for non-Linux targets: compiles, but `new` reports
+    /// `Unsupported`. The serving stack is Linux-only, like the store's
+    /// mmap path.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "polling shim supports Linux only",
+            ))
+        }
+
+        pub fn add(&self, _source: &impl std::any::Any, _ev: Event) -> io::Result<()> {
+            unreachable!("no Poller can be constructed on this target")
+        }
+
+        pub fn modify(&self, _source: &impl std::any::Any, _ev: Event) -> io::Result<()> {
+            unreachable!("no Poller can be constructed on this target")
+        }
+
+        pub fn delete(&self, _source: &impl std::any::Any) -> io::Result<()> {
+            unreachable!("no Poller can be constructed on this target")
+        }
+
+        pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            unreachable!("no Poller can be constructed on this target")
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            unreachable!("no Poller can be constructed on this target")
+        }
+    }
+
+    /// No-op on non-Linux targets.
+    pub fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling shim supports Linux only",
+        ))
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn readable_event_is_oneshot_until_rearmed() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+
+        a.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        let got: Vec<Event> = events.iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key, 7);
+        assert!(got[0].readable);
+
+        // Oneshot: without a re-arm, no further events even though the
+        // byte is still unread.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // Re-arming while readiness still holds delivers immediately.
+        poller.modify(&b, Event::readable(7)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+
+        let mut buf = [0u8; 1];
+        let mut b = b;
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x");
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn writable_and_peer_close_surface() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::writable(3)).unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.writable));
+
+        // Peer hangup surfaces even with read-only interest.
+        poller.modify(&b, Event::readable(3)).unwrap();
+        drop(a);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.readable));
+    }
+
+    #[test]
+    fn notify_wakes_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        // Would block for 10 s if the notify were lost.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "notify must not surface as a user event");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        handle.join().unwrap();
+
+        // Coalesced notifies: double-notify then one wait consumes them.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "stale notify must not wake later waits");
+    }
+
+    #[test]
+    fn raise_nofile_limit_reports_current_or_better() {
+        let before = raise_nofile_limit(0).unwrap();
+        let after = raise_nofile_limit(before).unwrap();
+        assert!(after >= before);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn notify_key_is_rejected() {
+        let (_a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(NOTIFY_KEY)).unwrap();
+    }
+}

@@ -36,6 +36,12 @@
 //!   length-prefixed binary framing with a remote `SearchService` client
 //!   and a server multiplexing many connections over one engine, so the
 //!   engine deploys as a query *service* with streaming results.
+//! * [`serve`] — the scale-up deployment of that protocol: a
+//!   readiness-driven (epoll) reactor multiplexing thousands of
+//!   non-blocking connections over one engine thread, with bearer-token
+//!   tenant auth mapped onto scheduler weights, per-tenant connection
+//!   and session quotas, and typed `Overloaded { retry_after_ms }` load
+//!   shedding on surviving connections.
 //! * [`cluster`] — the scale-out layer: a `ShardRouter` implementing the
 //!   same `SearchService` over a fleet of shards (in-process engines or
 //!   remote clients, mixed), with rendezvous placement of repositories,
@@ -95,6 +101,7 @@ pub use exsample_obs as obs;
 pub use exsample_optimal as optimal;
 pub use exsample_persist as persist;
 pub use exsample_proto as proto;
+pub use exsample_serve as serve;
 pub use exsample_stats as stats;
 pub use exsample_store as store;
 pub use exsample_videosim as videosim;
