@@ -30,9 +30,9 @@
 use exsample_core::driver::StopCond;
 use exsample_detect::NoiseModel;
 use exsample_engine::{
-    Engine, EngineConfig, QuerySpec, RepoId, SearchService, SessionId, SessionStatus,
+    Diagnostics, Engine, EngineConfig, QuerySpec, RepoId, SearchService, SessionId, SessionStatus,
 };
-use exsample_proto::{Message, PROTO_VERSION};
+use exsample_proto::{decode_message, encode_message, Message, PROTO_VERSION};
 use exsample_serve::framebuf::{FrameBuf, ReadOutcome};
 use exsample_serve::{AdmissionConfig, Reactor, ServeConfig};
 use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, SkewSpec};
@@ -206,12 +206,46 @@ impl ServerProc {
         s
     }
 
+    /// Fetch the server engine's full diagnostics (histograms included)
+    /// over the control pipe: the child answers `DIAG` with one
+    /// hex-encoded `DiagnosticsReply` wire message, so the server-side
+    /// latency quantiles land in the report without another socket.
+    fn diagnostics(&mut self) -> Diagnostics {
+        writeln!(self.stdin, "DIAG").expect("server stdin");
+        self.stdin.flush().expect("server stdin flush");
+        let mut line = String::new();
+        self.stdout.read_line(&mut line).expect("server diag line");
+        let hex = line
+            .trim()
+            .strip_prefix("DIAG ")
+            .expect("DIAG line from server");
+        let bytes = hex_decode(hex).expect("hex diagnostics payload");
+        match decode_message(&bytes).expect("decode diagnostics") {
+            Message::DiagnosticsReply(diag) => diag,
+            other => panic!("expected DiagnosticsReply, got {other:?}"),
+        }
+    }
+
     fn shutdown(self) {
         // Closing stdin is the shutdown signal; the child exits on EOF.
         drop(self.stdin);
         let mut child = self.child;
         let _ = child.wait();
     }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).ok())
+        .collect()
 }
 
 /// `--server` mode: build the engine + reactor, print the bound
@@ -271,6 +305,15 @@ fn run_server(cfg: &Config) -> ! {
                 );
                 std::io::stdout().flush().expect("stdout");
             }
+            "DIAG" => {
+                let mut payload = Vec::new();
+                encode_message(
+                    &Message::DiagnosticsReply(engine.diagnostics()),
+                    &mut payload,
+                );
+                println!("DIAG {}", hex_encode(&payload));
+                std::io::stdout().flush().expect("stdout");
+            }
             "EXIT" => break,
             _ => {}
         }
@@ -290,8 +333,11 @@ fn open_conn(addr: SocketAddr, repo: RepoId, cfg: &Config, seed: u64) -> std::io
     sock.set_nonblocking(true)?;
     let mut buf = FrameBuf::new();
     buf.queue_preamble(PROTO_VERSION);
-    buf.queue(&Message::Submit(spec(repo, cfg.samples_per_session, seed)))
-        .expect("spec frames");
+    buf.queue(&Message::Submit {
+        spec: spec(repo, cfg.samples_per_session, seed),
+        ctx: None,
+    })
+    .expect("spec frames");
     Ok(Conn {
         sock,
         buf,
@@ -360,6 +406,7 @@ fn drive(conn: &mut Conn, tally: &mut Tally) -> bool {
                         session: id,
                         cursor: 0,
                         window: None,
+                        ctx: None,
                     })
                     .expect("poll frames");
                 conn.state = State::AwaitSnapshot;
@@ -384,6 +431,7 @@ fn drive(conn: &mut Conn, tally: &mut Tally) -> bool {
                             session: conn.session,
                             cursor: conn.cursor,
                             window: None,
+                            ctx: None,
                         })
                         .expect("poll frames");
                 }
@@ -479,6 +527,7 @@ fn main() {
                     session: conn.session,
                     cursor: conn.cursor,
                     window: None,
+                    ctx: None,
                 })
                 .expect("poll frames");
             conn.state = State::AwaitSnapshot;
@@ -513,10 +562,20 @@ fn main() {
     // resident: the whole fleet was concurrent at the end. The server's
     // own gauge, read now, is the authoritative count.
     let stats = server.stats();
+    let diag = server.diagnostics();
     let resident = stats.resident;
     peak_connections = peak_connections.max(stats.active);
     drop(finished);
     drop(conns);
+
+    // Server-side view of the same load: accept batches and full
+    // request turns, as measured inside the reactor.
+    let server_quantiles = |name: &str| {
+        diag.histogram(name)
+            .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)))
+    };
+    let (accept50, accept99) = server_quantiles("accept_ns");
+    let (turn50, turn99) = server_quantiles("turn_ns");
 
     tally.submit_ns.sort_unstable();
     tally.poll_ns.sort_unstable();
@@ -554,6 +613,16 @@ fn main() {
         poll50 as f64 / 1e6,
         poll99 as f64 / 1e6
     );
+    println!(
+        "| server accept p50 / p99 | {:.3} ms / {:.3} ms |",
+        accept50 as f64 / 1e6,
+        accept99 as f64 / 1e6
+    );
+    println!(
+        "| server turn p50 / p99 | {:.3} ms / {:.3} ms |",
+        turn50 as f64 / 1e6,
+        turn99 as f64 / 1e6
+    );
 
     let out = std::env::var("EXSAMPLE_BENCH_OUT")
         .map(PathBuf::from)
@@ -573,7 +642,9 @@ fn main() {
             "  \"sheds\": {},\n",
             "  \"client_errors\": {},\n",
             "  \"submit\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
-            "  \"poll\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}\n",
+            "  \"poll\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
+            "  \"server\": {{ \"accept_p50_ns\": {}, \"accept_p99_ns\": {}, ",
+            "\"turn_p50_ns\": {}, \"turn_p99_ns\": {} }}\n",
             "}}\n",
         ),
         cfg.sessions,
@@ -590,6 +661,10 @@ fn main() {
         tally.poll_ns.len(),
         poll50,
         poll99,
+        accept50,
+        accept99,
+        turn50,
+        turn99,
     );
     std::fs::write(&out, json).expect("write BENCH_serve.json");
     eprintln!("wrote {}", out.display());

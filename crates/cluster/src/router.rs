@@ -32,7 +32,7 @@ use exsample_engine::{
     CacheStats, Diagnostics, PersistStats, QuerySpec, RepoId, RepoInfo, SearchService,
     ServiceError, ServiceStats, SessionId, SessionReport, SessionSnapshot, SubmitError,
 };
-use exsample_obs::{HistSnapshot, NO_SESSION};
+use exsample_obs::{HistSnapshot, SpanRecord, TraceId, NO_SESSION};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -689,6 +689,43 @@ impl SearchService for ShardRouter {
             counters: counters.into_iter().collect(),
             events,
         })
+    }
+
+    /// Fetch one trace from the shard that owns it. Trace ids derive
+    /// bijectively from session ids, so the router recovers the
+    /// namespaced session behind `trace`, routes to the owning slot,
+    /// and asks that shard for the *shard-local* trace id. Returned
+    /// spans are re-namespaced on the way out — session ids into the
+    /// router's id space and trace ids back to the one requested — so
+    /// the caller sees one coherent tree under the ids it holds. A
+    /// trace whose slot does not exist returns empty, matching the
+    /// "unknown trace" contract everywhere else.
+    fn collect_trace(&self, trace: TraceId) -> Result<Vec<SpanRecord>, ServiceError> {
+        let global = SessionId(trace.session());
+        let (slot, local) = split_session(global);
+        let Some(shard) = self.shards.get(slot) else {
+            return Ok(Vec::new());
+        };
+        self.check_up(shard)?;
+        let local_trace = TraceId::from_session(local.0);
+        let spans = self.observe(shard, shard.svc.collect_trace(local_trace))?;
+        spans
+            .into_iter()
+            .map(|mut span| {
+                span.trace = trace;
+                if span.session != NO_SESSION {
+                    span.session = global_session(slot, SessionId(span.session))
+                        .map_err(|e| {
+                            ServiceError::Transport(format!(
+                                "shard {:?} reported a foreign session id: {e}",
+                                shard.name
+                            ))
+                        })?
+                        .0;
+                }
+                Ok(span)
+            })
+            .collect()
     }
 }
 

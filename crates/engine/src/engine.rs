@@ -67,7 +67,7 @@ use exsample_detect::{
     dispatch_batch, Detection, Discriminator, NoiseModel, OracleDiscriminator, SimulatedDetector,
     TrackerDiscriminator,
 };
-use exsample_obs::{Stage, NO_SESSION};
+use exsample_obs::{SpanRecord, Stage, TraceId, NO_SESSION};
 use exsample_persist::{
     dataset_fingerprint, scan_detections_raw, BeliefStore, DetectionLog, LoadStats, PersistConfig,
     RecordVerdict, RepoCatalog,
@@ -133,6 +133,15 @@ pub struct EngineConfig {
     /// are still *registered* when off (with zero readings), so
     /// [`Engine::diagnostics`] keeps a stable shape.
     pub observe: bool,
+    /// Record request-scoped span trees for distributed tracing (on by
+    /// default, but inert unless [`observe`](Self::observe) is also on).
+    /// Each accepted submit opens a trace — deterministically derived
+    /// from the session id — and every instrumented stage adds a span to
+    /// its causal tree, collectable via
+    /// [`SearchService::collect_trace`].
+    /// Like all instrumentation this is observational only; search
+    /// traces are bit-identical with tracing on or off.
+    pub trace: bool,
     /// Capacity of the flight recorder's event ring (most recent events
     /// win). Sized so a typical debugging window — a few thousand
     /// dispatches — stays resident.
@@ -153,6 +162,7 @@ impl Default for EngineConfig {
             persist: None,
             session_ttl: None,
             observe: true,
+            trace: true,
             flight_capacity: 4096,
         }
     }
@@ -391,7 +401,11 @@ impl Engine {
         assert!(config.quantum > 0, "quantum must be positive");
         assert!(config.batch > 0, "batch must be positive");
         assert!(config.detector_fps > 0.0, "detector_fps must be positive");
-        let obs = Arc::new(EngineObs::new(config.observe, config.flight_capacity));
+        let obs = Arc::new(EngineObs::new(
+            config.observe,
+            config.trace,
+            config.flight_capacity,
+        ));
         let mut cache = FrameCache::new(config.cache_capacity, config.cache_shards);
         let persist = config.persist.as_ref().map(|pc| {
             // Columnar pipeline first, before the log writer exists: sweep
@@ -705,6 +719,7 @@ impl Engine {
         spec: QuerySpec,
         binding: Option<TenantBinding>,
     ) -> Result<SessionId, EngineError> {
+        let submit_start = self.shared.obs.enabled().then(Instant::now);
         spec.validate().map_err(EngineError::InvalidSpec)?;
         let mut state = self.lock_state();
         let repo = state
@@ -778,6 +793,22 @@ impl Engine {
         drop(state);
         if self.shared.obs.enabled() {
             self.shared.obs.sessions_submitted_total.inc();
+            // Untagged in-process submits are accounted under tenant 0.
+            let tenant = binding.map_or(0, |b| b.tenant.0);
+            self.shared
+                .obs
+                .submits_by_tenant
+                .with(&tenant.to_string())
+                .inc();
+            self.shared
+                .obs
+                .sessions_active
+                .with(&tenant.to_string())
+                .add(1);
+            let submit_ns = submit_start
+                .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            self.shared.obs.trace_submit(id.0, submit_ns);
         }
         self.shared.work_cv.notify_all();
         Ok(id)
@@ -1045,6 +1076,13 @@ impl Engine {
         &self.shared.obs
     }
 
+    /// This shard's recorded spans for `trace`, as a causal tree rooted
+    /// at the session span. Empty when tracing is off (or the trace was
+    /// evicted); never an error.
+    pub fn collect_trace(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.shared.obs.tracer().collect(trace)
+    }
+
     fn lock_state(&self) -> MutexGuard<'_, EngineState> {
         let mut state = self.shared.state.lock().expect("engine state poisoned");
         // Orphan-session GC piggybacks on every API touch: cheap (a front
@@ -1134,6 +1172,10 @@ impl SearchService for Engine {
 
     fn diagnostics(&self) -> Result<Diagnostics, ServiceError> {
         Ok(Engine::diagnostics(self))
+    }
+
+    fn collect_trace(&self, trace: TraceId) -> Result<Vec<SpanRecord>, ServiceError> {
+        Ok(Engine::collect_trace(self, trace))
     }
 }
 
@@ -1256,7 +1298,8 @@ fn worker_loop(shared: &Shared) {
             // Release the tenant's quota slot the moment the session
             // stops running — not at forget/reap, which can be much
             // later (or never) and would wedge the tenant's admission.
-            if let Some(t) = state.sessions.get(&id).and_then(|s| s.tenant) {
+            let tenant = state.sessions.get(&id).and_then(|s| s.tenant);
+            if let Some(t) = tenant {
                 if let Some(n) = state.tenant_running.get_mut(&t) {
                     *n = n.saturating_sub(1);
                     if *n == 0 {
@@ -1266,6 +1309,12 @@ fn worker_loop(shared: &Shared) {
             }
             if shared.obs.enabled() {
                 shared.obs.sessions_finished_total.inc();
+                shared
+                    .obs
+                    .sessions_active
+                    .with(&tenant.map_or(0, |t| t.0).to_string())
+                    .sub(1);
+                shared.obs.trace_finish(id.0);
             }
             // The TTL clock starts at finalization; reap opportunistically
             // so a busy engine collects orphans even with no API traffic.

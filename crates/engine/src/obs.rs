@@ -9,7 +9,10 @@
 //! are inert and never read the clock, which is the uninstrumented
 //! baseline the `obs_cmp` benchmark compares against.
 
-use exsample_obs::{Counter, FlightRecorder, LatencyHistogram, Registry, SpanGuard, Stage};
+use exsample_obs::{
+    Counter, CounterFamily, FlightRecorder, GaugeFamily, LatencyHistogram, Registry, SpanCollector,
+    SpanGuard, SpanId, Stage, TraceId, NO_SESSION,
+};
 use std::sync::Arc;
 
 /// Pre-registered metric handles plus the flight recorder; owned by the
@@ -35,19 +38,31 @@ pub struct EngineObs {
     serve_accept: Arc<LatencyHistogram>,
     serve_handshake: Arc<LatencyHistogram>,
     serve_turn: Arc<LatencyHistogram>,
+    serve_admission: Arc<LatencyHistogram>,
+    session_hist: Arc<LatencyHistogram>,
+    tracer: SpanCollector,
     /// Frames stepped across all sessions (bumped once per quantum).
     pub frames_total: Arc<Counter>,
     /// Queries accepted by `submit`.
     pub sessions_submitted_total: Arc<Counter>,
     /// Sessions finalized (finished or cancelled).
     pub sessions_finished_total: Arc<Counter>,
+    /// Accepted submits, labeled by tenant (`submits_total{tenant=...}`;
+    /// untagged in-process submits land under tenant `0`).
+    pub submits_by_tenant: Arc<CounterFamily>,
+    /// Unfinished sessions per tenant
+    /// (`sessions_active{tenant=...}`), maintained at submit and
+    /// finalization for tenant-tagged sessions.
+    pub sessions_active: Arc<GaugeFamily>,
 }
 
 impl EngineObs {
     /// Build the hub, registering the full engine metric catalog up
     /// front so diagnostics always expose a stable shape. `enabled`
-    /// gates *recording* only.
-    pub fn new(enabled: bool, flight_capacity: usize) -> Self {
+    /// gates *recording* only; `trace` additionally switches the span
+    /// collector (request-scoped tracing) and is effective only when
+    /// `enabled` is too.
+    pub fn new(enabled: bool, trace: bool, flight_capacity: usize) -> Self {
         let registry = Arc::new(Registry::new());
         EngineObs {
             enabled,
@@ -64,9 +79,14 @@ impl EngineObs {
             serve_accept: registry.histogram("accept_ns"),
             serve_handshake: registry.histogram("handshake_ns"),
             serve_turn: registry.histogram("turn_ns"),
+            serve_admission: registry.histogram("admission_ns"),
+            session_hist: registry.histogram("session_ns"),
+            tracer: SpanCollector::new(enabled && trace),
             frames_total: registry.counter("frames_total"),
             sessions_submitted_total: registry.counter("sessions_submitted_total"),
             sessions_finished_total: registry.counter("sessions_finished_total"),
+            submits_by_tenant: registry.counter_family("submits_total", "tenant"),
+            sessions_active: registry.gauge_family("sessions_active", "tenant"),
             flight: FlightRecorder::new(flight_capacity),
             registry,
         }
@@ -108,6 +128,38 @@ impl EngineObs {
             Stage::Accept => &self.serve_accept,
             Stage::Handshake => &self.serve_handshake,
             Stage::Turn => &self.serve_turn,
+            Stage::Admission => &self.serve_admission,
+            // Fed by `trace_finish` with the root span's duration, so it
+            // fills only while tracing is on.
+            Stage::Session => &self.session_hist,
+        }
+    }
+
+    /// The request-scoped span collector. Disabled (inert) unless both
+    /// [`EngineConfig::observe`](crate::EngineConfig::observe) and
+    /// [`EngineConfig::trace`](crate::EngineConfig::trace) are set.
+    pub fn tracer(&self) -> &SpanCollector {
+        &self.tracer
+    }
+
+    /// Open `session`'s trace at submit: mint the root session span and
+    /// record an engine-side submit span of `submit_ns` under it.
+    /// No-op unless tracing is on.
+    pub fn trace_submit(&self, session: u64, submit_ns: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let trace = TraceId::from_session(session);
+        self.tracer.open_root(trace, session);
+        self.tracer
+            .record(trace, SpanId::ROOT, Stage::Submit, session, submit_ns, 0);
+    }
+
+    /// Close `session`'s trace at finalization; the root span's
+    /// lifetime lands in the `session_ns` histogram.
+    pub fn trace_finish(&self, session: u64) {
+        if let Some(ns) = self.tracer.close_root(TraceId::from_session(session)) {
+            self.session_hist.record(ns);
         }
     }
 
@@ -115,7 +167,9 @@ impl EngineObs {
     /// stages where a per-occurrence event would churn the ring.
     pub fn span(&self, stage: Stage, session: u64) -> SpanGuard<'_> {
         if self.enabled {
-            SpanGuard::start(Some(self.hist(stage)), None, session, stage)
+            let mut span = SpanGuard::start(Some(self.hist(stage)), None, session, stage);
+            span.attach_tracer(&self.tracer);
+            span
         } else {
             SpanGuard::disabled(stage)
         }
@@ -125,7 +179,10 @@ impl EngineObs {
     /// flight event behind.
     pub fn span_flight(&self, stage: Stage, session: u64) -> SpanGuard<'_> {
         if self.enabled {
-            SpanGuard::start(Some(self.hist(stage)), Some(&self.flight), session, stage)
+            let mut span =
+                SpanGuard::start(Some(self.hist(stage)), Some(&self.flight), session, stage);
+            span.attach_tracer(&self.tracer);
+            span
         } else {
             SpanGuard::disabled(stage)
         }
@@ -140,6 +197,16 @@ impl EngineObs {
         }
         self.hist(stage).record(duration_ns);
         self.flight.record(session, stage, duration_ns, key);
+        if self.tracer.enabled() && session != NO_SESSION {
+            self.tracer.record(
+                TraceId::from_session(session),
+                SpanId::ROOT,
+                stage,
+                session,
+                duration_ns,
+                key,
+            );
+        }
     }
 }
 
@@ -149,7 +216,7 @@ mod tests {
 
     #[test]
     fn disabled_hub_records_nothing() {
-        let obs = EngineObs::new(false, 16);
+        let obs = EngineObs::new(false, false, 16);
         {
             let mut s = obs.span_flight(Stage::Dispatch, 1);
             s.set_key(4);
@@ -165,7 +232,7 @@ mod tests {
 
     #[test]
     fn catalog_is_registered_up_front() {
-        let obs = EngineObs::new(true, 16);
+        let obs = EngineObs::new(true, true, 16);
         let names: Vec<String> = obs
             .registry()
             .histograms()
@@ -194,7 +261,7 @@ mod tests {
 
     #[test]
     fn enabled_spans_land_in_hist_and_flight() {
-        let obs = EngineObs::new(true, 16);
+        let obs = EngineObs::new(true, false, 16);
         {
             let mut s = obs.span_flight(Stage::Dispatch, 7);
             s.set_key(3);
@@ -218,5 +285,29 @@ mod tests {
         assert_eq!(events[0].stage, Stage::Dispatch);
         assert_eq!(events[0].key, 3);
         assert_eq!(events[0].session, 7);
+    }
+
+    #[test]
+    fn trace_lifecycle_builds_a_session_tree() {
+        let obs = EngineObs::new(true, true, 16);
+        obs.trace_submit(5, 1_000);
+        {
+            let mut s = obs.span_flight(Stage::Dispatch, 5);
+            s.set_key(2);
+        }
+        obs.record(Stage::Lease, 5, 42, 0);
+        obs.trace_finish(5);
+        let spans = obs.tracer().collect(TraceId::from_session(5));
+        exsample_obs::validate_spans(&spans).expect("valid tree");
+        assert_eq!(spans.len(), 4, "root + submit + dispatch + lease");
+        let root = spans.iter().find(|s| s.stage == Stage::Session).unwrap();
+        assert!(root.duration_ns > 0, "trace_finish closed the root");
+        let hists = obs.registry().histograms();
+        let session_total = hists
+            .iter()
+            .find(|(n, _)| n == "session_ns")
+            .map(|(_, s)| s.total())
+            .unwrap();
+        assert_eq!(session_total, 1);
     }
 }

@@ -29,7 +29,7 @@
 use crate::cache::CacheStats;
 use crate::engine::PersistStats;
 use crate::session::{QuerySpec, RepoId, SessionId, SessionReport, SessionSnapshot};
-use exsample_obs::{FlightEvent, HistSnapshot};
+use exsample_obs::{FlightEvent, HistSnapshot, SpanRecord, TraceId};
 
 /// Everything a client can know about a registered repository, returned
 /// by the [`SearchService::repos`] catalog call.
@@ -281,6 +281,21 @@ pub trait SearchService {
     /// cluster router merges this per shard into fleet-level
     /// distributions.
     fn diagnostics(&self) -> Result<Diagnostics, ServiceError>;
+
+    /// The recorded spans of one distributed trace, as a causal tree
+    /// rooted at the session span (`exsample_obs::validate_spans`
+    /// documents the invariants). Trace ids derive deterministically
+    /// from session ids (`TraceId::from_session`); a cluster router
+    /// resolves a trace to its owning shard and re-namespaces the
+    /// returned spans, so clients collect fleet-wide traces by the same
+    /// id they derived locally. Unknown, evicted, or untraced ids
+    /// return an empty vector — never an error. The default
+    /// implementation returns empty, so services without a span
+    /// collector (mocks, thin adapters) stay source-compatible.
+    fn collect_trace(&self, trace: TraceId) -> Result<Vec<SpanRecord>, ServiceError> {
+        let _ = trace;
+        Ok(Vec::new())
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 use exsample_core::driver::StopCond;
 use exsample_detect::NoiseModel;
 use exsample_engine::{Diagnostics, Engine, EngineConfig, QuerySpec, SearchService};
-use exsample_obs::Stage;
+use exsample_obs::{validate_spans, SpanId, Stage, TraceId};
 use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
 use std::sync::Arc;
 
@@ -126,6 +126,86 @@ fn observe_off_is_inert_but_shape_stable() {
     assert!(diag.histograms.iter().all(|(_, s)| s.is_empty()));
     assert!(diag.counters.iter().all(|(_, v)| *v == 0));
     assert!(diag.histogram("dispatch_ns").is_some());
+}
+
+/// Tracing is observational-only: the search trace is bit-identical
+/// with tracing on or off (and with observability off entirely).
+#[test]
+fn tracing_on_or_off_is_bit_identical() {
+    let run = |observe: bool, trace: bool| {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            quantum: 8,
+            observe,
+            trace,
+            ..EngineConfig::default()
+        });
+        let repo = engine.register_repo("cam", truth(), NoiseModel::none(), 5);
+        let id = engine
+            .submit(
+                QuerySpec::new(repo, ClassId(0), StopCond::samples(300))
+                    .seed(11)
+                    .batch(4),
+            )
+            .unwrap();
+        let report = engine.wait(id).unwrap();
+        (
+            report.trace.points().to_vec(),
+            report.charges.frames,
+            engine.detector_invocations(),
+        )
+    };
+    let traced = run(true, true);
+    assert_eq!(traced, run(true, false), "tracing off must change nothing");
+    assert_eq!(traced, run(false, false), "observe off must change nothing");
+    assert_eq!(traced, run(false, true), "trace without observe is inert");
+}
+
+/// A completed session's collected spans form a valid causal tree
+/// rooted at the session span, covering the layers the engine touched.
+#[test]
+fn collected_trace_is_a_valid_session_tree() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        quantum: 8,
+        ..EngineConfig::default()
+    });
+    let repo = engine.register_repo("cam", truth(), NoiseModel::none(), 5);
+    let id = engine
+        .submit(QuerySpec::new(repo, ClassId(0), StopCond::samples(200)).seed(7))
+        .unwrap();
+    engine.wait(id).unwrap();
+    let spans = engine.collect_trace(TraceId::from_session(id.0));
+    assert!(!spans.is_empty(), "a finished session must have a trace");
+    validate_spans(&spans).expect("causal tree invariants");
+    let root = &spans[0];
+    assert_eq!(root.id, SpanId::ROOT);
+    assert_eq!(root.stage, Stage::Session);
+    assert_eq!(root.session, id.0);
+    assert!(root.duration_ns > 0, "root closed at session finish");
+    assert!(
+        spans.iter().any(|s| s.stage == Stage::Submit),
+        "submit span recorded"
+    );
+    assert!(
+        spans.iter().any(|s| s.stage == Stage::Dispatch),
+        "dispatch spans recorded"
+    );
+    // Every span belongs to this session's trace and session id.
+    assert!(spans.iter().all(|s| s.session == id.0));
+    // With trace=false the same engine shape collects nothing.
+    let dark = Engine::new(EngineConfig {
+        workers: 2,
+        quantum: 8,
+        trace: false,
+        ..EngineConfig::default()
+    });
+    let repo = dark.register_repo("cam", truth(), NoiseModel::none(), 5);
+    let id = dark
+        .submit(QuerySpec::new(repo, ClassId(0), StopCond::samples(100)).seed(7))
+        .unwrap();
+    dark.wait(id).unwrap();
+    assert!(dark.collect_trace(TraceId::from_session(id.0)).is_empty());
 }
 
 /// The trait object surfaces diagnostics like the concrete engine.

@@ -40,7 +40,7 @@
 use exsample_core::driver::StopCond;
 use exsample_detect::NoiseModel;
 use exsample_engine::{Engine, EngineConfig, QuerySpec};
-use exsample_obs::{HistSnapshot, LatencyHistogram, Stage};
+use exsample_obs::{HistSnapshot, LatencyHistogram, Stage, TraceId};
 use exsample_videosim::{ClassId, ClassSpec, DatasetSpec, GroundTruth, SkewSpec};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -119,6 +119,9 @@ pub struct ObsCmpReport {
     pub poll: HistSnapshot,
     /// Flight-recorder events left by one instrumented run.
     pub flight_events: u64,
+    /// Trace spans one instrumented run collected across its sessions
+    /// — evidence the gated arm ran with distributed tracing enabled.
+    pub trace_spans: u64,
 }
 
 impl ObsCmpReport {
@@ -159,6 +162,7 @@ struct RunOutcome {
     batches: u64,
     leases: u64,
     flight_events: u64,
+    trace_spans: u64,
 }
 
 /// Measure the cold-cache cost of one per-batch instrumentation unit:
@@ -173,6 +177,7 @@ struct RunOutcome {
 fn measure_unit_cost_ns(iterations: u64) -> f64 {
     let engine = Engine::new(EngineConfig {
         observe: true,
+        trace: true,
         ..EngineConfig::default()
     });
     let obs = engine.obs();
@@ -180,6 +185,11 @@ fn measure_unit_cost_ns(iterations: u64) -> f64 {
     let mut acc = 0u64;
     let mut unit_ns = 0u64;
     for i in 0..iterations {
+        // Open the session's trace outside the timed section: in a real
+        // run the trace already exists when batch spans record, so the
+        // timed unit pays the per-span storage path (the worst case —
+        // every span is kept), not the per-session setup.
+        obs.tracer().open_root(TraceId::from_session(i), i);
         let mut j = 0;
         while j < buf.len() {
             buf[j] = buf[j].wrapping_add(1);
@@ -213,10 +223,15 @@ fn run_once(
     submit_h: Option<&LatencyHistogram>,
     poll_h: Option<&LatencyHistogram>,
 ) -> RunOutcome {
+    // The instrumented arm runs with distributed tracing on as well, so
+    // the gated attribution covers the full observability surface — a
+    // span guard's tracer write included, not just counters and
+    // histograms.
     let engine = Engine::new(EngineConfig {
         workers: cfg.workers,
         quantum: 8,
         observe,
+        trace: observe,
         ..EngineConfig::default()
     });
     let repo = engine.register_repo("obs-cmp", truth.clone(), NoiseModel::none(), cfg.seed);
@@ -253,6 +268,10 @@ fn run_once(
     let wall_s = t0.elapsed().as_secs_f64();
     let diag = engine.diagnostics();
     let hist_total = |name: &str| diag.histogram(name).map_or(0, |h| h.total());
+    let trace_spans = ids
+        .iter()
+        .map(|id| engine.collect_trace(TraceId::from_session(id.0)).len() as u64)
+        .sum();
     RunOutcome {
         wall_s,
         invocations: engine.detector_invocations(),
@@ -260,6 +279,7 @@ fn run_once(
         batches: hist_total("batch_assembly_ns"),
         leases: hist_total("lease_ns"),
         flight_events: diag.events.len() as u64,
+        trace_spans,
     }
 }
 
@@ -286,6 +306,7 @@ pub fn run(cfg: &ObsCmpConfig) -> ObsCmpReport {
     let mut dispatch = HistSnapshot::default();
     let mut units_per_run = 0;
     let mut flight_events = 0;
+    let mut trace_spans = 0;
     for r in 0..cfg.replicates {
         // One ABBA block: outer and inner positions each hold one run
         // of each arm, so position-dependent slowdowns (linear drift,
@@ -305,13 +326,14 @@ pub fn run(cfg: &ObsCmpConfig) -> ObsCmpReport {
                 units_per_run = o.batches.max(o.leases).max(o.dispatch.total());
                 dispatch.merge(&o.dispatch);
                 flight_events = o.flight_events;
+                trace_spans = o.trace_spans;
                 invocations = o.invocations;
             } else {
                 let b = run_once(cfg, &truth, false, None, None);
                 base_wall_s = base_wall_s.min(b.wall_s);
                 base_walls[slot] = b.wall_s;
                 assert!(
-                    b.dispatch.is_empty() && b.flight_events == 0,
+                    b.dispatch.is_empty() && b.flight_events == 0 && b.trace_spans == 0,
                     "uninstrumented arm must record nothing"
                 );
                 if invocations != 0 {
@@ -341,6 +363,7 @@ pub fn run(cfg: &ObsCmpConfig) -> ObsCmpReport {
         submit: submit_h.snapshot(),
         poll: poll_h.snapshot(),
         flight_events,
+        trace_spans,
     }
 }
 
@@ -363,7 +386,8 @@ pub fn to_json(report: &ObsCmpReport) -> String {
             "  \"dispatch\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
             "  \"submit\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
             "  \"poll\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
-            "  \"flight_events\": {}\n",
+            "  \"flight_events\": {},\n",
+            "  \"trace_spans\": {}\n",
             "}}\n",
         ),
         report.base_wall_s,
@@ -385,6 +409,7 @@ pub fn to_json(report: &ObsCmpReport) -> String {
         q(&report.poll, 0.5),
         q(&report.poll, 0.99),
         report.flight_events,
+        report.trace_spans,
     )
 }
 
@@ -415,6 +440,10 @@ mod tests {
         );
         assert_eq!(report.poll.total(), 32, "fixed poll load");
         assert!(report.flight_events > 0);
+        assert!(
+            report.trace_spans > 0,
+            "the instrumented arm must have collected trace spans"
+        );
         assert_eq!(report.pair_ratios.len(), 1);
         assert!(report.unit_cost_ns > 0.0, "calibration measured something");
         assert!(report.units_per_run > 0, "instrumented run recorded units");

@@ -48,6 +48,12 @@ pub enum Stage {
     /// One reactor turn for a connection: decode, handle, and encode
     /// every frame ready on it.
     Turn,
+    /// The admission-control decision ahead of one submit (key = 1 when
+    /// the submit was shed).
+    Admission,
+    /// A whole session, submit through finalization — the root span of
+    /// every trace (see [`crate::trace`]).
+    Session,
 }
 
 impl Stage {
@@ -67,6 +73,8 @@ impl Stage {
             Stage::Accept => "accept",
             Stage::Handshake => "handshake",
             Stage::Turn => "turn",
+            Stage::Admission => "admission",
+            Stage::Session => "session",
         }
     }
 
@@ -86,6 +94,8 @@ impl Stage {
             Stage::Accept => 10,
             Stage::Handshake => 11,
             Stage::Turn => 12,
+            Stage::Admission => 13,
+            Stage::Session => 14,
         }
     }
 
@@ -105,6 +115,8 @@ impl Stage {
             10 => Stage::Accept,
             11 => Stage::Handshake,
             12 => Stage::Turn,
+            13 => Stage::Admission,
+            14 => Stage::Session,
             _ => return None,
         })
     }
@@ -238,12 +250,12 @@ mod tests {
 
     #[test]
     fn stage_tags_roundtrip() {
-        for tag in 0..=12u8 {
+        for tag in 0..=14u8 {
             let stage = Stage::from_u8(tag).unwrap();
             assert_eq!(stage.as_u8(), tag);
             assert!(!stage.as_str().is_empty());
         }
-        assert_eq!(Stage::from_u8(13), None);
+        assert_eq!(Stage::from_u8(15), None);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   span-style timing API (see also the [`span!`] macro): start a guard,
 //!   and on drop the elapsed wall time lands in a histogram and,
 //!   optionally, the flight recorder.
+//! * [`SpanCollector`] — request-scoped distributed tracing: per-trace
+//!   causal span trees ([`SpanRecord`], [`TraceId`], [`SpanId`]),
+//!   deterministic trace-id derivation from session ids, and a Chrome
+//!   trace-event exporter ([`chrome_trace_json`]). A [`SpanGuard`] with
+//!   a tracer attached records into the owning session's tree on drop.
 //!
 //! Instrumentation here is strictly *observational*: it reads the wall
 //! clock and bumps atomics, and therefore cannot change any session's
@@ -54,11 +59,16 @@ pub mod flight;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use flight::{FlightEvent, FlightRecorder, Stage, NO_SESSION};
 pub use hist::{bucket_ceiling, bucket_of, HistSnapshot, LatencyHistogram, SnapshotDecodeError};
-pub use registry::{Counter, Gauge, Metric, Registry};
+pub use registry::{Counter, CounterFamily, Gauge, GaugeFamily, Metric, Registry};
 pub use span::SpanGuard;
+pub use trace::{
+    chrome_trace_json, validate_json, validate_spans, SpanCollector, SpanId, SpanRecord,
+    TraceContext, TraceId,
+};
 
 /// Start a [`SpanGuard`] through any object with a
 /// `span(stage) -> SpanGuard` method (e.g. the engine's instrumentation

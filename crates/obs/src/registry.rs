@@ -87,6 +87,116 @@ impl Gauge {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Add `n` to the current value. One relaxed atomic add.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` from the current value, saturating at zero (a gauge
+    /// tracking live objects must never wrap on a racy double-release).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A family of [`Counter`]s sharing one metric name, keyed by the
+/// value of a single label (e.g. `submits_total{tenant="7"}`).
+///
+/// Children are created on first use and live for the family's life;
+/// the hot path is [`CounterFamily::with`] once at setup, then the
+/// child's own lock-free [`Counter::add`].
+#[derive(Debug)]
+pub struct CounterFamily {
+    label: String,
+    children: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl CounterFamily {
+    /// A new family labeled by `label`.
+    pub fn new(label: &str) -> Self {
+        CounterFamily {
+            label: label.to_owned(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The label key distinguishing children.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Get or create the child whose label equals `value`.
+    pub fn with(&self, value: &str) -> Arc<Counter> {
+        let mut children = self.children.lock().expect("counter family poisoned");
+        children
+            .entry(value.to_owned())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// Every child's label value and current total, sorted by label.
+    pub fn children(&self) -> Vec<(String, u64)> {
+        let children = self.children.lock().expect("counter family poisoned");
+        children.iter().map(|(v, c)| (v.clone(), c.get())).collect()
+    }
+
+    /// Sum over all children (wrapping).
+    pub fn total(&self) -> u64 {
+        self.children()
+            .iter()
+            .fold(0u64, |a, (_, v)| a.wrapping_add(*v))
+    }
+}
+
+/// A family of [`Gauge`]s sharing one metric name, keyed by the value
+/// of a single label (e.g. `sessions_active{tenant="7"}`).
+#[derive(Debug)]
+pub struct GaugeFamily {
+    label: String,
+    children: Mutex<BTreeMap<String, Arc<Gauge>>>,
+}
+
+impl GaugeFamily {
+    /// A new family labeled by `label`.
+    pub fn new(label: &str) -> Self {
+        GaugeFamily {
+            label: label.to_owned(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The label key distinguishing children.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Get or create the child whose label equals `value`.
+    pub fn with(&self, value: &str) -> Arc<Gauge> {
+        let mut children = self.children.lock().expect("gauge family poisoned");
+        children
+            .entry(value.to_owned())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// Every child's label value and current reading, sorted by label.
+    pub fn children(&self) -> Vec<(String, u64)> {
+        let children = self.children.lock().expect("gauge family poisoned");
+        children.iter().map(|(v, g)| (v.clone(), g.get())).collect()
+    }
 }
 
 /// A registered metric, by kind.
@@ -98,6 +208,10 @@ pub enum Metric {
     Gauge(Arc<Gauge>),
     /// A [`LatencyHistogram`] of nanosecond observations.
     Histogram(Arc<LatencyHistogram>),
+    /// A labeled [`CounterFamily`].
+    CounterFamily(Arc<CounterFamily>),
+    /// A labeled [`GaugeFamily`].
+    GaugeFamily(Arc<GaugeFamily>),
 }
 
 /// A name → metric map. Registration is get-or-create and idempotent;
@@ -162,6 +276,38 @@ impl Registry {
         }
     }
 
+    /// Get or create the counter family named `name`, labeled `label`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter_family(&self, name: &str, label: &str) -> Arc<CounterFamily> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::CounterFamily(Arc::new(CounterFamily::new(label))))
+        {
+            Metric::CounterFamily(f) => f.clone(),
+            other => panic!("metric {name:?} already registered as {}", kind_of(other)),
+        }
+    }
+
+    /// Get or create the gauge family named `name`, labeled `label`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge_family(&self, name: &str, label: &str) -> Arc<GaugeFamily> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::GaugeFamily(Arc::new(GaugeFamily::new(label))))
+        {
+            Metric::GaugeFamily(f) => f.clone(),
+            other => panic!("metric {name:?} already registered as {}", kind_of(other)),
+        }
+    }
+
     /// Snapshot every histogram, sorted by name.
     pub fn histograms(&self) -> Vec<(String, HistSnapshot)> {
         let metrics = self.metrics.lock().expect("registry poisoned");
@@ -174,17 +320,32 @@ impl Registry {
             .collect()
     }
 
-    /// Read every counter and gauge, sorted by name.
+    /// Read every counter and gauge, sorted by name. Family children
+    /// are flattened in with labeled names — `submits_total{tenant="7"}`
+    /// — so labeled readings travel through diagnostics-style
+    /// `(name, value)` lists (and fleet-wide merges sum per label)
+    /// without any schema change.
     pub fn counters(&self) -> Vec<(String, u64)> {
         let metrics = self.metrics.lock().expect("registry poisoned");
-        metrics
-            .iter()
-            .filter_map(|(name, m)| match m {
-                Metric::Counter(c) => Some((name.clone(), c.get())),
-                Metric::Gauge(g) => Some((name.clone(), g.get())),
-                Metric::Histogram(_) => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        for (name, m) in metrics.iter() {
+            match m {
+                Metric::Counter(c) => out.push((name.clone(), c.get())),
+                Metric::Gauge(g) => out.push((name.clone(), g.get())),
+                Metric::Histogram(_) => {}
+                Metric::CounterFamily(f) => {
+                    for (value, reading) in f.children() {
+                        out.push((labeled(name, f.label(), &value), reading));
+                    }
+                }
+                Metric::GaugeFamily(f) => {
+                    for (value, reading) in f.children() {
+                        out.push((labeled(name, f.label(), &value), reading));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Render every metric in Prometheus text exposition style. Metric
@@ -215,6 +376,24 @@ impl Registry {
                     out.push_str(&format!("{name}_sum {}\n", s.sum));
                     out.push_str(&format!("{name}_count {}\n", s.total()));
                 }
+                Metric::CounterFamily(f) => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    for (value, reading) in f.children() {
+                        out.push_str(&format!(
+                            "{} {reading}\n",
+                            labeled(&name, f.label(), &value)
+                        ));
+                    }
+                }
+                Metric::GaugeFamily(f) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    for (value, reading) in f.children() {
+                        out.push_str(&format!(
+                            "{} {reading}\n",
+                            labeled(&name, f.label(), &value)
+                        ));
+                    }
+                }
             }
         }
         out
@@ -226,7 +405,24 @@ fn kind_of(metric: &Metric) -> &'static str {
         Metric::Counter(_) => "counter",
         Metric::Gauge(_) => "gauge",
         Metric::Histogram(_) => "histogram",
+        Metric::CounterFamily(_) => "counter family",
+        Metric::GaugeFamily(_) => "gauge family",
     }
+}
+
+/// Compose a labeled sample name — `name{label="value"}` — escaping the
+/// label value per the Prometheus exposition rules.
+fn labeled(name: &str, label: &str, value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            c => escaped.push(c),
+        }
+    }
+    format!("{name}{{{label}=\"{escaped}\"}}")
 }
 
 /// `exsample_` prefix plus Prometheus-safe characters.

@@ -10,6 +10,7 @@
 
 use crate::flight::{FlightRecorder, Stage};
 use crate::hist::LatencyHistogram;
+use crate::trace::{SpanCollector, SpanId, TraceContext, TraceId};
 use std::time::Instant;
 
 /// A timing guard; see the module docs.
@@ -18,6 +19,14 @@ use std::time::Instant;
 pub struct SpanGuard<'a> {
     hist: Option<&'a LatencyHistogram>,
     flight: Option<&'a FlightRecorder>,
+    /// When attached, drop additionally records a [`SpanRecord`] into
+    /// the collector — under the explicit trace context if one was set,
+    /// else under the trace derived from the owning session.
+    ///
+    /// [`SpanRecord`]: crate::trace::SpanRecord
+    tracer: Option<&'a SpanCollector>,
+    trace: Option<TraceId>,
+    parent: SpanId,
     session: u64,
     stage: Stage,
     key: u64,
@@ -38,6 +47,9 @@ impl<'a> SpanGuard<'a> {
         SpanGuard {
             hist,
             flight,
+            tracer: None,
+            trace: None,
+            parent: SpanId::ROOT,
             session,
             stage,
             key: 0,
@@ -50,11 +62,35 @@ impl<'a> SpanGuard<'a> {
         SpanGuard {
             hist: None,
             flight: None,
+            tracer: None,
+            trace: None,
+            parent: SpanId::ROOT,
             session: crate::NO_SESSION,
             stage,
             key: 0,
             start: None,
         }
+    }
+
+    /// Additionally record this span into `tracer` on drop. With no
+    /// explicit [`TraceContext`] (see
+    /// [`set_trace_context`](Self::set_trace_context)), the trace is
+    /// derived from the owning session at drop time and the span is
+    /// parented at the session root — so a span tagged via
+    /// [`set_session`](Self::set_session) lands in the right tree
+    /// without any call-site changes.
+    pub fn attach_tracer(&mut self, tracer: &'a SpanCollector) {
+        if tracer.enabled() {
+            self.tracer = Some(tracer);
+        }
+    }
+
+    /// Pin this span to an explicit trace and causal parent — used by
+    /// servers to stamp handling spans with the context a v7 frame
+    /// carried.
+    pub fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.trace = Some(ctx.trace);
+        self.parent = ctx.parent;
     }
 
     /// Attach the stage-specific key reported in the flight event
@@ -84,6 +120,14 @@ impl Drop for SpanGuard<'_> {
         if let Some(flight) = self.flight {
             flight.record(self.session, self.stage, ns, self.key);
         }
+        if let Some(tracer) = self.tracer {
+            let trace = self.trace.or_else(|| {
+                (self.session != crate::NO_SESSION).then(|| TraceId::from_session(self.session))
+            });
+            if let Some(trace) = trace {
+                tracer.record(trace, self.parent, self.stage, self.session, ns, self.key);
+            }
+        }
     }
 }
 
@@ -107,6 +151,36 @@ mod tests {
         assert_eq!(events[0].session, 42);
         assert_eq!(events[0].stage, Stage::Dispatch);
         assert_eq!(events[0].key, 8);
+    }
+
+    #[test]
+    fn traced_guard_lands_in_the_session_trace() {
+        let hist = LatencyHistogram::new();
+        let tracer = SpanCollector::new(true);
+        let trace = TraceId::from_session(7);
+        tracer.open_root(trace, 7);
+        {
+            let mut span = SpanGuard::start(Some(&hist), None, NO_SESSION, Stage::Dispatch);
+            span.attach_tracer(&tracer);
+            span.set_session(7); // trace derived at drop time
+            span.set_key(4);
+        }
+        {
+            // Explicit context wins over session derivation.
+            let mut span = SpanGuard::start(Some(&hist), None, 7, Stage::Poll);
+            span.attach_tracer(&tracer);
+            span.set_trace_context(TraceContext {
+                trace,
+                parent: SpanId::ROOT,
+            });
+        }
+        let spans = tracer.collect(trace);
+        assert_eq!(spans.len(), 3, "root + two guard spans");
+        assert!(spans
+            .iter()
+            .any(|s| s.stage == Stage::Dispatch && s.key == 4));
+        assert!(spans.iter().any(|s| s.stage == Stage::Poll));
+        crate::trace::validate_spans(&spans).expect("guard spans keep the tree valid");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use exsample_engine::{
     Diagnostics, QuerySpec, RepoId, RepoInfo, SearchService, ServiceError, ServiceStats, SessionId,
     SessionReport, SessionSnapshot, SessionStatus, SubmitError,
 };
-use exsample_obs::HistSnapshot;
+use exsample_obs::{HistSnapshot, SpanRecord, TraceContext, TraceId};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::Mutex;
@@ -145,6 +145,9 @@ impl<T: Read + Write> RemoteClient<T> {
             session: id,
             cursor,
             window,
+            // The session's trace id is derivable on both ends; carrying
+            // it lets the server parent its Poll span under this call.
+            ctx: Some(TraceContext::for_session(id.0)),
         };
         match self.call(&request).map_err(ServiceError::Transport)? {
             Message::Snapshot(snap) => Ok(snap),
@@ -270,6 +273,7 @@ impl<T: Read + Write> RemoteClient<T> {
                     framed
                         .send(&Message::Ack {
                             cursor: snap.next_cursor,
+                            ctx: Some(TraceContext::for_session(id.0)),
                         })
                         .map_err(transport)?;
                     self.note_acked(id, snap.next_cursor);
@@ -336,8 +340,11 @@ impl<T: Read + Write> SearchService for RemoteClient<T> {
     }
 
     fn submit(&self, spec: QuerySpec) -> Result<SessionId, SubmitError> {
+        // No trace context: the trace id derives from the session id the
+        // server is about to mint, unknowable before the reply. A router
+        // forwarding a submit it already namespaced fills this in.
         match self
-            .call(&Message::Submit(spec))
+            .call(&Message::Submit { spec, ctx: None })
             .map_err(SubmitError::Transport)?
         {
             Message::Submitted(id) => Ok(id),
@@ -453,6 +460,19 @@ impl<T: Read + Write> SearchService for RemoteClient<T> {
             Message::Error(err) => Err(lifecycle_error(err)),
             _ => Err(ServiceError::Transport(
                 "unexpected response to Diagnostics".into(),
+            )),
+        }
+    }
+
+    fn collect_trace(&self, trace: TraceId) -> Result<Vec<SpanRecord>, ServiceError> {
+        match self
+            .call(&Message::CollectTrace { trace })
+            .map_err(ServiceError::Transport)?
+        {
+            Message::TraceReply(spans) => Ok(spans),
+            Message::Error(err) => Err(lifecycle_error(err)),
+            _ => Err(ServiceError::Transport(
+                "unexpected response to CollectTrace".into(),
             )),
         }
     }

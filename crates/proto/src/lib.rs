@@ -67,7 +67,13 @@ pub const PROTO_MAGIC: &[u8; 4] = b"XSRP";
 /// `Overloaded { retry_after_ms }` / `Unauthorized` error forms, so an
 /// admission-controlled server can shed load with a typed, retryable
 /// answer instead of stalling or disconnecting.
-pub const PROTO_VERSION: u16 = 6;
+/// v7 added the distributed-tracing surface: `Submit`, `Poll`, and
+/// `Ack` carry an optional `TraceContext` (trace id + causal parent
+/// span) so servers parent their handling spans under the caller's,
+/// and the `CollectTrace`/`TraceReply` exchange fetches one trace's
+/// recorded span tree from a shard or, through the cluster router, the
+/// whole fleet.
+pub const PROTO_VERSION: u16 = 7;
 
 /// Upper bound on one frame's payload, enforced on both send and
 /// receive: a corrupt or hostile length prefix must not provoke an

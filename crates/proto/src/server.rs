@@ -93,8 +93,11 @@ impl SearchServer {
                         weight: 1,
                     })?;
                 }
-                Message::Submit(spec) => {
+                Message::Submit { spec, ctx } => {
                     let mut span = self.engine.obs().span_flight(Stage::Submit, NO_SESSION);
+                    if let Some(ctx) = ctx {
+                        span.set_trace_context(ctx);
+                    }
                     let reply = match self.engine.submit(spec) {
                         Ok(id) => {
                             span.set_session(id.0);
@@ -109,9 +112,13 @@ impl SearchServer {
                     session,
                     cursor,
                     window,
+                    ctx,
                 } => {
                     let window = Some(window.unwrap_or(MAX_POLL_WINDOW).min(MAX_POLL_WINDOW));
                     let mut span = self.engine.obs().span_flight(Stage::Poll, session.0);
+                    if let Some(ctx) = ctx {
+                        span.set_trace_context(ctx);
+                    }
                     let reply = match self.engine.poll_window(session, cursor, window) {
                         Ok(snap) => {
                             span.set_key(snap.events.len() as u64);
@@ -175,6 +182,9 @@ impl SearchServer {
                     cursor,
                     window,
                 } => self.serve_subscription(framed, session, cursor, window)?,
+                Message::CollectTrace { trace } => {
+                    framed.send(&Message::TraceReply(self.engine.collect_trace(trace)))?;
+                }
                 _ => {
                     // A response tag, or an Ack outside a subscription:
                     // the peer is confused; tell it and hang up rather
@@ -232,7 +242,10 @@ impl SearchServer {
                 return Ok(());
             }
             match framed.recv() {
-                Ok(Message::Ack { cursor: acked }) => cursor = acked,
+                Ok(Message::Ack {
+                    cursor: acked,
+                    ctx: _,
+                }) => cursor = acked,
                 Ok(_) => {
                     framed.send(&Message::Error(WireError::Malformed(
                         "expected Ack during subscription".into(),

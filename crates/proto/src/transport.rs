@@ -224,11 +224,21 @@ mod tests {
         let (mut a, mut b) = (Framed::new(a), Framed::new(b));
         let t = std::thread::spawn(move || {
             b.send(&Message::Repos).unwrap();
-            b.send(&Message::Ack { cursor: 3 }).unwrap();
+            b.send(&Message::Ack {
+                cursor: 3,
+                ctx: None,
+            })
+            .unwrap();
             b.recv().unwrap()
         });
         assert_eq!(a.recv().unwrap(), Message::Repos);
-        assert_eq!(a.recv().unwrap(), Message::Ack { cursor: 3 });
+        assert_eq!(
+            a.recv().unwrap(),
+            Message::Ack {
+                cursor: 3,
+                ctx: None
+            }
+        );
         a.send(&Message::CancelOk).unwrap();
         assert_eq!(t.join().unwrap(), Message::CancelOk);
     }

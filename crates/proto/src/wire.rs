@@ -16,7 +16,7 @@ use exsample_engine::{
     ResultEvent, ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot,
     SessionStatus,
 };
-use exsample_obs::{FlightEvent, HistSnapshot, Stage};
+use exsample_obs::{FlightEvent, HistSnapshot, SpanId, SpanRecord, Stage, TraceContext, TraceId};
 use exsample_videosim::ClassId;
 
 /// Upper bound on one encoded histogram snapshot crossing the wire.
@@ -90,7 +90,16 @@ pub enum Message {
     /// Fetch the repository catalog.
     Repos,
     /// Submit a query for execution.
-    Submit(QuerySpec),
+    Submit {
+        /// The query to run.
+        spec: QuerySpec,
+        /// Distributed-trace context (protocol v7). Clients send `None`
+        /// — the trace id derives from the session id the server
+        /// returns, unknowable before submit — but a routing layer that
+        /// already knows the trace forwards it here so the shard's
+        /// handling span lands in the right tree.
+        ctx: Option<TraceContext>,
+    },
     /// Cursor poll: events in `cursor..`, at most `window` of them
     /// (`None` = all available).
     Poll {
@@ -100,6 +109,10 @@ pub enum Message {
         cursor: u64,
         /// Maximum events to return.
         window: Option<u32>,
+        /// Distributed-trace context (protocol v7): the session's trace
+        /// and the caller's span, so the server parents its handling
+        /// span causally under the client's.
+        ctx: Option<TraceContext>,
     },
     /// Request cancellation (idempotent).
     Cancel {
@@ -134,6 +147,8 @@ pub enum Message {
     Ack {
         /// The `next_cursor` of the batch being acknowledged.
         cursor: u64,
+        /// Distributed-trace context (protocol v7); see [`Message::Poll`].
+        ctx: Option<TraceContext>,
     },
     /// Fetch the service's operational counters (cache, durable store,
     /// resident sessions); answered with [`Message::StatsReply`]. This is
@@ -157,6 +172,14 @@ pub enum Message {
     Hello {
         /// The tenant's bearer token.
         token: String,
+    },
+    /// Fetch every recorded span of one distributed trace (protocol
+    /// v7); answered with [`Message::TraceReply`]. Unknown or evicted
+    /// trace ids answer with an empty reply, never an error.
+    CollectTrace {
+        /// The trace to collect (derived from the session id via
+        /// `TraceId::from_session`).
+        trace: TraceId,
     },
 
     // ---- responses ----
@@ -190,6 +213,9 @@ pub enum Message {
         /// spec this connection submits.
         weight: u32,
     },
+    /// One trace's recorded spans ([`Message::CollectTrace`] answer,
+    /// protocol v7), oldest first.
+    TraceReply(Vec<SpanRecord>),
     /// The request failed.
     Error(WireError),
 }
@@ -206,6 +232,7 @@ const TAG_ACK: u8 = 0x08;
 const TAG_STATS: u8 = 0x09;
 const TAG_DIAGNOSTICS: u8 = 0x0A;
 const TAG_HELLO: u8 = 0x0B;
+const TAG_COLLECT_TRACE: u8 = 0x0C;
 const TAG_REPO_LIST: u8 = 0x41;
 const TAG_SUBMITTED: u8 = 0x42;
 const TAG_SNAPSHOT: u8 = 0x43;
@@ -215,6 +242,7 @@ const TAG_ERROR: u8 = 0x46;
 const TAG_STATS_REPLY: u8 = 0x47;
 const TAG_DIAGNOSTICS_REPLY: u8 = 0x48;
 const TAG_WELCOME: u8 = 0x49;
+const TAG_TRACE_REPLY: u8 = 0x4A;
 
 /// Little-endian pull parser over a payload slice.
 struct Cursor<'a> {
@@ -322,6 +350,68 @@ fn get_opt_u64(c: &mut Cursor) -> Result<Option<u64>, WireCodecError> {
 }
 
 // ---- component encodings ----
+
+fn put_trace_ctx(out: &mut Vec<u8>, ctx: &Option<TraceContext>) {
+    match ctx {
+        Some(ctx) => {
+            out.push(1);
+            put_u64(out, ctx.trace.0);
+            put_u64(out, ctx.parent.0);
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_trace_ctx(c: &mut Cursor) -> Result<Option<TraceContext>, WireCodecError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext {
+            trace: TraceId(c.u64()?),
+            parent: SpanId(c.u64()?),
+        })),
+        _ => Err(WireCodecError("bad trace context tag")),
+    }
+}
+
+/// Byte size of one encoded [`SpanRecord`]: trace, id, parent, stage
+/// tag, session, start, duration, key.
+const SPAN_RECORD_SIZE: usize = 8 + 8 + 8 + 1 + 8 + 8 + 8 + 8;
+
+fn put_span_records(out: &mut Vec<u8>, spans: &[SpanRecord]) {
+    put_u32(out, spans.len() as u32);
+    for s in spans {
+        put_u64(out, s.trace.0);
+        put_u64(out, s.id.0);
+        put_u64(out, s.parent.0);
+        out.push(s.stage.as_u8());
+        put_u64(out, s.session);
+        put_u64(out, s.start_ns);
+        put_u64(out, s.duration_ns);
+        put_u64(out, s.key);
+    }
+}
+
+fn get_span_records(c: &mut Cursor) -> Result<Vec<SpanRecord>, WireCodecError> {
+    let n = c.count(SPAN_RECORD_SIZE)?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let trace = TraceId(c.u64()?);
+        let id = SpanId(c.u64()?);
+        let parent = SpanId(c.u64()?);
+        let stage = Stage::from_u8(c.u8()?).ok_or(WireCodecError("bad stage tag"))?;
+        spans.push(SpanRecord {
+            trace,
+            id,
+            parent,
+            stage,
+            session: c.u64()?,
+            start_ns: c.u64()?,
+            duration_ns: c.u64()?,
+            key: c.u64()?,
+        });
+    }
+    Ok(spans)
+}
 
 fn put_spec(out: &mut Vec<u8>, spec: &QuerySpec) {
     put_u32(out, spec.repo.0);
@@ -801,14 +891,16 @@ fn get_wire_error(c: &mut Cursor) -> Result<WireError, WireCodecError> {
 pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
     match msg {
         Message::Repos => out.push(TAG_REPOS),
-        Message::Submit(spec) => {
+        Message::Submit { spec, ctx } => {
             out.push(TAG_SUBMIT);
             put_spec(out, spec);
+            put_trace_ctx(out, ctx);
         }
         Message::Poll {
             session,
             cursor,
             window,
+            ctx,
         } => {
             out.push(TAG_POLL);
             put_u64(out, session.0);
@@ -820,6 +912,7 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
                 }
                 None => out.push(0),
             }
+            put_trace_ctx(out, ctx);
         }
         Message::Cancel { session } => {
             out.push(TAG_CANCEL);
@@ -843,9 +936,10 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             put_u64(out, *cursor);
             put_u32(out, *window);
         }
-        Message::Ack { cursor } => {
+        Message::Ack { cursor, ctx } => {
             out.push(TAG_ACK);
             put_u64(out, *cursor);
+            put_trace_ctx(out, ctx);
         }
         Message::Stats { detail } => {
             out.push(TAG_STATS);
@@ -855,6 +949,10 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
         Message::Hello { token } => {
             out.push(TAG_HELLO);
             put_string(out, token);
+        }
+        Message::CollectTrace { trace } => {
+            out.push(TAG_COLLECT_TRACE);
+            put_u64(out, trace.0);
         }
         Message::RepoList(infos) => {
             out.push(TAG_REPO_LIST);
@@ -896,6 +994,10 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             put_u32(out, *tenant);
             put_u32(out, *weight);
         }
+        Message::TraceReply(spans) => {
+            out.push(TAG_TRACE_REPLY);
+            put_span_records(out, spans);
+        }
         Message::Error(err) => {
             out.push(TAG_ERROR);
             put_wire_error(out, err);
@@ -908,7 +1010,10 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
     let mut c = Cursor { data: payload };
     let msg = match c.u8()? {
         TAG_REPOS => Message::Repos,
-        TAG_SUBMIT => Message::Submit(get_spec(&mut c)?),
+        TAG_SUBMIT => Message::Submit {
+            spec: get_spec(&mut c)?,
+            ctx: get_trace_ctx(&mut c)?,
+        },
         TAG_POLL => Message::Poll {
             session: SessionId(c.u64()?),
             cursor: c.u64()?,
@@ -917,6 +1022,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
                 1 => Some(c.u32()?),
                 _ => return Err(WireCodecError("bad option tag")),
             },
+            ctx: get_trace_ctx(&mut c)?,
         },
         TAG_CANCEL => Message::Cancel {
             session: SessionId(c.u64()?),
@@ -932,10 +1038,16 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
             cursor: c.u64()?,
             window: c.u32()?,
         },
-        TAG_ACK => Message::Ack { cursor: c.u64()? },
+        TAG_ACK => Message::Ack {
+            cursor: c.u64()?,
+            ctx: get_trace_ctx(&mut c)?,
+        },
         TAG_STATS => Message::Stats { detail: c.bool()? },
         TAG_DIAGNOSTICS => Message::Diagnostics,
         TAG_HELLO => Message::Hello { token: c.string()? },
+        TAG_COLLECT_TRACE => Message::CollectTrace {
+            trace: TraceId(c.u64()?),
+        },
         TAG_REPO_LIST => {
             // Minimal RepoInfo: fixed fields + empty name.
             let n = c.count(4 + 8 + 2 + 8 + 4)?;
@@ -963,6 +1075,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireCodecError> {
             tenant: c.u32()?,
             weight: c.u32()?,
         },
+        TAG_TRACE_REPLY => Message::TraceReply(get_span_records(&mut c)?),
         TAG_ERROR => Message::Error(get_wire_error(&mut c)?),
         _ => return Err(WireCodecError("unknown message tag")),
     };
@@ -993,18 +1106,33 @@ mod tests {
             Message::Forget {
                 session: SessionId(0),
             },
-            Message::Ack { cursor: 99 },
+            Message::Ack {
+                cursor: 99,
+                ctx: None,
+            },
+            Message::Ack {
+                cursor: 99,
+                ctx: Some(TraceContext::for_session(7)),
+            },
             Message::Submitted(SessionId(3)),
             Message::CancelOk,
             Message::Poll {
                 session: SessionId(1),
                 cursor: 5,
                 window: None,
+                ctx: None,
             },
             Message::Poll {
                 session: SessionId(1),
                 cursor: 5,
                 window: Some(32),
+                ctx: Some(TraceContext {
+                    trace: TraceId(0xFEED),
+                    parent: SpanId(12),
+                }),
+            },
+            Message::CollectTrace {
+                trace: TraceId::from_session(1),
             },
             Message::Subscribe {
                 session: SessionId(2),
@@ -1192,10 +1320,65 @@ mod tests {
             beta0: 2.5,
         };
         spec.stop.max_seconds = Some(0.1 + 0.2); // not decimal-representable
-        assert_eq!(
-            roundtrip(&Message::Submit(spec.clone())),
-            Message::Submit(spec)
+        for ctx in [None, Some(TraceContext::for_session(42))] {
+            let msg = Message::Submit {
+                spec: spec.clone(),
+                ctx,
+            };
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn trace_reply_round_trips() {
+        let spans = vec![
+            SpanRecord {
+                trace: TraceId::from_session(5),
+                id: SpanId::ROOT,
+                parent: SpanId::NONE,
+                stage: Stage::Session,
+                session: 5,
+                start_ns: 0,
+                duration_ns: 1_000_000,
+                key: 0,
+            },
+            SpanRecord {
+                trace: TraceId::from_session(5),
+                id: SpanId(2),
+                parent: SpanId::ROOT,
+                stage: Stage::Dispatch,
+                session: 5,
+                start_ns: 17,
+                duration_ns: u64::MAX,
+                key: 8,
+            },
+        ];
+        let msg = Message::TraceReply(spans);
+        assert_eq!(roundtrip(&msg), msg);
+        let empty = Message::TraceReply(Vec::new());
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn trace_reply_with_bad_stage_byte_rejected() {
+        let mut buf = Vec::new();
+        encode_message(
+            &Message::TraceReply(vec![SpanRecord {
+                trace: TraceId(1),
+                id: SpanId::ROOT,
+                parent: SpanId::NONE,
+                stage: Stage::Session,
+                session: 1,
+                start_ns: 0,
+                duration_ns: 0,
+                key: 0,
+            }]),
+            &mut buf,
         );
+        // Stage byte sits after the three leading u64s of the record.
+        let stage_pos = buf.len() - SPAN_RECORD_SIZE + 24;
+        buf[stage_pos] = 0xEE;
+        assert_eq!(decode_message(&buf), Err(WireCodecError("bad stage tag")));
     }
 
     #[test]
@@ -1226,7 +1409,13 @@ mod tests {
         let mut spec = QuerySpec::new(RepoId(1), ClassId(0), StopCond::results(5));
         spec.stop.max_seconds = Some(1.5);
         let mut buf = Vec::new();
-        encode_message(&Message::Submit(spec), &mut buf);
+        encode_message(
+            &Message::Submit {
+                spec,
+                ctx: Some(TraceContext::for_session(5)),
+            },
+            &mut buf,
+        );
         for cut in 0..buf.len() {
             assert!(decode_message(&buf[..cut]).is_err(), "cut at {cut}");
         }

@@ -11,7 +11,7 @@ use exsample_engine::{
     ResultEvent, ServiceStats, SessionCharges, SessionId, SessionReport, SessionSnapshot,
     SessionStatus,
 };
-use exsample_obs::{FlightEvent, HistSnapshot, Stage};
+use exsample_obs::{FlightEvent, HistSnapshot, SpanId, SpanRecord, Stage, TraceContext, TraceId};
 use exsample_proto::wire::{decode_message, encode_message};
 use exsample_proto::{Framed, Message, WireError, MAX_SNAPSHOT_LEN};
 use exsample_videosim::ClassId;
@@ -168,15 +168,48 @@ fn make_flight_events(aux: &[u64]) -> Vec<FlightEvent> {
         .collect()
 }
 
+/// An arbitrary optional trace context: absent, fresh-for-session, or
+/// with an arbitrary parent span.
+fn make_ctx(w: u64) -> Option<TraceContext> {
+    match w % 3 {
+        0 => None,
+        1 => Some(TraceContext::for_session(w >> 2)),
+        _ => Some(TraceContext {
+            trace: TraceId(w.rotate_left(21)),
+            parent: SpanId(w.rotate_left(43)),
+        }),
+    }
+}
+
+/// Arbitrary span records (every stage tag, extreme ids and times).
+fn make_spans(w: u64, aux: &[u64]) -> Vec<SpanRecord> {
+    aux.iter()
+        .map(|&a| SpanRecord {
+            trace: TraceId(w ^ a),
+            id: SpanId(a),
+            parent: SpanId(a.rotate_left(7)),
+            stage: Stage::from_u8((a % 15) as u8).expect("stage tag in range"),
+            session: a.rotate_left(13),
+            start_ns: a.rotate_left(29),
+            duration_ns: a.rotate_left(37),
+            key: a.rotate_left(47),
+        })
+        .collect()
+}
+
 /// One message of every kind, selected by `kind`, parameterized by `w`.
 fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
     match kind {
         0 => Message::Repos,
-        1 => Message::Submit(make_spec(w)),
+        1 => Message::Submit {
+            spec: make_spec(w),
+            ctx: make_ctx(w[5]),
+        },
         2 => Message::Poll {
             session: SessionId(w[0]),
             cursor: w[1],
             window: (w[2] & 1 != 0).then_some((w[2] >> 1) as u32),
+            ctx: make_ctx(w[3]),
         },
         3 => Message::Cancel {
             session: SessionId(w[0]),
@@ -192,7 +225,10 @@ fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
             cursor: w[1],
             window: w[2] as u32,
         },
-        7 => Message::Ack { cursor: w[0] },
+        7 => Message::Ack {
+            cursor: w[0],
+            ctx: make_ctx(w[1]),
+        },
         8 => Message::RepoList(
             aux.iter()
                 .map(|&a| RepoInfo {
@@ -228,6 +264,10 @@ fn make_message(kind: u8, w: &[u64; 6], aux: &[u64]) -> Message {
             tenant: w[0] as u32,
             weight: (w[0] >> 32) as u32,
         },
+        20 => Message::CollectTrace {
+            trace: TraceId(w[0]),
+        },
+        21 => Message::TraceReply(make_spans(w[0], aux)),
         _ => Message::Error(match w[0] % 8 {
             0 => WireError::UnknownRepo(w[1] as u32),
             1 => WireError::UnknownSession(w[1]),
@@ -287,7 +327,7 @@ proptest! {
     /// bit patterns.
     #[test]
     fn every_message_kind_round_trips_bytewise(
-        kind in 0u8..20,
+        kind in 0u8..22,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..24),
     ) {
@@ -303,7 +343,7 @@ proptest! {
     /// Messages without raw-bit floats also satisfy structural equality.
     #[test]
     fn structural_equality_round_trip(
-        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15, 16, 17, 18, 19]),
+        kind in prop::sample::select(vec![0u8, 2, 3, 4, 5, 6, 7, 9, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21]),
         w in prop::array::uniform6(any::<u64>()),
     ) {
         let msg = make_message(kind, &w, &[]);
@@ -317,7 +357,7 @@ proptest! {
     /// silently shorter message.
     #[test]
     fn truncated_payloads_never_decode(
-        kind in 0u8..20,
+        kind in 0u8..22,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 1..12),
         cut in any::<prop::sample::Index>(),
@@ -333,7 +373,7 @@ proptest! {
     /// checksum, or payload — is always detected by the transport.
     #[test]
     fn framed_bit_flips_always_detected(
-        kind in 0u8..20,
+        kind in 0u8..22,
         w in prop::array::uniform6(any::<u64>()),
         aux in prop::collection::vec(any::<u64>(), 0..8),
         victim in any::<prop::sample::Index>(),

@@ -140,6 +140,24 @@ impl FrameBuf {
         self.incoming.len() - self.in_start
     }
 
+    /// The unconsumed inbound bytes, verbatim — for connections that
+    /// speak something other than XSRP frames (the reactor's plaintext
+    /// `/metrics` endpoint parses HTTP request bytes directly).
+    pub fn peek_in(&self) -> &[u8] {
+        &self.incoming[self.in_start..]
+    }
+
+    /// Consume `n` raw inbound bytes previously seen via
+    /// [`peek_in`](Self::peek_in).
+    ///
+    /// # Panics
+    ///
+    /// If `n` exceeds [`pending_in`](Self::pending_in).
+    pub fn consume_in(&mut self, n: usize) {
+        assert!(n <= self.pending_in(), "consumed past the inbound buffer");
+        self.consume(n);
+    }
+
     fn consume(&mut self, n: usize) {
         self.in_start += n;
         // Compact once the dead prefix dominates, so the buffer doesn't
@@ -203,6 +221,12 @@ impl FrameBuf {
     pub fn has_pending_out(&self) -> bool {
         self.out_start < self.outgoing.len()
     }
+
+    /// Queue raw bytes verbatim, bypassing XSRP framing — the metrics
+    /// endpoint writes HTTP/1.0 responses through the same flush path.
+    pub fn queue_raw(&mut self, bytes: &[u8]) {
+        self.outgoing.extend_from_slice(bytes);
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +247,11 @@ mod tests {
         let mut tx = FrameBuf::new();
         tx.queue_preamble(PROTO_VERSION);
         tx.queue(&Message::Repos).unwrap();
-        tx.queue(&Message::Ack { cursor: 42 }).unwrap();
+        tx.queue(&Message::Ack {
+            cursor: 42,
+            ctx: None,
+        })
+        .unwrap();
         let mut wire = Vec::new();
         tx.write_to(&mut wire).unwrap();
 
@@ -243,7 +271,16 @@ mod tests {
             }
         }
         assert_eq!(got_version, Some(PROTO_VERSION));
-        assert_eq!(msgs, vec![Message::Repos, Message::Ack { cursor: 42 }]);
+        assert_eq!(
+            msgs,
+            vec![
+                Message::Repos,
+                Message::Ack {
+                    cursor: 42,
+                    ctx: None
+                }
+            ]
+        );
         assert_eq!(rx.pending_in(), 0);
     }
 
@@ -308,9 +345,19 @@ mod tests {
         let mut tx = FrameBuf::new();
         let mut rx = FrameBuf::new();
         for i in 0..10_000u64 {
-            tx.queue(&Message::Ack { cursor: i }).unwrap();
+            tx.queue(&Message::Ack {
+                cursor: i,
+                ctx: None,
+            })
+            .unwrap();
             drain_into(&mut tx, &mut rx);
-            assert_eq!(rx.next_frame().unwrap(), Some(Message::Ack { cursor: i }));
+            assert_eq!(
+                rx.next_frame().unwrap(),
+                Some(Message::Ack {
+                    cursor: i,
+                    ctx: None
+                })
+            );
         }
         assert_eq!(rx.pending_in(), 0);
         // The dead prefix must have been compacted away, not retained.

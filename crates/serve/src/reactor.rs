@@ -39,7 +39,7 @@ use crate::auth::AuthRegistry;
 use crate::framebuf::{FrameBuf, ReadOutcome};
 use crate::ServeConfig;
 use exsample_engine::{Engine, EngineError, SessionStatus, TenantBinding, TenantId};
-use exsample_obs::{Counter, Gauge, HistSnapshot, Stage, NO_SESSION};
+use exsample_obs::{Counter, CounterFamily, Gauge, HistSnapshot, Stage, NO_SESSION};
 use exsample_proto::{
     AcceptRetry, Message, WireError, MAX_POLL_WINDOW, MAX_SNAPSHOT_LEN, PROTO_VERSION,
 };
@@ -126,6 +126,9 @@ struct ListenerSlot {
     kind: ListenerKind,
     retry: AcceptRetry,
     alive: bool,
+    /// Connections from this listener speak plaintext HTTP (the
+    /// `/metrics` scrape endpoint), not XSRP frames.
+    http: bool,
 }
 
 /// Where a connection is in its lifecycle.
@@ -162,6 +165,9 @@ struct Conn {
     /// Flush what is queued, then close (shed or protocol violation).
     close_after_flush: bool,
     opened: Instant,
+    /// HTTP scrape connection (from a metrics listener): raw request
+    /// bytes in, one HTTP/1.0 response out, then close.
+    http: bool,
 }
 
 impl Conn {
@@ -190,8 +196,9 @@ impl Conn {
 /// Live operational counters of a running reactor (see
 /// [`ServeHandle::stats`]). The same values are visible to every
 /// observer through the engine's metric registry as
-/// `exsample_accepted_total`, `exsample_shed_total`, and
-/// `exsample_connections_active`.
+/// `exsample_accepted_total`, `exsample_shed_total{tenant="..."}`
+/// (a per-tenant family; [`ServeStats::shed`] is its sum over all
+/// tenants), and `exsample_connections_active`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeStats {
     /// Connections accepted since start.
@@ -210,7 +217,7 @@ pub struct ServeHandle {
     poller: Arc<Poller>,
     join: Option<JoinHandle<()>>,
     accepted: Arc<Counter>,
-    shed: Arc<Counter>,
+    shed: Arc<CounterFamily>,
     active: Arc<Gauge>,
 }
 
@@ -219,7 +226,7 @@ impl ServeHandle {
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             accepted: self.accepted.get(),
-            shed: self.shed.get(),
+            shed: self.shed.total(),
             connections_active: self.active.get(),
         }
     }
@@ -275,7 +282,7 @@ impl Reactor {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        self.register_listener(ListenerKind::Tcp(listener))?;
+        self.register_listener(ListenerKind::Tcp(listener), false)?;
         Ok(local)
     }
 
@@ -283,16 +290,32 @@ impl Reactor {
     pub fn listen_unix(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
         let listener = UnixListener::bind(path)?;
         listener.set_nonblocking(true)?;
-        self.register_listener(ListenerKind::Unix(listener))
+        self.register_listener(ListenerKind::Unix(listener), false)
     }
 
-    fn register_listener(&mut self, kind: ListenerKind) -> io::Result<()> {
+    /// Bind and register a plaintext-HTTP metrics listener, returning
+    /// the bound address. Connections accepted here answer
+    /// `GET /metrics` with the engine registry's text exposition and
+    /// `GET /healthz` with `ok`, then close — no XSRP framing, no
+    /// admission, one request per connection (HTTP/1.0 semantics). Kept
+    /// on its own listener so a scraper can never confuse the binary
+    /// protocol: XSRP connections still reject HTTP bytes as bad magic.
+    pub fn listen_metrics_tcp(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.register_listener(ListenerKind::Tcp(listener), true)?;
+        Ok(local)
+    }
+
+    fn register_listener(&mut self, kind: ListenerKind, http: bool) -> io::Result<()> {
         let key = self.listeners.len();
         self.poller.add(&Fd(kind.fd()), Event::readable(key))?;
         self.listeners.push(ListenerSlot {
             kind,
             retry: AcceptRetry::default(),
             alive: true,
+            http,
         });
         Ok(())
     }
@@ -301,7 +324,7 @@ impl Reactor {
     pub fn spawn(self) -> io::Result<ServeHandle> {
         let registry = self.engine.obs().registry().clone();
         let accepted = registry.counter("accepted_total");
-        let shed = registry.counter("shed_total");
+        let shed = registry.counter_family("shed_total", "tenant");
         let active = registry.gauge("connections_active");
         let stop = Arc::new(AtomicBool::new(false));
         let poller = self.poller.clone();
@@ -353,8 +376,16 @@ struct EventLoop {
     deadlines: VecDeque<(usize, Instant)>,
     next_key: usize,
     accepted: Arc<Counter>,
-    shed: Arc<Counter>,
+    shed: Arc<CounterFamily>,
     active: Arc<Gauge>,
+}
+
+impl EventLoop {
+    /// Count one shed against `tenant`'s label (`0` = unauthenticated /
+    /// anonymous, matching the engine's untagged-submit convention).
+    fn shed_for(&self, tenant: Option<TenantId>) {
+        self.shed.with(&tenant.map_or(0, |t| t.0).to_string()).inc();
+    }
 }
 
 impl EventLoop {
@@ -394,11 +425,13 @@ impl EventLoop {
 
     fn accept_burst(&mut self, lkey: usize) {
         let mut fresh: Vec<Box<dyn ConnIo>> = Vec::new();
+        let http;
         {
             let slot = match self.listeners.get_mut(lkey) {
                 Some(slot) if slot.alive => slot,
                 _ => return,
             };
+            http = slot.http;
             loop {
                 match slot.kind.accept() {
                     Ok(io) => {
@@ -431,12 +464,12 @@ impl EventLoop {
             let mut span = engine.obs().span_flight(Stage::Accept, NO_SESSION);
             span.set_key(fresh.len() as u64);
             for io in fresh {
-                self.open_conn(io);
+                self.open_conn(io, http);
             }
         }
     }
 
-    fn open_conn(&mut self, io: Box<dyn ConnIo>) {
+    fn open_conn(&mut self, io: Box<dyn ConnIo>, http: bool) {
         self.accepted.inc();
         let key = self.next_key;
         self.next_key += 1;
@@ -449,20 +482,29 @@ impl EventLoop {
             pending: None,
             close_after_flush: false,
             opened: Instant::now(),
+            http,
         };
-        // Our preamble goes out first in all cases — even a shed peer
-        // deserves a parseable, typed answer.
-        conn.buf.queue_preamble(PROTO_VERSION);
-        if self.admission.admit_connection(self.conns.len()).is_err() {
-            self.shed.inc();
-            let retry_after_ms = self.admission.config().retry_after_ms;
-            let _ = conn
-                .buf
-                .queue(&Message::Error(WireError::Overloaded { retry_after_ms }));
-            conn.close_after_flush = true;
-        } else {
+        if http {
+            // A scrape connection sends no preamble and is never shed;
+            // the handshake deadline below still bounds how long an
+            // idle scraper may sit on its request.
             self.deadlines
                 .push_back((key, conn.opened + self.handshake_timeout));
+        } else {
+            // Our preamble goes out first in all cases — even a shed
+            // peer deserves a parseable, typed answer.
+            conn.buf.queue_preamble(PROTO_VERSION);
+            if self.admission.admit_connection(self.conns.len()).is_err() {
+                self.shed_for(None);
+                let retry_after_ms = self.admission.config().retry_after_ms;
+                let _ = conn
+                    .buf
+                    .queue(&Message::Error(WireError::Overloaded { retry_after_ms }));
+                conn.close_after_flush = true;
+            } else {
+                self.deadlines
+                    .push_back((key, conn.opened + self.handshake_timeout));
+            }
         }
         if !self.flush(&mut conn) {
             return;
@@ -508,7 +550,12 @@ impl EventLoop {
                 // service), and so do we.
                 Ok(ReadOutcome::Eof) | Err(_) => return false,
             }
-            if !self.process_frames(conn) {
+            let served = if conn.http {
+                self.process_http(conn)
+            } else {
+                self.process_frames(conn)
+            };
+            if !served {
                 return false;
             }
         }
@@ -516,6 +563,41 @@ impl EventLoop {
             return false;
         }
         !conn.close_after_flush || conn.buf.has_pending_out()
+    }
+
+    /// Serve one plaintext HTTP request on a metrics connection: wait
+    /// for the blank line ending the headers, answer, close. Anything
+    /// unparseable or oversized closes without an answer.
+    fn process_http(&mut self, conn: &mut Conn) -> bool {
+        /// Longest request (line + headers) a scraper may send; beyond
+        /// this the connection is not a scrape, it is abuse.
+        const MAX_HTTP_REQUEST: usize = 8 << 10;
+        if conn.close_after_flush {
+            return true;
+        }
+        let bytes = conn.buf.peek_in();
+        let Some(end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return bytes.len() <= MAX_HTTP_REQUEST;
+        };
+        let Ok(head) = std::str::from_utf8(&bytes[..end]) else {
+            return false;
+        };
+        let request_line = head.lines().next().unwrap_or("");
+        let mut parts = request_line.split_ascii_whitespace();
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let response = if method != "GET" {
+            http_response("405 Method Not Allowed", "method not allowed\n")
+        } else {
+            match path {
+                "/metrics" => http_response("200 OK", &self.engine.obs().registry().render_text()),
+                "/healthz" => http_response("200 OK", "ok\n"),
+                _ => http_response("404 Not Found", "not found\n"),
+            }
+        };
+        conn.buf.consume_in(end + 4);
+        conn.buf.queue_raw(&response);
+        conn.close_after_flush = true;
+        true
     }
 
     /// Flush queued output; `false` = transport failure (close).
@@ -583,7 +665,10 @@ impl EventLoop {
         }) = conn.pending
         {
             match msg {
-                Message::Ack { cursor: acked } => {
+                Message::Ack {
+                    cursor: acked,
+                    ctx: _,
+                } => {
                     if let Some(Pending::Stream {
                         cursor,
                         awaiting_ack,
@@ -629,7 +714,7 @@ impl EventLoop {
                     }
                     Some(binding) => match self.admission.bind_tenant(binding.tenant) {
                         Err(AdmissionError::Overloaded { retry_after_ms }) => {
-                            self.shed.inc();
+                            self.shed_for(Some(binding.tenant));
                             Message::Error(WireError::Overloaded { retry_after_ms })
                         }
                         Err(AdmissionError::Unauthorized(why)) => {
@@ -646,16 +731,25 @@ impl EventLoop {
                 };
                 self.queue(conn, reply)
             }
-            Message::Submit(spec) => {
-                let reply = match self
+            Message::Submit { spec, ctx } => {
+                let admit_start = Instant::now();
+                let admitted = self
                     .admission
-                    .admit_submit(conn.tenant.map(|b| b.tenant), &self.engine)
-                {
+                    .admit_submit(conn.tenant.map(|b| b.tenant), &self.engine);
+                let admit_ns = admit_start.elapsed().as_nanos() as u64;
+                let reply = match admitted {
                     Err(AdmissionError::Overloaded { retry_after_ms }) => {
-                        self.shed.inc();
+                        // key=1 marks a shed admission decision.
+                        self.engine
+                            .obs()
+                            .record(Stage::Admission, NO_SESSION, admit_ns, 1);
+                        self.shed_for(conn.tenant.map(|b| b.tenant));
                         Message::Error(WireError::Overloaded { retry_after_ms })
                     }
                     Err(AdmissionError::Unauthorized(why)) => {
+                        self.engine
+                            .obs()
+                            .record(Stage::Admission, NO_SESSION, admit_ns, 1);
                         Message::Error(WireError::Unauthorized(why))
                     }
                     Ok(()) => {
@@ -667,13 +761,28 @@ impl EventLoop {
                             weight: 1,
                         });
                         let mut span = self.engine.obs().span_flight(Stage::Submit, NO_SESSION);
+                        if let Some(ctx) = ctx {
+                            span.set_trace_context(ctx);
+                        }
                         match self.engine.submit_tagged(spec, Some(binding)) {
                             Ok(id) => {
                                 span.set_session(id.0);
                                 turn.set_session(id.0);
+                                // The admission decision happened before
+                                // the session existed; now that the id is
+                                // known, file it under the session so the
+                                // trace tree shows the admission cost.
+                                self.engine
+                                    .obs()
+                                    .record(Stage::Admission, id.0, admit_ns, 0);
                                 Message::Submitted(id)
                             }
-                            Err(e) => Message::Error(engine_error(e)),
+                            Err(e) => {
+                                self.engine
+                                    .obs()
+                                    .record(Stage::Admission, NO_SESSION, admit_ns, 0);
+                                Message::Error(engine_error(e))
+                            }
                         }
                     }
                 };
@@ -683,10 +792,14 @@ impl EventLoop {
                 session,
                 cursor,
                 window,
+                ctx,
             } => {
                 turn.set_session(session.0);
                 let window = Some(window.unwrap_or(MAX_POLL_WINDOW).min(MAX_POLL_WINDOW));
                 let mut span = self.engine.obs().span_flight(Stage::Poll, session.0);
+                if let Some(ctx) = ctx {
+                    span.set_trace_context(ctx);
+                }
                 let reply = match self.engine.poll_window(session, cursor, window) {
                     Ok(snap) => {
                         span.set_key(snap.events.len() as u64);
@@ -695,6 +808,10 @@ impl EventLoop {
                     Err(e) => Message::Error(engine_error(e)),
                 };
                 drop(span);
+                self.queue(conn, reply)
+            }
+            Message::CollectTrace { trace } => {
+                let reply = Message::TraceReply(self.engine.collect_trace(trace));
                 self.queue(conn, reply)
             }
             Message::Cancel { session } => {
@@ -911,6 +1028,21 @@ impl EventLoop {
             }
         }
     }
+}
+
+/// Render a minimal HTTP/1.0 response — just enough HTTP for `curl`
+/// and a Prometheus scraper: status line, content type (the text
+/// exposition version), length, explicit close.
+fn http_response(status: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n\
+         {body}",
+        body.len()
+    )
+    .into_bytes()
 }
 
 /// Engine errors crossing the wire keep their exact meaning (mirror of
