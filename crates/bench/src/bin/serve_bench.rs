@@ -303,6 +303,7 @@ fn run_server(cfg: &Config) -> ! {
                     "STATS accepted={} shed={} active={} resident={resident}",
                     s.accepted, s.shed, s.connections_active
                 );
+                // lint: allow(lock_blocking, single-threaded control loop; stdin lock is held for the process lifetime by design)
                 std::io::stdout().flush().expect("stdout");
             }
             "DIAG" => {
@@ -312,6 +313,7 @@ fn run_server(cfg: &Config) -> ! {
                     &mut payload,
                 );
                 println!("DIAG {}", hex_encode(&payload));
+                // lint: allow(lock_blocking, single-threaded control loop; stdin lock is held for the process lifetime by design)
                 std::io::stdout().flush().expect("stdout");
             }
             "EXIT" => break,

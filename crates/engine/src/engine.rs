@@ -440,8 +440,11 @@ impl Engine {
                     }
                 }
             }
+            // lint: allow(panic_audit, an unusable persist directory at engine startup is fatal by design)
             let beliefs = BeliefStore::open(pc).expect("persist directory unusable");
+            // lint: allow(panic_audit, an unusable persist directory at engine startup is fatal by design)
             let mut catalog = RepoCatalog::open(&pc.dir).expect("persist directory unusable");
+            // lint: allow(panic_audit, an unusable persist directory at engine startup is fatal by design)
             let log = DetectionLog::open(pc).expect("persist directory unusable");
             let mut preloaded_frames = 0u64;
             let mut preload_skipped = 0u64;
@@ -471,6 +474,7 @@ impl Engine {
                     Err(_) => RecordVerdict::Abandon,
                 }
             })
+            // lint: allow(panic_audit, an unusable persist directory at engine startup is fatal by design)
             .expect("persist directory unusable");
             // Safety net for a lost or torn catalog: any id observed in a
             // surviving artifact (preloaded detections, belief snapshots)
@@ -551,6 +555,7 @@ impl Engine {
                             std::panic::resume_unwind(panic);
                         }
                     })
+                    // lint: allow(panic_audit, failing to spawn a worker at engine startup is fatal by design)
                     .expect("spawn engine worker")
             })
             .collect();
@@ -606,6 +611,7 @@ impl Engine {
         {
             let state = self.lock_state();
             if let Some(&id) = state.repo_ids.get(&key) {
+                // lint: allow(panic_audit, repo_ids only holds ids that are keys of repos)
                 let existing = (state.repos[&id].noise, state.repos[&id].det_seed);
                 drop(state);
                 same_detectors(existing);
@@ -639,6 +645,7 @@ impl Engine {
         // Raced registration of the same identity: first writer wins, the
         // duplicate build is discarded.
         if let Some(&id) = state.repo_ids.get(&key) {
+            // lint: allow(panic_audit, repo_ids only holds ids that are keys of repos)
             let existing = (state.repos[&id].noise, state.repos[&id].det_seed);
             drop(state);
             same_detectors(existing);
@@ -679,6 +686,7 @@ impl Engine {
         );
         drop(state);
         if fresh {
+            // lint: allow(panic_audit, fresh is only set on the branch that already dereferenced persist)
             let p = self.shared.persist.as_ref().expect("fresh implies persist");
             p.catalog.lock().expect("repo catalog poisoned").persist();
         }
@@ -757,6 +765,7 @@ impl Engine {
             rng: Rng64::new(spec.seed),
             stepper: SearchStepper::new(spec.stop, 0.0),
             discrim,
+            // lint: allow(panic_audit, the engine built this container spec itself when the repo registered)
             container: Container::open(repo.container.clone()).expect("engine-built container"),
             repo,
             class_dets: Vec::new(),
@@ -974,9 +983,11 @@ impl Engine {
         if slot.trace.is_none() {
             return Err(EngineError::SessionRunning(id));
         }
+        // lint: allow(panic_audit, the same key was fetched two lines up under the same lock)
         let slot = state.sessions.remove(&id).expect("present above");
         Ok(SessionReport {
             status: slot.status,
+            // lint: allow(panic_audit, trace.is_none() returned SessionRunning above)
             trace: slot.trace.expect("checked above"),
             charges: slot.charges,
             finish_order: slot.finish_order,
@@ -1229,7 +1240,9 @@ fn worker_loop(shared: &Shared) {
             state = shared.work_cv.wait(state).expect("engine state poisoned");
             continue;
         };
+        // lint: allow(panic_audit, the scheduler only leases ids of registered sessions)
         let slot = state.sessions.get_mut(&id).expect("leased session exists");
+        // lint: allow(panic_audit, a leased session's core is parked in its slot between quanta)
         let mut core = slot.core.take().expect("leased session has its core");
         let cancel = slot.cancel.clone();
         drop(state);
@@ -1265,6 +1278,7 @@ fn worker_loop(shared: &Shared) {
         // On finalization the core is kept out of the slot so the belief
         // snapshot below can read its final statistics.
         let retired = {
+            // lint: allow(panic_audit, the session stays registered while its quantum is in flight)
             let slot = state.sessions.get_mut(&id).expect("session exists");
             slot.events.extend_from_slice(&outcome.events);
             slot.charges.detect_s += outcome.delta.detect_s;
@@ -1346,6 +1360,7 @@ fn worker_loop(shared: &Shared) {
             };
             shared.done_cv.notify_all();
             if let Some(key) = snapshot_key {
+                // lint: allow(panic_audit, snapshot_key is only Some when persist was Some above)
                 let persist = shared.persist.as_ref().expect("checked above");
                 drop(state);
                 {
@@ -1418,6 +1433,7 @@ fn resolve_batch(
     for (k, &frame) in drawn.iter().enumerate() {
         match shared.cache.begin((core.repo_id, frame)) {
             Lookup::Hit(dets) => {
+                // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
                 resolved[k] = Some(ResolvedFrame {
                     dets,
                     io_s: 0.0,
@@ -1438,9 +1454,11 @@ fn resolve_batch(
             if let Some(store) = p.container.as_ref() {
                 let mut still = Vec::with_capacity(reservations.len());
                 for (k, guard) in reservations {
+                    // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
                     match store.get(core.repo_id.0, drawn[k]) {
                         Some(dets) => {
                             p.container_hits.fetch_add(1, Ordering::Relaxed);
+                            // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
                             resolved[k] = Some(ResolvedFrame {
                                 dets: guard.fill_warm(dets),
                                 io_s: 0.0,
@@ -1463,12 +1481,14 @@ fn resolve_batch(
         // reproduces the engine's detector-invocation total.
         let mut span = shared.obs.span_flight(Stage::Dispatch, sid.0);
         span.set_key(reservations.len() as u64);
+        // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
         let miss_frames: Vec<u64> = reservations.iter().map(|(k, _)| drawn[*k]).collect();
         let mut io = Vec::with_capacity(miss_frames.len());
         for &frame in &miss_frames {
             let before = *core.container.stats();
             core.container
                 .read_frame(frame)
+                // lint: allow(panic_audit, the container was validated at registration; torn storage mid-run is fatal by design)
                 .expect("engine-built container read");
             let after = *core.container.stats();
             io.push(cost_model.seconds(&decode_delta(&before, &after)));
@@ -1477,6 +1497,7 @@ fn resolve_batch(
         let mut first = true;
         for (((k, guard), dets), io_s) in reservations.into_iter().zip(banks).zip(io) {
             let value = guard.fill(dets);
+            // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
             resolved[k] = Some(ResolvedFrame {
                 dets: value,
                 io_s,
@@ -1486,6 +1507,7 @@ fn resolve_batch(
         }
     }
     for (k, wait) in waits {
+        // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
         let frame = drawn[k];
         // Covers this key's whole resolution: the actual park on the
         // computing session plus (rarely) the recompute of an abandoned
@@ -1493,6 +1515,7 @@ fn resolve_batch(
         let mut wait_span = shared.obs.span_flight(Stage::CacheWait, sid.0);
         wait_span.set_key(frame);
         let mut wait = Some(wait);
+        // lint: allow(panic_audit, k enumerates drawn and resolved is sized to drawn.len())
         resolved[k] = Some(loop {
             let pending = match wait.take() {
                 Some(w) => w,
@@ -1531,6 +1554,7 @@ fn resolve_batch(
                         let before = *core.container.stats();
                         core.container
                             .read_frame(frame)
+                            // lint: allow(panic_audit, the container was validated at registration; torn storage mid-run is fatal by design)
                             .expect("engine-built container read");
                         let after = *core.container.stats();
                         let io_s = cost_model.seconds(&decode_delta(&before, &after));
@@ -1617,6 +1641,7 @@ fn step_quantum(
             resolve_batch(core, shared, &drawn, &mut resolved, sid);
         }
         for (k, &frame) in drawn.iter().enumerate() {
+            // lint: allow(panic_audit, resolve_batch's postcondition is that every drawn slot is Some)
             let r = resolved[k].take().expect("resolve_batch fills every slot");
             core.class_dets.clear();
             core.class_dets
@@ -1678,6 +1703,7 @@ fn snapshot_slot(slot: &Slot, cursor: u64, window: Option<u32>) -> SessionSnapsh
         found: slot.found,
         samples: slot.samples,
         charges: slot.charges,
+        // lint: allow(panic_audit, start and end are both clamped to events.len() just above)
         events: slot.events[start..end].to_vec(),
         next_cursor: end as u64,
     }

@@ -1,0 +1,17 @@
+//! Seeded violation for the `lock_blocking` rule: a blocking `flush`
+//! while the `state` mutex guard is still live. Never compiled — lexed
+//! and walked by the fixture self-tests.
+
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    state: Mutex<Vec<u8>>,
+}
+
+impl Pipeline {
+    pub fn drain(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let mut state = self.state.lock().expect("poisoned");
+        state.clear();
+        out.flush()
+    }
+}

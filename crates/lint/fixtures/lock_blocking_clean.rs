@@ -1,0 +1,25 @@
+//! Clean counterpart of `lock_blocking_bad.rs`: the guard is scoped to
+//! die before the blocking call, and one deliberate blocking site
+//! carries an allow annotation (exercising the suppression counter).
+
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    state: Mutex<Vec<u8>>,
+}
+
+impl Pipeline {
+    pub fn drain(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        {
+            let mut state = self.state.lock().expect("poisoned");
+            state.clear();
+        }
+        out.flush()
+    }
+
+    pub fn drain_annotated(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let _state = self.state.lock().expect("poisoned");
+        // lint: allow(lock_blocking, fixture: flush under the guard is deliberate here)
+        out.flush()
+    }
+}

@@ -1,0 +1,25 @@
+//! Same cycle as `lock_order_bad.rs`, but one edge is annotated — the
+//! rule treats a cycle with any allowed edge as suppressed (breaking
+//! one edge breaks the cycle).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let a = self.a.lock().expect("poisoned");
+        let b = self.b.lock().expect("poisoned");
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u32 {
+        let b = self.b.lock().expect("poisoned");
+        // lint: allow(lock_order, fixture: reversed order is provably unreachable concurrently)
+        let a = self.a.lock().expect("poisoned");
+        *a + *b
+    }
+}

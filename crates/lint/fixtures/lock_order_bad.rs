@@ -1,0 +1,23 @@
+//! Seeded violation for the `lock_order` rule: `a` then `b` in one
+//! method, `b` then `a` in another — a classic deadlock cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let a = self.a.lock().expect("poisoned");
+        let b = self.b.lock().expect("poisoned");
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u32 {
+        let b = self.b.lock().expect("poisoned");
+        let a = self.a.lock().expect("poisoned");
+        *a + *b
+    }
+}

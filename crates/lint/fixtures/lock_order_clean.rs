@@ -1,0 +1,23 @@
+//! Clean counterpart of `lock_order_bad.rs`: both methods impose the
+//! same `a` then `b` order, so the nested-acquisition graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let a = self.a.lock().expect("poisoned");
+        let b = self.b.lock().expect("poisoned");
+        *a + *b
+    }
+
+    pub fn swap(&self) {
+        let mut a = self.a.lock().expect("poisoned");
+        let mut b = self.b.lock().expect("poisoned");
+        std::mem::swap(&mut *a, &mut *b);
+    }
+}

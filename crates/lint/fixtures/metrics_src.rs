@@ -1,0 +1,12 @@
+//! Registration sites for the `metric_drift` self-tests: one
+//! documented metric, one undocumented (a seeded violation), and one
+//! annotated as intentionally uncataloged.
+
+pub fn init(registry: &Registry) -> Handles {
+    Handles {
+        frames: registry.counter("frames_total"),
+        mystery: registry.histogram("mystery_ns"),
+        // lint: allow(metric_drift, fixture: internal-only series kept out of the catalog)
+        secret: registry.gauge("secret_gauge"),
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violations for the `panic_audit` rule: unguarded indexing,
+//! `unwrap`, and `expect` in what the self-test presents as a hot-path
+//! crate.
+
+pub fn head(v: &[u64]) -> u64 {
+    v[0]
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap()
+}
+
+pub fn tail(v: &[u64]) -> u64 {
+    *v.last().expect("non-empty")
+}

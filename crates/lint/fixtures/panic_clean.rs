@@ -1,0 +1,30 @@
+//! Clean counterpart of `panic_bad.rs`: every potential panic site is
+//! either a built-in allowance (poison propagation, infallible
+//! `try_into`), an annotated proven bound, or inside a test module.
+
+use std::sync::Mutex;
+
+pub fn counter(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("poisoned")
+}
+
+pub fn word(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(
+        bytes.get(..8)?.try_into().expect("8-byte slice"),
+    ))
+}
+
+pub fn ring(slots: &[u64], seq: u64) -> u64 {
+    // lint: allow(panic_audit, seq is taken modulo the ring length)
+    slots[(seq % slots.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v = [1u64];
+        assert_eq!(v[0], 1);
+        "7".parse::<u64>().unwrap();
+    }
+}

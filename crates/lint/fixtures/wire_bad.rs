@@ -1,0 +1,28 @@
+//! Seeded violations for the `wire_protocol` rule: a duplicate tag
+//! value, a tag with no decode arm, and tags with no encode use.
+
+pub const TAG_SUBMIT: u8 = 0x01;
+pub const TAG_POLL: u8 = 0x02;
+pub const TAG_DUP: u8 = 0x02;
+pub const TAG_ORPHAN: u8 = 0x03;
+
+pub enum Msg {
+    Submit,
+    Poll,
+}
+
+pub fn encode(msg: &Msg, out: &mut Vec<u8>) {
+    match msg {
+        Msg::Submit => out.push(TAG_SUBMIT),
+        Msg::Poll => out.push(TAG_POLL),
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Msg> {
+    match tag {
+        TAG_SUBMIT => Some(Msg::Submit),
+        TAG_DUP => Some(Msg::Poll),
+        TAG_ORPHAN => None,
+        _ => None,
+    }
+}

@@ -1,0 +1,25 @@
+//! Clean counterpart of `wire_bad.rs`: unique tag values, and every
+//! tag has both an encode use and a decode match arm.
+
+pub const TAG_SUBMIT: u8 = 0x01;
+pub const TAG_POLL: u8 = 0x02;
+
+pub enum Msg {
+    Submit,
+    Poll,
+}
+
+pub fn encode(msg: &Msg, out: &mut Vec<u8>) {
+    match msg {
+        Msg::Submit => out.push(TAG_SUBMIT),
+        Msg::Poll => out.push(TAG_POLL),
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Msg> {
+    match tag {
+        TAG_SUBMIT => Some(Msg::Submit),
+        TAG_POLL => Some(Msg::Poll),
+        _ => None,
+    }
+}

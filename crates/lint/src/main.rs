@@ -1,0 +1,101 @@
+//! CLI for `exsample-lint`. See `docs/LINT.md`.
+//!
+//! ```text
+//! exsample-lint [--root DIR] [--rule NAME]… [--json] [--deny] [--list-rules]
+//! ```
+//!
+//! Text findings print to stdout as `file:line: rule: message`, one per
+//! line, with a summary on stderr. `--json` swaps stdout for a machine
+//! report (the CI artifact). `--deny` exits 1 when any finding
+//! survives suppression — the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut rules: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut deny = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--rule" => match args.next() {
+                Some(r) if exsample_lint::ALL_RULES.contains(&r.as_str()) => rules.push(r),
+                Some(r) => return usage(&format!("unknown rule `{r}` (see --list-rules)")),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for r in exsample_lint::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                return usage("");
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Accept being launched from a crate directory: walk up to the
+    // workspace root (the directory holding `crates/`).
+    if !root.join("crates").is_dir() {
+        let mut cur = root.canonicalize().unwrap_or_else(|_| root.clone());
+        while let Some(parent) = cur.parent() {
+            if cur.join("crates").is_dir() {
+                break;
+            }
+            cur = parent.to_path_buf();
+        }
+        if cur.join("crates").is_dir() {
+            root = cur;
+        }
+    }
+
+    let report = match exsample_lint::run_workspace(&root, &rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("exsample-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+    }
+    eprintln!(
+        "exsample-lint: {} finding(s), {} suppressed by annotations",
+        report.findings.len(),
+        report.suppressed
+    );
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("exsample-lint: {err}");
+    }
+    eprintln!(
+        "usage: exsample-lint [--root DIR] [--rule NAME]... [--json] [--deny] [--list-rules]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

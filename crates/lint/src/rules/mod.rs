@@ -1,0 +1,8 @@
+//! The rule implementations. Each rule lives in its own module with an
+//! injectable entry point (so fixture self-tests can drive it) and a
+//! `pub const` rule name used in findings and allow annotations.
+
+pub mod lock;
+pub mod metrics;
+pub mod panic;
+pub mod wire;

@@ -1,0 +1,167 @@
+//! Workspace file discovery and per-file preprocessing shared by every
+//! rule: lexing, `#[cfg(test)]` module stripping, and crate attribution.
+
+use crate::lexer::{lex, Lexed, Token};
+use std::path::{Path, PathBuf};
+
+/// One scanned source file: lexed tokens (with and without test
+/// modules), allow annotations, and where it came from.
+pub struct SourceFile {
+    /// Path relative to the workspace root (display form).
+    pub rel_path: String,
+    /// Crate directory name under `crates/` (`engine`, `proto`, …) or
+    /// `"."` for the facade's own `src/`.
+    pub crate_name: String,
+    pub lexed: Lexed,
+    /// Index ranges (into `lexed.tokens`) covered by `#[cfg(test)]`
+    /// modules; rules that exempt test code skip tokens inside these.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lex and preprocess one file's text.
+    pub fn from_text(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let test_regions = find_test_regions(&lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            lexed,
+            test_regions,
+        }
+    }
+
+    /// Is token index `i` inside a `#[cfg(test)]` module?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(a, b)| i >= a && i < b)
+    }
+}
+
+/// Locate `#[cfg(test)] mod name { … }` regions. The attribute may be
+/// separated from `mod` by further attributes; we scan forward a short
+/// window for the `mod` keyword, then brace-match its body.
+fn find_test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 5 < toks.len() {
+        let hit = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')');
+        if !hit {
+            i += 1;
+            continue;
+        }
+        // Find the following `mod` within a few tokens (skipping `]`
+        // and any further attributes), then its opening brace.
+        let mut j = i + 6;
+        let mut guard = 0;
+        while j < toks.len() && !toks[j].is_ident("mod") && guard < 32 {
+            j += 1;
+            guard += 1;
+        }
+        if j >= toks.len() || !toks[j].is_ident("mod") {
+            i += 1;
+            continue;
+        }
+        while j < toks.len() && !toks[j].is_punct('{') {
+            // `#[cfg(test)] mod tests;` (out-of-line) has no body here.
+            if toks[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('{') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        out.push((start, j + 1));
+        i = j + 1;
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for stable
+/// output), skipping anything under a `fixtures` or `target` directory.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Load every scanned source file of the workspace rooted at `root`:
+/// `crates/*/src/**/*.rs` plus the facade's own `src/`. Shims are
+/// deliberately excluded — they are offline stand-ins for external
+/// crates and follow upstream's conventions, not ours.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for cdir in crate_dirs {
+        let crate_name = cdir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let mut paths = Vec::new();
+        collect_rs(&cdir.join("src"), &mut paths);
+        for p in paths {
+            push_file(root, &p, &crate_name, &mut files)?;
+        }
+    }
+    let mut facade = Vec::new();
+    collect_rs(&root.join("src"), &mut facade);
+    for p in facade {
+        push_file(root, &p, ".", &mut files)?;
+    }
+    Ok(files)
+}
+
+fn push_file(
+    root: &Path,
+    path: &Path,
+    crate_name: &str,
+    files: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    files.push(SourceFile::from_text(&rel, crate_name, &text));
+    Ok(())
+}

@@ -194,6 +194,7 @@ impl FlightRecorder {
     pub fn record(&self, session: u64, stage: Stage, duration_ns: u64, key: u64) {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = (seq % self.slots.len() as u64) as usize;
+        // lint: allow(panic_audit, slot is modulo the ring length so the index is always in bounds)
         *self.slots[slot].lock().expect("flight slot poisoned") = FlightEvent {
             tick: seq + 1,
             session,

@@ -79,6 +79,7 @@ impl LatencyHistogram {
     /// Record one observation. Two relaxed atomic adds; wait-free.
     #[inline]
     pub fn record(&self, value: u64) {
+        // lint: allow(panic_audit, bucket_of clamps to BUCKETS-1 so the index is always in bounds)
         self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
@@ -225,11 +226,14 @@ impl HistSnapshot {
                 want: ENCODED_LEN,
             });
         }
-        if bytes[0] != ENCODING_VERSION {
-            return Err(SnapshotDecodeError::UnknownVersion(bytes[0]));
+        // lint: allow(panic_audit, the ENCODED_LEN equality check above guarantees a non-empty slice)
+        let version = bytes[0];
+        if version != ENCODING_VERSION {
+            return Err(SnapshotDecodeError::UnknownVersion(version));
         }
         let word = |i: usize| {
             let at = 1 + i * 8;
+            // lint: allow(panic_audit, at+8 <= ENCODED_LEN for every i used below; length checked on entry)
             u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"))
         };
         let mut counts = [0u64; BUCKETS];

@@ -48,6 +48,7 @@ impl Counter {
     /// Add `n`. One relaxed atomic add on a thread-local stripe.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lint: allow(panic_audit, stripe_index is modulo STRIPES so the index is always in bounds)
         self.stripes[stripe_index()]
             .0
             .fetch_add(n, Ordering::Relaxed);

@@ -412,12 +412,14 @@ pub fn validate_json(text: &str) -> Result<(), String> {
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
+    // lint: allow(panic_audit, the same condition checks pos < len before indexing)
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
     }
 }
 
 fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    // lint: allow(panic_audit, the same condition checks pos < len before indexing)
     if *pos < b.len() && b[*pos] == ch {
         *pos += 1;
         Ok(())
@@ -483,7 +485,7 @@ fn json_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
 }
 
 fn json_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
-    if b[*pos..].starts_with(lit) {
+    if b.get(*pos..).is_some_and(|rest| rest.starts_with(lit)) {
         *pos += lit.len();
         Ok(())
     } else {

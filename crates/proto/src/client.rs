@@ -131,6 +131,7 @@ impl<T: Read + Write> RemoteClient<T> {
     fn call(&self, request: &Message) -> Result<Message, String> {
         let mut framed = self.framed.lock().expect("remote client poisoned");
         framed.send(request).map_err(|e| e.to_string())?;
+        // lint: allow(lock_blocking, the framed mutex exists to serialize whole request/reply round trips)
         framed.recv().map_err(|e| e.to_string())
     }
 
@@ -260,6 +261,7 @@ impl<T: Read + Write> RemoteClient<T> {
             })
             .map_err(transport)?;
         loop {
+            // lint: allow(lock_blocking, the framed mutex exists to serialize whole subscribe conversations)
             match framed.recv().map_err(transport)? {
                 Message::Snapshot(snap) => {
                     on_batch(&snap);

@@ -304,6 +304,7 @@ impl SearchServer {
                         });
                 }
             })
+            // lint: allow(panic_audit, failing to spawn the accept thread at server start is fatal by design)
             .expect("spawn accept thread")
     }
 

@@ -70,7 +70,10 @@ impl FrameBuf {
             match io.read(&mut chunk) {
                 Ok(0) => return Ok(ReadOutcome::Eof),
                 Ok(n) => {
-                    self.incoming.extend_from_slice(&chunk[..n]);
+                    // A conforming `Read` bounds n by the buffer; a
+                    // lying one yields a short chunk, never a panic.
+                    let got = chunk.get(..n).unwrap_or(&chunk);
+                    self.incoming.extend_from_slice(got);
                     pulled += n;
                     if pulled >= READ_BURST {
                         return Ok(ReadOutcome::Open);
@@ -87,17 +90,15 @@ impl FrameBuf {
     /// announced protocol version once 14 bytes have arrived. `Ok(None)`
     /// means "not enough bytes yet"; bad magic is `InvalidData`.
     pub fn take_preamble(&mut self) -> io::Result<Option<u16>> {
-        let live = &self.incoming[self.in_start..];
-        if live.len() < SEGMENT_HEADER_LEN {
+        let Some(preamble) = self.live().get(..SEGMENT_HEADER_LEN) else {
             return Ok(None);
-        }
-        let (header, _) =
-            read_segment_header(&live[..SEGMENT_HEADER_LEN], PROTO_MAGIC).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad protocol preamble: {e}"),
-                )
-            })?;
+        };
+        let (header, _) = read_segment_header(preamble, PROTO_MAGIC).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad protocol preamble: {e}"),
+            )
+        })?;
         self.consume(SEGMENT_HEADER_LEN);
         Ok(Some(header.version))
     }
@@ -106,23 +107,25 @@ impl FrameBuf {
     /// bytes are needed; oversize lengths, checksum mismatches, and
     /// undecodable payloads are `InvalidData`.
     pub fn next_frame(&mut self) -> io::Result<Option<Message>> {
-        let live = &self.incoming[self.in_start..];
-        if live.len() < RECORD_OVERHEAD {
+        // `split_first_chunk` + `get` stand in for manual length checks:
+        // "not enough bytes yet" falls out as `None`, and no slice here
+        // can panic however the peer fragments its writes.
+        let live = self.live();
+        let Some((header, rest)) = live.split_first_chunk::<RECORD_OVERHEAD>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(live[..4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(live[4..8].try_into().expect("4 bytes"));
+        };
+        let [l0, l1, l2, l3, c0, c1, c2, c3] = *header;
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
+        let crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if len > MAX_FRAME_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "frame length exceeds limit",
             ));
         }
-        let total = RECORD_OVERHEAD + len as usize;
-        if live.len() < total {
+        let Some(payload) = rest.get(..len as usize) else {
             return Ok(None);
-        }
-        let payload = &live[RECORD_OVERHEAD..total];
+        };
         if crc32(payload) != crc {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -131,7 +134,7 @@ impl FrameBuf {
         }
         let msg =
             decode_message(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        self.consume(total);
+        self.consume(RECORD_OVERHEAD + len as usize);
         Ok(Some(msg))
     }
 
@@ -144,7 +147,15 @@ impl FrameBuf {
     /// speak something other than XSRP frames (the reactor's plaintext
     /// `/metrics` endpoint parses HTTP request bytes directly).
     pub fn peek_in(&self) -> &[u8] {
-        &self.incoming[self.in_start..]
+        self.live()
+    }
+
+    /// The live inbound window. The only slice of `incoming` in this
+    /// module: `in_start` only ever advances by amounts bounded by
+    /// `pending_in` (asserted in `consume_in`, length-checked in the
+    /// decoders), so the cursor cannot pass the end.
+    fn live(&self) -> &[u8] {
+        self.incoming.get(self.in_start..).unwrap_or_default()
     }
 
     /// Consume `n` raw inbound bytes previously seen via
@@ -198,8 +209,10 @@ impl FrameBuf {
     /// pushed back (`WouldBlock`) — arm writable interest and retry on
     /// the next readiness event.
     pub fn write_to<W: Write + ?Sized>(&mut self, io: &mut W) -> io::Result<bool> {
-        while self.out_start < self.outgoing.len() {
-            match io.write(&self.outgoing[self.out_start..]) {
+        // A non-empty-slice pattern instead of index arithmetic: the
+        // drain loop has no panic path even if `out_start` drifted.
+        while let Some(rest @ [_, ..]) = self.outgoing.get(self.out_start..) {
+            match io.write(rest) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,

@@ -579,7 +579,10 @@ impl EventLoop {
         let Some(end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
             return bytes.len() <= MAX_HTTP_REQUEST;
         };
-        let Ok(head) = std::str::from_utf8(&bytes[..end]) else {
+        let Some(head) = bytes.get(..end) else {
+            return false;
+        };
+        let Ok(head) = std::str::from_utf8(head) else {
             return false;
         };
         let request_line = head.lines().next().unwrap_or("");
@@ -1023,8 +1026,12 @@ impl EventLoop {
                 .get(&key)
                 .is_some_and(|c| matches!(c.phase, Phase::Handshake));
             if stalled {
-                let conn = self.conns.remove(&key).expect("checked above");
-                self.close(conn);
+                // Re-looked-up rather than `expect`ed: a missing entry
+                // (however it came to be) is a no-op, not a panic that
+                // takes the whole reactor thread down.
+                if let Some(conn) = self.conns.remove(&key) {
+                    self.close(conn);
+                }
             }
         }
     }
